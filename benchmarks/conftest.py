@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section (see DESIGN.md's per-experiment index) and prints the reproduced rows
+so that ``pytest benchmarks/ --benchmark-only -s`` doubles as the artefact
+regeneration script.  A session-scoped :class:`ExperimentContext` caches the
+compiled designs so the per-benchmark timings measure the experiment itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def warm_context(context) -> ExperimentContext:
+    """A context with every model's design already compiled."""
+    from repro.models.config import MODEL_CONFIGS
+
+    for config in MODEL_CONFIGS.values():
+        context.compiled(config)
+    return context

@@ -1,0 +1,32 @@
+"""Figure 10a: on-chip intermediate-result memory before/after kernel fusion.
+
+Paper reference points: fusion reduces the intermediate-result memory of a
+single transformer layer to 14.8%-16.8% of the unfused design, and Llama has
+the most intermediate data of the four models.
+"""
+
+import pytest
+
+from repro.eval.experiments import format_figure10a, run_figure10a
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10a_memory_reduction(benchmark, warm_context):
+    rows = benchmark(run_figure10a, warm_context)
+    print("\n" + format_figure10a(rows))
+
+    by_model = {row.model: row for row in rows}
+    assert set(by_model) == {"gpt2", "qwen", "llama", "gemma"}
+
+    for row in rows:
+        # Paper band is 14.8%-16.8%; we accept a slightly wider band since the
+        # substrate is an analytical tiling model rather than measured HLS.
+        assert 0.08 < row.ratio < 0.25, row
+        # Unfused intermediates are megabytes — far too large to keep on-chip
+        # alongside compute, which is why fusion is required at all.
+        assert row.original_mb > 5.0
+
+    assert by_model["llama"].original_mb == max(r.original_mb for r in rows)
+    average_ratio = sum(r.ratio for r in rows) / len(rows)
+    print(f"average post-fusion ratio: {average_ratio * 100:.1f}% "
+          "(paper: 14.8%-16.8%)")

@@ -1,0 +1,46 @@
+"""Table 4: GPT-2 latency/TTFT/decode-speed vs the Allo and DFX FPGA baselines.
+
+Paper reference points (geometric means): latency 0.76x of Allo and 0.52x of
+DFX; TTFT 0.40x of Allo and 0.19x of DFX; decode speed 1.06x of Allo and
+1.17x of DFX.
+"""
+
+import pytest
+
+from repro.eval.experiments import format_table4, run_table4
+
+
+def geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_gpt2_vs_fpga_baselines(benchmark, warm_context):
+    rows = benchmark(run_table4, warm_context)
+    print("\n" + format_table4(rows))
+
+    latency_vs_allo = geomean([row.latency_ratio_vs_allo for row in rows])
+    ttft_vs_allo = geomean([row.ttft_ratio_vs_allo for row in rows])
+    speed_vs_allo = geomean([row.speed_ratio_vs_allo for row in rows])
+    latency_vs_dfx = geomean([row.latency_ratio_vs_dfx for row in rows])
+    ttft_vs_dfx = geomean([row.ttft_ratio_vs_dfx for row in rows])
+    speed_vs_dfx = geomean([row.speed_ratio_vs_dfx for row in rows])
+
+    print(f"geomean vs Allo: latency {latency_vs_allo:.2f}x (paper 0.76x), "
+          f"TTFT {ttft_vs_allo:.2f}x (paper 0.40x), "
+          f"speed {speed_vs_allo:.2f}x (paper 1.06x)")
+    print(f"geomean vs DFX:  latency {latency_vs_dfx:.2f}x (paper 0.52x), "
+          f"TTFT {ttft_vs_dfx:.2f}x (paper 0.19x), "
+          f"speed {speed_vs_dfx:.2f}x (paper 1.17x)")
+
+    # Shape assertions: StreamTensor wins latency and TTFT against both
+    # baselines and is at least on par on decode speed.
+    assert latency_vs_allo < 1.0
+    assert latency_vs_dfx < 0.7
+    assert ttft_vs_allo < 0.6
+    assert ttft_vs_dfx < 0.35
+    assert speed_vs_allo > 0.9
+    assert speed_vs_dfx > 1.0

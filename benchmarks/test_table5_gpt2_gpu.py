@@ -1,0 +1,45 @@
+"""Table 5: GPT-2 vs the NVIDIA A100 and RTX 2080Ti.
+
+Paper reference points (geometric means): total latency 0.64x of the A100 and
+0.25x of the 2080Ti; the GPUs win TTFT by 10.65x / 3.67x; StreamTensor wins
+decode speed by 1.89x / 4.73x.
+"""
+
+import pytest
+
+from repro.eval.experiments import format_table5, run_table5
+
+
+def geomean(values):
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_gpt2_vs_gpus(benchmark, warm_context):
+    rows = benchmark(run_table5, warm_context)
+    print("\n" + format_table5(rows))
+
+    latency_vs_a100 = geomean([row.latency_ratio_vs_a100 for row in rows])
+    ttft_vs_a100 = geomean([row.ttft_ratio_vs_a100 for row in rows])
+    speed_vs_a100 = geomean([row.speed_ratio_vs_a100 for row in rows])
+    latency_vs_2080 = geomean([row.latency_ratio_vs_2080ti for row in rows])
+    speed_vs_2080 = geomean([row.speed_ratio_vs_2080ti for row in rows])
+
+    print(f"geomean vs A100:   latency {latency_vs_a100:.2f}x (paper 0.64x), "
+          f"TTFT {ttft_vs_a100:.2f}x (paper 10.65x), "
+          f"speed {speed_vs_a100:.2f}x (paper 1.89x)")
+    print(f"geomean vs 2080Ti: latency {latency_vs_2080:.2f}x (paper 0.25x), "
+          f"speed {speed_vs_2080:.2f}x (paper 4.73x)")
+
+    # Shape: the dataflow accelerator wins total latency and decode speed;
+    # the GPUs win TTFT by a large, input-length-growing margin.
+    assert latency_vs_a100 < 1.0
+    assert latency_vs_2080 < 0.6
+    assert speed_vs_a100 > 1.3
+    assert speed_vs_2080 > 2.5
+    assert ttft_vs_a100 > 3.0
+    ttft_ratios = [row.ttft_ratio_vs_a100 for row in rows]
+    assert ttft_ratios == sorted(ttft_ratios)

@@ -1,0 +1,65 @@
+"""Table 6: the experimental platform setup.
+
+Regenerates the platform-comparison table (frequency, quantisation, TDP, peak
+INT8 throughput, memory system) from the platform models and checks the
+values against the paper's Table 6.
+"""
+
+import pytest
+
+from repro.platform.fpga import AMD_U280, AMD_U280_DFX, AMD_U55C
+from repro.platform.gpu import NVIDIA_2080TI, NVIDIA_A100
+
+
+def build_table6():
+    rows = {}
+    for label, platform in [("Ours", AMD_U55C), ("Allo", AMD_U280),
+                            ("DFX", AMD_U280_DFX)]:
+        rows[label] = {
+            "platform": platform.name,
+            "process_nm": platform.process_node_nm,
+            "freq_mhz": platform.frequency_mhz,
+            "quantization": platform.quantization.name,
+            "tdp_w": platform.tdp_watts,
+            "peak_int8_tops": platform.peak_int8_tops,
+            "offchip_gb": platform.hbm_capacity_gb,
+            "offchip_gbs": platform.hbm_bandwidth_gbs,
+            "onchip_mb": platform.onchip_memory_mb,
+        }
+    for label, platform in [("A100", NVIDIA_A100), ("2080Ti", NVIDIA_2080TI)]:
+        rows[label] = {
+            "platform": platform.name,
+            "process_nm": platform.process_node_nm,
+            "freq_mhz": platform.frequency_mhz,
+            "quantization": platform.quantization.name,
+            "tdp_w": platform.tdp_watts,
+            "peak_int8_tops": platform.peak_int8_tops,
+            "offchip_gb": platform.memory_capacity_gb,
+            "offchip_gbs": platform.memory_bandwidth_gbs,
+            "onchip_mb": platform.onchip_memory_mb,
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_platform_setup(benchmark):
+    rows = benchmark(build_table6)
+    print("\nTable 6: evaluated platforms")
+    for label, row in rows.items():
+        print(f"  {label:>6}: {row['platform']:<16} {row['freq_mhz']:>6.0f} MHz  "
+              f"{row['quantization']:<6} {row['tdp_w']:>4.0f} W  "
+              f"{row['peak_int8_tops']:>6.1f} TOPS  "
+              f"{row['offchip_gb']:>4.0f} GB @ {row['offchip_gbs']:>6.0f} GB/s  "
+              f"on-chip {row['onchip_mb']:.1f} MB")
+
+    assert rows["Ours"]["tdp_w"] == 150
+    assert rows["Ours"]["peak_int8_tops"] == 24.5
+    assert rows["Allo"]["tdp_w"] == 225
+    assert rows["DFX"]["freq_mhz"] == 200
+    assert rows["A100"]["peak_int8_tops"] == 624
+    assert rows["2080Ti"]["offchip_gbs"] == 616
+    # The memory-wall framing: the FPGAs have ~25x less compute than the A100
+    # but only ~4x less bandwidth.
+    compute_gap = rows["A100"]["peak_int8_tops"] / rows["Ours"]["peak_int8_tops"]
+    bandwidth_gap = rows["A100"]["offchip_gbs"] / rows["Ours"]["offchip_gbs"]
+    assert compute_gap > 20 and bandwidth_gap < 5

@@ -1,0 +1,28 @@
+"""Table 7: configurations of the evaluated LLMs (from their model cards)."""
+
+import pytest
+
+from repro.eval.experiments import run_table7
+
+
+@pytest.mark.benchmark(group="table7")
+def test_table7_model_configurations(benchmark):
+    rows = benchmark(run_table7)
+    print("\nTable 7: evaluated LLM configurations")
+    header = f"{'':>12}" + "".join(f"{name:>10}" for name in rows)
+    print(header)
+    for field in ("layers", "hidden_size", "ffn_hidden_size", "attention_heads",
+                  "kv_heads", "activation"):
+        line = f"{field:>12}" + "".join(f"{str(rows[m][field]):>10}" for m in rows)
+        print(line)
+
+    expected = {
+        "gpt2": (24, 1024, 4096, 16, 16, "GELU"),
+        "qwen": (24, 896, 4864, 14, 2, "SILU"),
+        "llama": (22, 2048, 5632, 32, 4, "SILU"),
+        "gemma": (26, 1152, 6912, 4, 1, "GELU"),
+    }
+    for model, values in expected.items():
+        row = rows[model]
+        assert (row["layers"], row["hidden_size"], row["ffn_hidden_size"],
+                row["attention_heads"], row["kv_heads"], row["activation"]) == values

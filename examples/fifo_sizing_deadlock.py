@@ -1,0 +1,146 @@
+"""Demonstrate Pitfall 4: FIFO sizing, stall cascades, and deadlock.
+
+Two experiments, both using the token-level dataflow simulator:
+
+1. **Deadlock.**  A layout converter must buffer a whole column of tiles (4
+   tokens) before it can emit anything.  If the FIFO feeding it is shallower
+   than that, the producer stalls on back-pressure, the converter never
+   receives its fourth token, and the whole accelerator deadlocks — exactly
+   the failure mode Section 1.3.4 warns about.
+
+2. **Stall cascade vs LP sizing.**  A residual (reconvergent) connection
+   around a kernel with a long initial delay: with naive depth-2 FIFOs the
+   producer is repeatedly throttled by back-pressure and the pipeline slows
+   down; with the depths chosen by the LP formulation of Section 5.3.4 the
+   same graph runs without slowdown using only a few extra FIFO slots.
+
+Run with:  python examples/fifo_sizing_deadlock.py
+"""
+
+from repro.resource.fifo_sizing import SizingEdge, size_fifos
+from repro.resource.token_model import KernelTiming
+from repro.sim.simulator import DataflowSimulator, DeadlockError, SimFifo, SimKernel
+
+TOKENS = 64
+
+
+# ----------------------------------------------------------------------
+# Experiment 1: a converter that needs a full column of tiles deadlocks
+# when its input FIFO cannot hold that column.
+# ----------------------------------------------------------------------
+def build_converter_sim(fifo_depth: int) -> DataflowSimulator:
+    sim = DataflowSimulator()
+    sim.add_fifo(SimFifo("input", capacity=TOKENS))
+    sim.preload_fifo("input", TOKENS)
+    sim.add_fifo(SimFifo("to_converter", capacity=fifo_depth))
+    sim.add_fifo(SimFifo("output", capacity=TOKENS))
+    sim.add_kernel(SimKernel("producer", TOKENS, initial_delay=2, pipeline_ii=1,
+                             input_fifos=[("input", 1.0)],
+                             output_fifos=[("to_converter", 1.0)]))
+    # The converter emits one (re-laid-out) column per firing and needs 4
+    # producer tokens to assemble it.
+    sim.add_kernel(SimKernel("converter", TOKENS // 4, initial_delay=4,
+                             pipeline_ii=4,
+                             input_fifos=[("to_converter", 4.0)],
+                             output_fifos=[("output", 1.0)]))
+    return sim
+
+
+def run_deadlock_experiment() -> None:
+    print("=== Experiment 1: converter column buffering ===")
+    try:
+        build_converter_sim(fifo_depth=2).run()
+        print("  depth 2: unexpectedly completed")
+    except DeadlockError:
+        print("  depth 2: DEADLOCK - the converter needs 4 tokens per column "
+              "but the FIFO holds only 2")
+    outcome = build_converter_sim(fifo_depth=4).run()
+    print(f"  depth 4: completes in {outcome.total_cycles:.0f} cycles "
+          "(one full column fits)")
+
+
+# ----------------------------------------------------------------------
+# Experiment 2: reconvergent residual path — naive vs LP-sized FIFOs.
+# ----------------------------------------------------------------------
+TIMINGS = {
+    "producer": KernelTiming("producer", initial_delay=2, pipeline_ii=2,
+                             total_tokens=TOKENS),
+    "slow_path": KernelTiming("slow_path", initial_delay=40, pipeline_ii=2,
+                              total_tokens=TOKENS),
+    "joiner": KernelTiming("joiner", initial_delay=2, pipeline_ii=2,
+                           total_tokens=TOKENS),
+}
+
+
+def build_residual_sim(short_depth: int, long_in_depth: int,
+                       long_out_depth: int) -> DataflowSimulator:
+    """producer feeds the joiner directly and through a slow kernel."""
+    sim = DataflowSimulator()
+    sim.add_fifo(SimFifo("input", capacity=TOKENS))
+    sim.preload_fifo("input", TOKENS)
+    sim.add_fifo(SimFifo("short", capacity=short_depth))
+    sim.add_fifo(SimFifo("long_in", capacity=long_in_depth))
+    sim.add_fifo(SimFifo("long_out", capacity=long_out_depth))
+    sim.add_fifo(SimFifo("output", capacity=TOKENS))
+
+    sim.add_kernel(SimKernel("producer", TOKENS,
+                             TIMINGS["producer"].initial_delay,
+                             TIMINGS["producer"].pipeline_ii,
+                             input_fifos=[("input", 1.0)],
+                             output_fifos=[("short", 1.0), ("long_in", 1.0)]))
+    sim.add_kernel(SimKernel("slow_path", TOKENS,
+                             TIMINGS["slow_path"].initial_delay,
+                             TIMINGS["slow_path"].pipeline_ii,
+                             input_fifos=[("long_in", 1.0)],
+                             output_fifos=[("long_out", 1.0)]))
+    sim.add_kernel(SimKernel("joiner", TOKENS,
+                             TIMINGS["joiner"].initial_delay,
+                             TIMINGS["joiner"].pipeline_ii,
+                             input_fifos=[("short", 1.0), ("long_out", 1.0)],
+                             output_fifos=[("output", 1.0)]))
+    return sim
+
+
+def run_residual_experiment() -> None:
+    print("\n=== Experiment 2: residual connection around a slow kernel ===")
+    naive = build_residual_sim(2, 2, 2).run()
+    print(f"  naive depth-2 FIFOs:  {naive.total_cycles:6.0f} cycles, "
+          f"{naive.total_backpressure_stalls} back-pressure stall events")
+
+    edges = [
+        SizingEdge("producer", "joiner", TOKENS),
+        SizingEdge("producer", "slow_path", TOKENS),
+        SizingEdge("slow_path", "joiner", TOKENS),
+    ]
+    sizing = size_fifos(edges, TIMINGS)
+    print("  LP-chosen depths:")
+    for (producer, consumer), depth in sorted(sizing.depths.items()):
+        print(f"    {producer:>9} -> {consumer:<9} delay "
+              f"{sizing.delays[(producer, consumer)]:5.1f} cycles, depth {depth}")
+
+    # The slow path's FIFOs must also absorb its pipeline-fill (initial
+    # delay) worth of tokens before it begins consuming; the simulator models
+    # consumption at firing granularity, so we give the long-input FIFO that
+    # extra fill allowance on top of the LP delay-based depth.
+    fill_tokens = int(TIMINGS["slow_path"].initial_delay
+                      // TIMINGS["producer"].pipeline_ii) + 1
+    sized = build_residual_sim(
+        sizing.depth_of("producer", "joiner"),
+        max(sizing.depth_of("producer", "slow_path"), fill_tokens),
+        sizing.depth_of("slow_path", "joiner"),
+    ).run()
+    print(f"  LP-sized FIFOs:       {sized.total_cycles:6.0f} cycles, "
+          f"{sized.total_backpressure_stalls} back-pressure stall events")
+    print(f"  -> back-pressure eliminated (and never slower: "
+          f"{naive.total_cycles:.0f} -> {sized.total_cycles:.0f} cycles) using "
+          f"only {sizing.total_depth + fill_tokens} FIFO slots in total "
+          "instead of unbounded buffering")
+
+
+def main() -> None:
+    run_deadlock_experiment()
+    run_residual_experiment()
+
+
+if __name__ == "__main__":
+    main()

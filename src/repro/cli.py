@@ -1,0 +1,160 @@
+"""Command-line interface for the StreamTensor reproduction.
+
+Two subcommands cover the common workflows:
+
+* ``python -m repro compile --model gpt2 --mode decode --kv-len 256 --out build/``
+  compiles one transformer block and writes the generated artefacts (HLS C++,
+  link connectivity, host runtime source, compilation report) to a directory;
+* ``python -m repro evaluate --experiment table4`` regenerates one of the
+  paper's tables/figures and prints it (``--experiment all`` runs everything,
+  mirroring ``examples/paper_evaluation.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.compiler import CompilerOptions, StreamTensorCompiler
+from repro.eval.experiments import (
+    ExperimentContext,
+    format_figure9,
+    format_figure10a,
+    format_figure10b,
+    format_figure10c,
+    format_table4,
+    format_table5,
+    run_figure9,
+    run_figure10a,
+    run_figure10b,
+    run_figure10c,
+    run_table4,
+    run_table5,
+    run_table7,
+)
+from repro.models.config import MODEL_CONFIGS, get_model_config
+from repro.models.transformer import build_decode_block, build_prefill_block
+from repro.platform.fpga import FPGA_PLATFORMS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="StreamTensor reproduction: compile LLM blocks to "
+                    "dataflow accelerators and regenerate the paper's "
+                    "evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile one transformer block to a dataflow design")
+    compile_parser.add_argument("--model", choices=sorted(MODEL_CONFIGS),
+                                default="gpt2")
+    compile_parser.add_argument("--mode", choices=["decode", "prefill"],
+                                default="decode")
+    compile_parser.add_argument("--seq-len", type=int, default=64,
+                                help="prompt length for prefill mode")
+    compile_parser.add_argument("--kv-len", type=int, default=256,
+                                help="KV-cache length for decode mode")
+    compile_parser.add_argument("--platform", choices=sorted(FPGA_PLATFORMS),
+                                default="u55c")
+    compile_parser.add_argument("--tile-size", type=int, default=16)
+    compile_parser.add_argument("--unroll", type=int, default=128)
+    compile_parser.add_argument("--explore", action="store_true",
+                                help="run the black-box tiling exploration")
+    compile_parser.add_argument("--out", type=Path, default=None,
+                                help="directory to write artefacts into")
+
+    evaluate_parser = subparsers.add_parser(
+        "evaluate", help="regenerate a paper table/figure")
+    evaluate_parser.add_argument(
+        "--experiment", default="all",
+        choices=["all", "table4", "table5", "table7", "figure9",
+                 "figure10a", "figure10b", "figure10c"])
+
+    return parser
+
+
+def _run_compile(args: argparse.Namespace) -> int:
+    config = get_model_config(args.model)
+    if args.mode == "decode":
+        graph = build_decode_block(config, kv_len=args.kv_len)
+    else:
+        graph = build_prefill_block(config, args.seq_len)
+
+    options = CompilerOptions(
+        platform=FPGA_PLATFORMS[args.platform],
+        default_tile_size=args.tile_size,
+        overall_unroll_size=args.unroll,
+        explore_tiling=args.explore,
+    )
+    result = StreamTensorCompiler(options).compile(graph, config)
+    print(result.report)
+
+    if args.out is not None:
+        out_dir: Path = args.out
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "kernel.cpp").write_text(result.hls.source)
+        (out_dir / "link.cfg").write_text(result.connectivity.text)
+        if result.host is not None:
+            (out_dir / "host.cpp").write_text(result.host.source)
+        report = {
+            "model": result.report.model,
+            "kernels": result.report.num_kernels,
+            "stream_edges": result.report.num_stream_edges,
+            "memory_edges": result.report.num_memory_edges,
+            "converters": result.report.num_converters,
+            "fused_groups": result.report.num_fused_groups,
+            "intermediate_bytes_unfused": result.report.intermediate_bytes_unfused,
+            "intermediate_bytes_fused": result.report.intermediate_bytes_fused,
+            "fifo_total_depth": result.fifo_sizing.total_depth
+            if result.fifo_sizing else 0,
+            "stage_seconds": result.report.stage_seconds,
+        }
+        (out_dir / "report.json").write_text(json.dumps(report, indent=2))
+        print(f"artefacts written to {out_dir}/ "
+              "(kernel.cpp, link.cfg, host.cpp, report.json)")
+    return 0
+
+
+def _run_evaluate(args: argparse.Namespace) -> int:
+    context = ExperimentContext()
+    experiment = args.experiment
+
+    if experiment in ("all", "table4"):
+        print(format_table4(run_table4(context)) + "\n")
+    if experiment in ("all", "table5"):
+        print(format_table5(run_table5(context)) + "\n")
+    if experiment in ("all", "table7"):
+        print("Table 7: model configurations")
+        for model, row in run_table7().items():
+            print(f"  {model:>6}: {row}")
+        print()
+    if experiment in ("all", "figure9"):
+        print(format_figure9(run_figure9(context)) + "\n")
+    if experiment in ("all", "figure10a"):
+        print(format_figure10a(run_figure10a(context)) + "\n")
+    if experiment in ("all", "figure10b"):
+        print(format_figure10b(run_figure10b(context)) + "\n")
+    if experiment in ("all", "figure10c"):
+        print(format_figure10c(run_figure10c(context)) + "\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "compile":
+        return _run_compile(args)
+    if args.command == "evaluate":
+        return _run_evaluate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

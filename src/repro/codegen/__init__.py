@@ -1,0 +1,23 @@
+"""Code generation: HLS C++, connectivity configuration, host runtime."""
+
+from repro.codegen.connectivity import ConnectivityConfig, generate_connectivity
+from repro.codegen.hls import HlsArtifact, generate_hls
+from repro.codegen.host import (
+    HostArtifact,
+    HostBufferSpec,
+    HostPlan,
+    build_host_plan,
+    generate_host,
+)
+
+__all__ = [
+    "ConnectivityConfig",
+    "HlsArtifact",
+    "HostArtifact",
+    "HostBufferSpec",
+    "HostPlan",
+    "build_host_plan",
+    "generate_connectivity",
+    "generate_hls",
+    "generate_host",
+]

@@ -1,0 +1,19 @@
+"""End-to-end StreamTensor compiler driver."""
+
+from repro.compiler.options import CompilerOptions
+from repro.compiler.pipeline import (
+    CompilationResult,
+    StreamTensorCompiler,
+    compile_model_block,
+)
+from repro.compiler.report import STAGE_NAMES, CompileReport, StageTimer
+
+__all__ = [
+    "CompilationResult",
+    "CompileReport",
+    "CompilerOptions",
+    "STAGE_NAMES",
+    "StageTimer",
+    "StreamTensorCompiler",
+    "compile_model_block",
+]

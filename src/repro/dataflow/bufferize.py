@@ -1,0 +1,80 @@
+"""Bufferization: lower itensor-level IR to stream-level IR (Section 3.1.3).
+
+Bufferization strips the stream-layout information from every itensor and
+replaces it with a mutable hardware object:
+
+* every stream edge becomes a :class:`~repro.itensor.stream_type.StreamType`
+  FIFO (depth filled in by the FIFO-sizing LP, defaulting to 2);
+* every converter / DMA staging buffer becomes a ping-pong
+  :class:`~repro.itensor.stream_type.BufferType`;
+* `itensor_to_stream` / `stream_to_itensor` conversions are eliminated.
+
+After this pass, all dataflow component generation must already be complete —
+the stream IR no longer carries enough information to infer converters or
+check layouts (this is exactly why the paper performs every dataflow
+optimisation at the itensor level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.dataflow.structure import DataflowGraph, EdgeKind, TaskKind
+from repro.itensor.stream_type import BufferType, StreamType
+
+
+@dataclass
+class BufferizationResult:
+    """All hardware storage objects produced by bufferization."""
+
+    fifos: Dict[int, StreamType] = field(default_factory=dict)
+    buffers: List[BufferType] = field(default_factory=list)
+    total_fifo_bytes: float = 0.0
+    total_buffer_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_fifo_bytes + self.total_buffer_bytes
+
+
+DEFAULT_FIFO_DEPTH = 2
+
+
+def bufferize(graph: DataflowGraph) -> BufferizationResult:
+    """Lower every stream edge and materialised task buffer to hardware form.
+
+    FIFO depths must already be decided (by :mod:`repro.resource.fifo_sizing`)
+    or they default to ``DEFAULT_FIFO_DEPTH``.  The result is recorded in
+    ``graph.attributes['bufferization']`` and returned.
+    """
+    result = BufferizationResult()
+
+    for edge in graph.edges:
+        if edge.kind is not EdgeKind.STREAM:
+            continue
+        itype = edge.producer_type or edge.consumer_type
+        if itype is None:
+            continue
+        depth = edge.fifo_depth if edge.fifo_depth else DEFAULT_FIFO_DEPTH
+        fifo = StreamType(itype.dtype, depth, itype.vector_shape)
+        result.fifos[edge.uid] = fifo
+        result.total_fifo_bytes += fifo.capacity_bytes
+
+    for kernel in graph.kernels:
+        for task in kernel.tasks:
+            if task.buffer is None:
+                continue
+            result.buffers.append(task.buffer)
+            result.total_buffer_bytes += task.buffer.size_bytes
+
+    graph.attributes["bufferization"] = result
+    return result
+
+
+def fifo_for_edge(graph: DataflowGraph, edge_uid: int) -> Optional[StreamType]:
+    """Look up the FIFO created for an edge (None if not bufferized)."""
+    result = graph.attributes.get("bufferization")
+    if not isinstance(result, BufferizationResult):
+        return None
+    return result.fifos.get(edge_uid)

@@ -1,0 +1,206 @@
+"""Black-box exploration of the Linalg tiling hyperparameters (Section 5.1).
+
+The paper drives ``default_tile_size`` and ``overall_unroll_size`` with
+Optuna, using feedback from the dataflow kernel-fusion results.  Offline we
+provide a small self-contained black-box optimiser with the same interface
+shape: a *study* samples *trials* from the search space, evaluates a
+user-provided objective, and keeps the best configuration.
+
+The sampler combines a deterministic coarse grid (so small budgets still
+cover the space) with seeded random refinement around the best point — the
+same role Optuna's TPE sampler plays in the paper's flow.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.permutation import apply_permutation_heuristic
+from repro.dse.tiling_space import TilingSpace
+from repro.dse.unrolling import intensity_driven_unrolling
+from repro.ir.graph import Graph
+
+
+@dataclass
+class Trial:
+    """One evaluated point of the hyperparameter space."""
+
+    params: Dict[str, int]
+    objective: float
+    feedback: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class StudyResult:
+    """Outcome of a black-box exploration run."""
+
+    trials: List[Trial] = field(default_factory=list)
+
+    @property
+    def best_trial(self) -> Trial:
+        if not self.trials:
+            raise ValueError("the study has no completed trials")
+        return min(self.trials, key=lambda t: t.objective)
+
+    @property
+    def best_params(self) -> Dict[str, int]:
+        return self.best_trial.params
+
+
+class BlackBoxOptimizer:
+    """A minimal Optuna-like optimiser over integer power-of-two parameters.
+
+    Args:
+        search_space: Mapping from parameter name to candidate values.
+        seed: Seed for the random refinement phase (deterministic runs).
+    """
+
+    def __init__(self, search_space: Dict[str, Sequence[int]], seed: int = 0) -> None:
+        if not search_space:
+            raise ValueError("the search space must not be empty")
+        self.search_space = {k: list(v) for k, v in search_space.items()}
+        self._rng = random.Random(seed)
+
+    def _grid(self, budget: int) -> List[Dict[str, int]]:
+        """A coarse grid covering extreme and middle values of each axis."""
+        names = list(self.search_space)
+        picks: List[Dict[str, int]] = []
+        anchor_indices = [0, -1, None]  # low, high, middle
+        for anchor in anchor_indices:
+            point = {}
+            for name in names:
+                values = self.search_space[name]
+                if anchor is None:
+                    point[name] = values[len(values) // 2]
+                else:
+                    point[name] = values[anchor]
+            picks.append(point)
+        return picks[:budget]
+
+    def _random_point(self) -> Dict[str, int]:
+        return {name: self._rng.choice(values)
+                for name, values in self.search_space.items()}
+
+    def _space_size(self) -> int:
+        size = 1
+        for values in self.search_space.values():
+            size *= len(values)
+        return size
+
+    def _exhaustive(self) -> List[Dict[str, int]]:
+        import itertools
+
+        names = list(self.search_space)
+        points = []
+        for combo in itertools.product(*(self.search_space[n] for n in names)):
+            points.append(dict(zip(names, combo)))
+        return points
+
+    def optimize(self, objective: Callable[[Dict[str, int]], Tuple[float, Dict[str, float]]],
+                 n_trials: int = 12) -> StudyResult:
+        """Run the study.
+
+        Small search spaces are enumerated exhaustively; larger spaces use
+        the coarse grid anchors followed by unique random samples.
+
+        Args:
+            objective: Callable returning ``(objective_value, feedback)`` for
+                a parameter assignment; lower objective is better.
+            n_trials: Total evaluation budget.
+        """
+        result = StudyResult()
+        seen = set()
+
+        if self._space_size() <= n_trials:
+            candidates = self._exhaustive()
+        else:
+            candidates = self._grid(n_trials)
+            attempts = 0
+            while len(candidates) < n_trials and attempts < 50 * n_trials:
+                attempts += 1
+                point = self._random_point()
+                key = tuple(sorted(point.items()))
+                if key not in {tuple(sorted(c.items())) for c in candidates}:
+                    candidates.append(point)
+
+        for params in candidates[:n_trials]:
+            key = tuple(sorted(params.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            value, feedback = objective(params)
+            result.trials.append(Trial(params=params, objective=value,
+                                       feedback=feedback))
+        return result
+
+
+def default_search_space(max_tile: int = 64, max_unroll: int = 256) -> Dict[str, List[int]]:
+    """Power-of-two grids for the two tiling-space hyperparameters."""
+    tiles = [t for t in (4, 8, 16, 32, 64, 128) if t <= max_tile]
+    unrolls = [u for u in (8, 16, 32, 64, 128, 256, 512) if u <= max_unroll]
+    return {"default_tile_size": tiles or [4],
+            "overall_unroll_size": unrolls or [8]}
+
+
+def build_tiling_space(graph: Graph, default_tile_size: int,
+                       overall_unroll_size: int) -> TilingSpace:
+    """Construct and fully populate a tiling space for given hyperparameters.
+
+    Runs the three per-kernel heuristics in the paper's order: naive tiling,
+    intensity-driven unrolling, then vectorisation inference and the
+    permutation heuristic.
+    """
+    space = TilingSpace.from_graph(graph, default_tile_size=default_tile_size,
+                                   overall_unroll_size=overall_unroll_size)
+    space.apply_naive_tiling()
+    intensity_driven_unrolling(space)
+    space.infer_vectorization()
+    apply_permutation_heuristic(space)
+    return space
+
+
+def explore_tiling_space(graph: Graph,
+                         fusion_feedback: Callable[[TilingSpace], Dict[str, float]],
+                         search_space: Optional[Dict[str, Sequence[int]]] = None,
+                         n_trials: int = 9,
+                         memory_budget_bytes: float = 41e6,
+                         seed: int = 0) -> Tuple[TilingSpace, StudyResult]:
+    """Explore the tiling hyperparameters with fusion feedback.
+
+    The objective is the pipeline latency estimate, heavily penalised when
+    the fused design's converter memory exceeds the on-chip budget (the case
+    the paper feeds back to the tiling space for refinement).
+
+    Args:
+        graph: Linalg graph to tile.
+        fusion_feedback: Callable evaluating a candidate tiling space and
+            returning at least ``{"converter_bytes": ...}``.
+        search_space: Optional custom hyperparameter grid.
+        n_trials: Exploration budget.
+        memory_budget_bytes: On-chip memory budget used in the penalty.
+        seed: RNG seed.
+
+    Returns:
+        The tiling space built from the best parameters, and the study result.
+    """
+    space_grid = search_space or default_search_space()
+    optimizer = BlackBoxOptimizer(space_grid, seed=seed)
+
+    def objective(params: Dict[str, int]) -> Tuple[float, Dict[str, float]]:
+        space = build_tiling_space(graph, params["default_tile_size"],
+                                   params["overall_unroll_size"])
+        feedback = fusion_feedback(space)
+        latency = space.total_latency_estimate()
+        converter_bytes = feedback.get("converter_bytes", 0.0)
+        penalty = 0.0
+        if converter_bytes > memory_budget_bytes:
+            penalty = latency * (converter_bytes / memory_budget_bytes)
+        return latency + penalty, feedback
+
+    study = optimizer.optimize(objective, n_trials=n_trials)
+    best = study.best_params
+    best_space = build_tiling_space(graph, best["default_tile_size"],
+                                    best["overall_unroll_size"])
+    return best_space, study

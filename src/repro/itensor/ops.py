@@ -1,0 +1,297 @@
+"""Iterative tensor and stream operations (Tables 1 and 2 of the paper).
+
+The itensor-level ops use destination-carried (immutable) semantics — every
+write returns a new itensor value — which keeps define-use analysis simple
+for the high-level dataflow optimisations.  The stream-level ops model
+mutable hardware FIFOs and are produced by bufferization.
+
+These op objects are deliberately lightweight records: the dataflow
+transformations in :mod:`repro.dataflow` reason about kernel/task graphs and
+itensor *types*; the op list inside each task is used for verification,
+lowering and code generation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.ir.dtypes import DType
+from repro.ir.types import TensorType
+from repro.itensor.itensor_type import ITensorError, ITensorType
+from repro.itensor.stream_type import BufferType, StreamType
+
+_ID_COUNTER = itertools.count()
+
+
+def _next_id() -> int:
+    return next(_ID_COUNTER)
+
+
+@dataclass(eq=False)
+class ITensorValue:
+    """An SSA value of itensor type."""
+
+    type: ITensorType
+    name: str = ""
+    uid: int = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"%it{self.uid}"
+
+    def __repr__(self) -> str:
+        return f"{self.name}: {self.type}"
+
+
+@dataclass(eq=False)
+class StreamValue:
+    """An SSA value of stream (FIFO) type."""
+
+    type: StreamType
+    name: str = ""
+    uid: int = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"%s{self.uid}"
+
+    def __repr__(self) -> str:
+        return f"{self.name}: {self.type}"
+
+
+@dataclass(eq=False)
+class ITensorOp:
+    """Base class for itensor-level operations."""
+
+    uid: int = field(default_factory=_next_id, init=False)
+
+    @property
+    def op_name(self) -> str:
+        return type(self).__name__
+
+
+# ----------------------------------------------------------------------
+# Table 1: itensor operations
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class ITensorEmpty(ITensorOp):
+    """A placeholder representing an empty itensor (``itensor_empty``)."""
+
+    result: ITensorValue
+
+
+@dataclass(eq=False)
+class ITensorInstance(ITensorOp):
+    """An itensor instance that will be lowered to a FIFO (``itensor_instance``)."""
+
+    result: ITensorValue
+
+
+@dataclass(eq=False)
+class ITensorRead(ITensorOp):
+    """Pull a value (token) from an itensor source (``itensor_read``)."""
+
+    source: ITensorValue
+    init: Optional[TensorType] = None
+
+    @property
+    def value_type(self) -> TensorType:
+        return TensorType(self.source.type.element_shape, self.source.type.dtype)
+
+
+@dataclass(eq=False)
+class ITensorWrite(ITensorOp):
+    """Push a value (token) into a destination itensor (``itensor_write``).
+
+    Destination-carried: ``result`` is the updated itensor.
+    """
+
+    dest: ITensorValue
+    result: ITensorValue
+
+    def __post_init__(self) -> None:
+        if self.dest.type != self.result.type:
+            raise ITensorError(
+                "itensor_write result type must equal its destination type"
+            )
+
+
+@dataclass(eq=False)
+class ITensorCast(ITensorOp):
+    """Cast without changing the stream layout (``itensor_cast``)."""
+
+    source: ITensorValue
+    result: ITensorValue
+
+    def __post_init__(self) -> None:
+        src, res = self.source.type, self.result.type
+        if src.stream_order_list(64) != res.stream_order_list(64):
+            raise ITensorError(
+                "itensor_cast must not change the stream layout; "
+                f"{src} vs {res}"
+            )
+
+
+@dataclass(eq=False)
+class ITensorReassociate(ITensorOp):
+    """Reassociate element shape and/or iteration space (``itensor_reassociate``).
+
+    Lowered from ``tensor.expand_shape`` / ``collapse_shape``; the total
+    number of elements streamed must be preserved.
+    """
+
+    source: ITensorValue
+    result: ITensorValue
+
+    def __post_init__(self) -> None:
+        src, res = self.source.type, self.result.type
+        src_total = src.num_iterations * src.element_elements
+        res_total = res.num_iterations * res.element_elements
+        if src_total != res_total:
+            raise ITensorError(
+                "itensor_reassociate must preserve the total element count: "
+                f"{src_total} vs {res_total}"
+            )
+
+
+@dataclass(eq=False)
+class ITensorConverterOp(ITensorOp):
+    """On-the-fly stream layout conversion through a ping-pong buffer
+    (``itensor_converter``), generated during dataflow kernel fusion."""
+
+    source: ITensorValue
+    result: ITensorValue
+    buffer: BufferType
+
+
+@dataclass(eq=False)
+class ITensorChunk(ITensorOp):
+    """Chunk a source itensor into multiple results (``itensor_chunk``)."""
+
+    source: ITensorValue
+    results: List[ITensorValue]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ITensorError("itensor_chunk requires at least one result")
+
+
+@dataclass(eq=False)
+class ITensorConcat(ITensorOp):
+    """Concatenate multiple sources into one result (``itensor_concat``)."""
+
+    sources: List[ITensorValue]
+    result: ITensorValue
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ITensorError("itensor_concat requires at least one source")
+
+
+@dataclass(eq=False)
+class ITensorFork(ITensorOp):
+    """Duplicate a source itensor to multiple consumers (``itensor_fork``)."""
+
+    source: ITensorValue
+    results: List[ITensorValue]
+
+    def __post_init__(self) -> None:
+        if len(self.results) < 2:
+            raise ITensorError("itensor_fork requires at least two results")
+        for result in self.results:
+            if result.type != self.source.type:
+                raise ITensorError("itensor_fork results must match the source type")
+
+
+@dataclass(eq=False)
+class ITensorJoin(ITensorOp):
+    """Round-robin join of multiple sources into one result (``itensor_join``)."""
+
+    sources: List[ITensorValue]
+    result: ITensorValue
+
+    def __post_init__(self) -> None:
+        if len(self.sources) < 2:
+            raise ITensorError("itensor_join requires at least two sources")
+
+
+# ----------------------------------------------------------------------
+# Table 2: stream and buffer operations
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class ITensorToStream(ITensorOp):
+    """Convert an itensor to a stream; must be eliminated during bufferization."""
+
+    source: ITensorValue
+    result: StreamValue
+
+
+@dataclass(eq=False)
+class StreamToITensor(ITensorOp):
+    """Convert a stream to an itensor; must be eliminated during bufferization."""
+
+    source: StreamValue
+    result: ITensorValue
+
+
+@dataclass(eq=False)
+class StreamOp(ITensorOp):
+    """A FIFO with a specified depth (``stream``), lowered from
+    ``itensor_instance``."""
+
+    result: StreamValue
+
+
+@dataclass(eq=False)
+class StreamRead(ITensorOp):
+    """Pull a token from a FIFO (``stream_read``)."""
+
+    source: StreamValue
+
+
+@dataclass(eq=False)
+class StreamWrite(ITensorOp):
+    """Push a token into a FIFO (``stream_write``)."""
+
+    dest: StreamValue
+
+
+@dataclass(eq=False)
+class StreamCast(ITensorOp):
+    """Cast a stream without changing its layout (``stream_cast``)."""
+
+    source: StreamValue
+    result: StreamValue
+
+
+@dataclass(eq=False)
+class BufferOp(ITensorOp):
+    """A ping-pong (double) buffer (``buffer``), lowered from converters/DMAs."""
+
+    buffer: BufferType
+
+
+# ----------------------------------------------------------------------
+# Helper constructors
+# ----------------------------------------------------------------------
+def empty(itype: ITensorType, name: str = "") -> ITensorEmpty:
+    return ITensorEmpty(result=ITensorValue(itype, name=name))
+
+
+def instance(itype: ITensorType, name: str = "") -> ITensorInstance:
+    return ITensorInstance(result=ITensorValue(itype, name=name))
+
+
+def write(dest: ITensorValue, name: str = "") -> ITensorWrite:
+    return ITensorWrite(dest=dest, result=ITensorValue(dest.type, name=name))
+
+
+def read(source: ITensorValue) -> ITensorRead:
+    return ITensorRead(source=source)
+
+
+def fork(source: ITensorValue, count: int) -> ITensorFork:
+    results = [ITensorValue(source.type) for _ in range(count)]
+    return ITensorFork(source=source, results=results)

@@ -1,0 +1,45 @@
+"""LLM frontend: Table 7 configs, transformer graph builders, workloads."""
+
+from repro.models.config import (
+    GEMMA,
+    GPT2,
+    LLAMA,
+    MODEL_CONFIGS,
+    ModelConfig,
+    QWEN,
+    get_model_config,
+)
+from repro.models.transformer import (
+    BlockSpec,
+    block_flops,
+    build_decode_block,
+    build_prefill_block,
+    build_transformer_block,
+    model_flops,
+)
+from repro.models.workload import (
+    FIGURE9_WORKLOADS,
+    TABLE4_WORKLOADS,
+    Workload,
+    workload_from_label,
+)
+
+__all__ = [
+    "BlockSpec",
+    "FIGURE9_WORKLOADS",
+    "GEMMA",
+    "GPT2",
+    "LLAMA",
+    "MODEL_CONFIGS",
+    "ModelConfig",
+    "QWEN",
+    "TABLE4_WORKLOADS",
+    "Workload",
+    "block_flops",
+    "build_decode_block",
+    "build_prefill_block",
+    "build_transformer_block",
+    "get_model_config",
+    "model_flops",
+    "workload_from_label",
+]

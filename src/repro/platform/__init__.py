@@ -1,0 +1,32 @@
+"""Platform models: FPGAs (Table 6), GPUs (roofline), and the HLS profiler."""
+
+from repro.platform.fpga import (
+    AMD_U280,
+    AMD_U280_DFX,
+    AMD_U55C,
+    FP16,
+    FPGA_PLATFORMS,
+    FpgaPlatform,
+    Quantization,
+    W4A8,
+    W8A8,
+)
+from repro.platform.gpu import GPU_PLATFORMS, GpuPlatform, NVIDIA_2080TI, NVIDIA_A100
+from repro.platform.hls_profiler import HlsProfiler
+
+__all__ = [
+    "AMD_U280",
+    "AMD_U280_DFX",
+    "AMD_U55C",
+    "FP16",
+    "FPGA_PLATFORMS",
+    "FpgaPlatform",
+    "GPU_PLATFORMS",
+    "GpuPlatform",
+    "HlsProfiler",
+    "NVIDIA_2080TI",
+    "NVIDIA_A100",
+    "Quantization",
+    "W4A8",
+    "W8A8",
+]

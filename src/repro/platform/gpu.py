@@ -1,0 +1,114 @@
+"""GPU roofline latency and energy models (the paper's A100 / 2080Ti baselines).
+
+The paper measures GPUs directly; offline we model them with a roofline:
+every operator's execution time is the maximum of its compute time
+(FLOPs / peak throughput) and its memory time (bytes moved / bandwidth),
+plus a fixed per-kernel launch overhead.  This reproduces the regime split
+the GPU comparison hinges on:
+
+* the *prefill* stage processes the whole prompt at once — large matrices,
+  compute-bound, where the GPU's enormous TOPS give it a large TTFT edge;
+* the *decode* stage produces one token at a time — matrix-vector products
+  that stream all weights for every token, firmly memory-bound, where the
+  dataflow accelerator's reduced external traffic wins.
+
+Efficiency factors account for achievable (rather than peak) bandwidth and
+compute on small LLM kernels; they are fixed constants, not fitted per
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.platform.fpga import Quantization, W8A8
+
+
+@dataclass(frozen=True)
+class GpuPlatform:
+    """A GPU baseline device (Table 6 columns A100 / 2080Ti).
+
+    Attributes:
+        name: Device name.
+        frequency_mhz: Boost clock.
+        peak_int8_tops: Peak INT8 tensor throughput.
+        memory_bandwidth_gbs: Off-chip memory bandwidth.
+        memory_capacity_gb: Off-chip memory capacity.
+        onchip_memory_mb: L2/SRAM capacity.
+        tdp_watts: Thermal design power.
+        process_node_nm: Manufacturing node.
+        kernel_launch_us: Per-kernel launch/dispatch overhead.
+        bandwidth_efficiency: Fraction of peak bandwidth achieved on decode
+            GEMV-like kernels.
+        compute_efficiency: Fraction of peak TOPS achieved on prefill GEMMs.
+        idle_power_fraction: Fraction of TDP drawn during memory-bound phases.
+    """
+
+    name: str
+    frequency_mhz: float
+    peak_int8_tops: float
+    memory_bandwidth_gbs: float
+    memory_capacity_gb: float
+    onchip_memory_mb: float
+    tdp_watts: float
+    process_node_nm: int
+    quantization: Quantization = W8A8
+    kernel_launch_us: float = 5.0
+    bandwidth_efficiency: float = 0.65
+    compute_efficiency: float = 0.45
+    idle_power_fraction: float = 0.55
+
+    @property
+    def effective_bandwidth_gbs(self) -> float:
+        return self.memory_bandwidth_gbs * self.bandwidth_efficiency
+
+    @property
+    def effective_tops(self) -> float:
+        return self.peak_int8_tops * self.compute_efficiency
+
+    def op_time_seconds(self, flops: float, bytes_moved: float,
+                        num_kernels: int = 1) -> float:
+        """Roofline time of one operator (or a fused group of them)."""
+        compute_time = flops / (self.effective_tops * 1e12)
+        memory_time = bytes_moved / (self.effective_bandwidth_gbs * 1e9)
+        launch_time = num_kernels * self.kernel_launch_us * 1e-6
+        return max(compute_time, memory_time) + launch_time
+
+    def average_power_watts(self, compute_bound_fraction: float) -> float:
+        """Average power given how much of the run is compute-bound."""
+        fraction = min(1.0, max(0.0, compute_bound_fraction))
+        return self.tdp_watts * (
+            self.idle_power_fraction + (1.0 - self.idle_power_fraction) * fraction
+        )
+
+
+# Table 6 GPU instances -------------------------------------------------------
+NVIDIA_A100 = GpuPlatform(
+    name="NVIDIA A100",
+    frequency_mhz=1065.0,
+    peak_int8_tops=624.0,
+    memory_bandwidth_gbs=1935.0,
+    memory_capacity_gb=80.0,
+    onchip_memory_mb=40.0,
+    tdp_watts=300.0,
+    process_node_nm=7,
+)
+
+NVIDIA_2080TI = GpuPlatform(
+    name="NVIDIA 2080Ti",
+    frequency_mhz=1350.0,
+    peak_int8_tops=215.2,
+    memory_bandwidth_gbs=616.0,
+    memory_capacity_gb=11.0,
+    onchip_memory_mb=5.5,
+    tdp_watts=250.0,
+    process_node_nm=12,
+    bandwidth_efficiency=0.55,
+    compute_efficiency=0.35,
+)
+
+GPU_PLATFORMS: Dict[str, GpuPlatform] = {
+    "a100": NVIDIA_A100,
+    "2080ti": NVIDIA_2080TI,
+}

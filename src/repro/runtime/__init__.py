@@ -1,0 +1,9 @@
+"""Host runtime: simulated serving of compiled StreamTensor accelerators."""
+
+from repro.runtime.session import GenerationResult, InferenceSession, StepRecord
+
+__all__ = [
+    "GenerationResult",
+    "InferenceSession",
+    "StepRecord",
+]

@@ -1,0 +1,167 @@
+"""Host-runtime inference session.
+
+The generated accelerator executes one transformer block; everything else —
+parameter packing, per-layer invocation with the right weight pointers, KV
+cache management, sampling loop — is the host runtime's job (Section 2 and
+the ``Runtime Codegen`` stage of Figure 4).  :class:`InferenceSession`
+simulates that runtime against the analytical performance model: it walks an
+autoregressive generation request layer by layer and token by token,
+accounting for prefill, per-step decode time, KV-cache growth and the
+one-time parameter packing cost, and returns a per-token timeline.
+
+This is the piece a downstream user would call to ask "what would serving
+this model on the generated accelerator look like?" without owning an FPGA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.compiler.pipeline import CompilationResult
+from repro.eval.latency import FpgaPerformanceModel
+from repro.models.config import ModelConfig
+from repro.models.workload import Workload
+from repro.resource.token_model import EqualizationStrategy
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Timing of one generation step."""
+
+    index: int
+    kind: str          # "prefill" or "decode"
+    tokens: int        # tokens processed in this step
+    kv_len: int        # KV-cache length visible to attention
+    seconds: float
+    kernel_invocations: int
+
+
+@dataclass
+class GenerationResult:
+    """Outcome of one simulated generation request."""
+
+    workload: Workload
+    steps: List[StepRecord] = field(default_factory=list)
+    packing_seconds: float = 0.0
+    kv_cache_bytes: float = 0.0
+
+    @property
+    def ttft_s(self) -> float:
+        return self.steps[0].seconds if self.steps else 0.0
+
+    @property
+    def decode_seconds(self) -> float:
+        return sum(step.seconds for step in self.steps if step.kind == "decode")
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(step.seconds for step in self.steps)
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        decode_steps = [s for s in self.steps if s.kind == "decode"]
+        if not decode_steps:
+            return 0.0
+        return len(decode_steps) / sum(s.seconds for s in decode_steps)
+
+    @property
+    def total_kernel_invocations(self) -> int:
+        return sum(step.kernel_invocations for step in self.steps)
+
+    def per_token_latencies_ms(self) -> List[float]:
+        return [step.seconds * 1e3 for step in self.steps]
+
+
+class InferenceSession:
+    """Simulates serving an LLM on a compiled StreamTensor accelerator.
+
+    Args:
+        config: The model configuration.
+        compiled: The compilation result of one transformer block; its fused
+            intermediate-memory footprint decides the FIFO-sizing strategy
+            (the Llama effect of Figure 9).  ``None`` assumes the Normal
+            strategy.
+        performance_model: Analytical accelerator performance model.
+        max_seq_len: Shape hint bounding the KV cache (Section 5.3.5's
+            dynamic-tensor-shape handling); requests beyond it are rejected.
+    """
+
+    def __init__(self, config: ModelConfig,
+                 compiled: Optional[CompilationResult] = None,
+                 performance_model: Optional[FpgaPerformanceModel] = None,
+                 max_seq_len: Optional[int] = None) -> None:
+        self.config = config
+        self.compiled = compiled
+        self.model = performance_model or FpgaPerformanceModel()
+        self.max_seq_len = max_seq_len or config.max_seq_len
+        self._parameters_packed = False
+
+        if compiled is not None:
+            intermediate = compiled.report.intermediate_bytes_fused
+            self.strategy = self.model.equalization_for(intermediate)
+        else:
+            self.strategy = EqualizationStrategy.NORMAL
+
+    # ------------------------------------------------------------------
+    # Parameter packing (one-time, offline for static tensors)
+    # ------------------------------------------------------------------
+    def pack_parameters(self) -> float:
+        """Pack model parameters into the tiled+widened device layout.
+
+        Returns the packing time in seconds; subsequent calls are free (the
+        packed binaries are reused), mirroring Section 4.2's static-tensor
+        fusion of pack/widen.
+        """
+        if self._parameters_packed:
+            return 0.0
+        self._parameters_packed = True
+        weight_bytes = (self.config.total_params()
+                        * self.model.platform.quantization.weight_bits / 8.0)
+        pack_rate_bytes_per_second = 1.2e9
+        return 5.0 + weight_bytes / pack_rate_bytes_per_second
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, workload: Workload) -> GenerationResult:
+        """Simulate one [input:output] request.
+
+        Raises:
+            ValueError: if the request exceeds the session's maximum sequence
+                length (the static shape hint the accelerator was built for).
+        """
+        if workload.total_tokens > self.max_seq_len:
+            raise ValueError(
+                f"request needs {workload.total_tokens} positions but the "
+                f"accelerator was built for max_seq_len={self.max_seq_len}"
+            )
+        result = GenerationResult(workload=workload)
+        result.packing_seconds = self.pack_parameters()
+
+        # Prefill: one pass over the whole prompt.
+        prefill_seconds = self.model.prefill_time_s(
+            self.config, workload.input_len, self.strategy)
+        result.steps.append(StepRecord(
+            index=0, kind="prefill", tokens=workload.input_len,
+            kv_len=workload.input_len, seconds=prefill_seconds,
+            kernel_invocations=self.config.num_layers,
+        ))
+
+        # Decode: one pass per generated token against the growing KV cache.
+        for step, kv_len in enumerate(workload.decode_kv_lengths(), start=1):
+            seconds = self.model.decode_step_time_s(self.config, kv_len,
+                                                    self.strategy)
+            result.steps.append(StepRecord(
+                index=step, kind="decode", tokens=1, kv_len=kv_len,
+                seconds=seconds, kernel_invocations=self.config.num_layers,
+            ))
+
+        bytes_per_element = self.model.platform.quantization.activation_bits / 8.0
+        result.kv_cache_bytes = (workload.total_tokens
+                                 * self.config.kv_cache_bytes_per_token(bytes_per_element))
+        return result
+
+    def throughput_sweep(self, workloads: List[Workload]) -> List[GenerationResult]:
+        """Evaluate several requests back to back (parameters packed once)."""
+        return [self.generate(workload) for workload in workloads]

@@ -1,0 +1,20 @@
+"""Cycle-approximate dataflow simulator (kernels, FIFOs, back-pressure)."""
+
+from repro.sim.builder import GraphSimulation, build_simulation
+from repro.sim.simulator import (
+    DataflowSimulator,
+    DeadlockError,
+    SimFifo,
+    SimKernel,
+    SimulationResult,
+)
+
+__all__ = [
+    "DataflowSimulator",
+    "DeadlockError",
+    "GraphSimulation",
+    "SimFifo",
+    "SimKernel",
+    "SimulationResult",
+    "build_simulation",
+]

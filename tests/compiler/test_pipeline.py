@@ -1,0 +1,107 @@
+"""Tests for the end-to-end compilation pipeline."""
+
+import pytest
+
+from repro.compiler.options import CompilerOptions
+from repro.compiler.pipeline import StreamTensorCompiler, compile_model_block
+from repro.compiler.report import STAGE_NAMES
+from repro.dataflow.structure import EdgeKind
+from repro.ir.builder import GraphBuilder
+from repro.ir.dtypes import INT8
+from repro.models.config import GPT2
+from repro.platform.fpga import AMD_U280
+from repro.resource.token_model import EqualizationStrategy
+
+
+def tiny_graph():
+    builder = GraphBuilder("tiny")
+    x = builder.input((32, 32), INT8)
+    w = builder.weight((32, 32), INT8)
+    builder.output(builder.gelu(builder.matmul(x, w)))
+    return builder.build()
+
+
+class TestCompilerPipeline:
+    def test_all_stages_timed(self, gpt2_compiled):
+        stages = gpt2_compiled.report.stage_seconds
+        for name in STAGE_NAMES:
+            assert name in stages
+            assert stages[name] >= 0.0
+
+    def test_result_has_all_products(self, gpt2_compiled):
+        assert gpt2_compiled.fifo_sizing is not None
+        assert gpt2_compiled.partition is not None
+        assert gpt2_compiled.memory_allocation is not None
+        assert gpt2_compiled.bufferization is not None
+        assert gpt2_compiled.packing is not None
+        assert gpt2_compiled.hls is not None
+        assert gpt2_compiled.connectivity is not None
+        assert gpt2_compiled.host is not None
+
+    def test_report_summary(self, gpt2_compiled):
+        report = gpt2_compiled.report
+        assert report.model == "gpt2"
+        assert report.num_kernels == len(gpt2_compiled.dataflow_graph.kernels)
+        assert report.fits_on_chip
+        assert 0.0 < report.memory_reduction_ratio <= 1.0
+        assert "kernels" in str(report)
+
+    def test_block_fuses_into_one_group(self, gpt2_compiled):
+        assert gpt2_compiled.fusion_plan.num_groups == 1
+
+    def test_stream_edges_have_sized_fifos(self, gpt2_compiled):
+        for edge in gpt2_compiled.dataflow_graph.stream_edges():
+            assert edge.fifo_depth is not None
+
+    def test_compile_without_codegen(self):
+        options = CompilerOptions(generate_code=False)
+        result = StreamTensorCompiler(options).compile(tiny_graph())
+        assert result.hls is None
+        assert result.connectivity is None
+
+    def test_compile_without_model_config_skips_host(self):
+        result = compile_model_block(tiny_graph())
+        assert result.host is None
+        assert result.hls is not None
+
+    def test_conservative_equalization_option(self):
+        options = CompilerOptions(equalization=EqualizationStrategy.CONSERVATIVE,
+                                  generate_code=False)
+        result = StreamTensorCompiler(options).compile(tiny_graph())
+        assert result.fifo_sizing.strategy is EqualizationStrategy.CONSERVATIVE
+
+    def test_exploration_mode(self):
+        options = CompilerOptions(explore_tiling=True, exploration_trials=3,
+                                  generate_code=False)
+        result = StreamTensorCompiler(options).compile(tiny_graph())
+        assert result.tiling_space.nodes
+
+    def test_alternate_platform(self):
+        options = CompilerOptions(platform=AMD_U280, generate_code=False)
+        result = StreamTensorCompiler(options).compile(tiny_graph(), GPT2)
+        assert result.report.onchip_budget_bytes == AMD_U280.onchip_memory_bytes
+
+    def test_tight_fusion_budget_creates_multiple_groups(self):
+        builder = GraphBuilder("wide")
+        x = builder.input((64, 64), INT8)
+        w = builder.weight((64, 64), INT8)
+        value = x
+        for index in range(4):
+            value = builder.matmul(value, w, name=f"mm{index}")
+        builder.output(value)
+        options = CompilerOptions(fusion_memory_fraction=1e-9,
+                                  generate_code=False)
+        result = StreamTensorCompiler(options).compile(builder.build())
+        assert result.fusion_plan.num_groups > 1
+        assert all(e.kind is EdgeKind.MEMORY
+                   for e in result.dataflow_graph.internal_edges())
+
+
+class TestCompilerOptions:
+    def test_fusion_budget_derived_from_platform(self):
+        options = CompilerOptions(fusion_memory_fraction=0.5)
+        assert options.fusion_c_max_bytes == pytest.approx(41e6 * 0.5)
+
+    def test_num_dies_defaults_to_platform(self):
+        assert CompilerOptions().effective_num_dies == 3
+        assert CompilerOptions(num_dies=2).effective_num_dies == 2

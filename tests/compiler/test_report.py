@@ -1,0 +1,61 @@
+"""Tests for compilation reports and stage timing."""
+
+import time
+
+from repro.compiler.report import STAGE_NAMES, CompileReport, StageTimer
+
+
+class TestStageTimer:
+    def test_stages_accumulate(self):
+        timer = StageTimer()
+        with timer.stage("Linalg_Opt"):
+            time.sleep(0.001)
+        with timer.stage("Linalg_Opt"):
+            time.sleep(0.001)
+        assert timer.timings["Linalg_Opt"] >= 0.002
+        assert timer.total_seconds == sum(timer.timings.values())
+
+    def test_breakdown_includes_all_canonical_stages(self):
+        timer = StageTimer()
+        with timer.stage("Code_Gen"):
+            pass
+        breakdown = timer.breakdown()
+        assert list(breakdown)[: len(STAGE_NAMES)] == STAGE_NAMES
+
+    def test_unknown_stage_preserved(self):
+        timer = StageTimer()
+        with timer.stage("Custom"):
+            pass
+        assert "Custom" in timer.breakdown()
+
+    def test_exception_still_records_time(self):
+        timer = StageTimer()
+        try:
+            with timer.stage("Bufferization"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "Bufferization" in timer.timings
+
+
+class TestCompileReport:
+    def test_memory_reduction_ratio(self):
+        report = CompileReport(intermediate_bytes_unfused=100.0,
+                               intermediate_bytes_fused=20.0)
+        assert report.memory_reduction_ratio == 0.2
+
+    def test_zero_unfused_is_ratio_one(self):
+        assert CompileReport().memory_reduction_ratio == 1.0
+
+    def test_fits_on_chip(self):
+        report = CompileReport(intermediate_bytes_fused=10.0,
+                               onchip_budget_bytes=100.0)
+        assert report.fits_on_chip
+        report = CompileReport(intermediate_bytes_fused=1000.0,
+                               onchip_budget_bytes=100.0)
+        assert not report.fits_on_chip
+
+    def test_summary_lines(self):
+        report = CompileReport(model="gpt2", num_kernels=5, num_fused_groups=1)
+        text = str(report)
+        assert "gpt2" in text and "5" in text

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import CompilerOptions, StreamTensorCompiler
+from repro.ir.affine import AffineMap
+from repro.ir.builder import GraphBuilder
+from repro.ir.dtypes import FLOAT32
+from repro.itensor.itensor_type import ITensorType
+from repro.models.config import GPT2
+from repro.models.transformer import build_decode_block, build_prefill_block
+
+
+@pytest.fixture
+def itensor_a() -> ITensorType:
+    """Figure 5(a): itensor<2x2xf32, iter_space [4,4]*[2,2], identity map>."""
+    return ITensorType((2, 2), FLOAT32, (4, 4), (2, 2), AffineMap.identity(2))
+
+
+@pytest.fixture
+def itensor_b() -> ITensorType:
+    """Figure 5(b): itensor<4x2xf32, iter_space [4,2]*[2,4], (d0,d1)->(d1,d0)>."""
+    return ITensorType((4, 2), FLOAT32, (4, 2), (2, 4),
+                       AffineMap.from_results(2, [1, 0]))
+
+
+@pytest.fixture
+def itensor_c() -> ITensorType:
+    """Figure 5(c): itensor<4x2xf32, iter_space [4,2,2]*[2,1,4], (d0,d1,d2)->(d2,d0)>."""
+    return ITensorType((4, 2), FLOAT32, (4, 2, 2), (2, 1, 4),
+                       AffineMap.from_results(3, [2, 0]))
+
+
+@pytest.fixture
+def matmul_gelu_graph():
+    """A two-op graph: matmul followed by GELU (the running example)."""
+    builder = GraphBuilder("toy")
+    x = builder.input((64, 64))
+    w = builder.weight((64, 64))
+    y = builder.matmul(x, w)
+    z = builder.gelu(y)
+    builder.output(z)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def gpt2_decode_graph():
+    """GPT-2 decode-stage transformer block (seq=1, kv=64)."""
+    return build_decode_block(GPT2, kv_len=64)
+
+
+@pytest.fixture(scope="session")
+def gpt2_prefill_graph():
+    """GPT-2 prefill-stage transformer block (seq=64)."""
+    return build_prefill_block(GPT2, 64)
+
+
+@pytest.fixture(scope="session")
+def gpt2_compiled(gpt2_decode_graph):
+    """A full compilation of the GPT-2 decode block (shared across tests)."""
+    compiler = StreamTensorCompiler(CompilerOptions())
+    return compiler.compile(gpt2_decode_graph, GPT2)

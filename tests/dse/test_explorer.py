@@ -1,0 +1,102 @@
+"""Tests for the black-box tiling-space explorer."""
+
+import pytest
+
+from repro.dse.explorer import (
+    BlackBoxOptimizer,
+    build_tiling_space,
+    default_search_space,
+    explore_tiling_space,
+)
+from repro.ir.builder import GraphBuilder
+from repro.ir.dtypes import INT8
+
+
+def small_graph():
+    builder = GraphBuilder("net")
+    x = builder.input((64, 64), INT8)
+    w = builder.weight((64, 64), INT8)
+    builder.output(builder.gelu(builder.matmul(x, w)))
+    return builder.build()
+
+
+class TestBlackBoxOptimizer:
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            BlackBoxOptimizer({})
+
+    def test_finds_known_minimum(self):
+        space = {"x": [1, 2, 4, 8, 16], "y": [1, 2, 4]}
+        optimizer = BlackBoxOptimizer(space, seed=3)
+
+        def objective(params):
+            return (params["x"] - 4) ** 2 + params["y"], {}
+
+        result = optimizer.optimize(objective, n_trials=15)
+        assert result.best_params["x"] == 4
+        assert result.best_params["y"] == 1
+
+    def test_deterministic_given_seed(self):
+        space = {"x": [1, 2, 3, 4, 5, 6, 7, 8]}
+
+        def objective(params):
+            return float(params["x"]), {}
+
+        first = BlackBoxOptimizer(space, seed=7).optimize(objective, n_trials=5)
+        second = BlackBoxOptimizer(space, seed=7).optimize(objective, n_trials=5)
+        assert [t.params for t in first.trials] == [t.params for t in second.trials]
+
+    def test_no_trials_raises_on_best(self):
+        from repro.dse.explorer import StudyResult
+        with pytest.raises(ValueError):
+            StudyResult().best_trial
+
+
+class TestSearchSpace:
+    def test_default_space_has_both_axes(self):
+        space = default_search_space()
+        assert "default_tile_size" in space
+        assert "overall_unroll_size" in space
+
+    def test_limits_respected(self):
+        space = default_search_space(max_tile=16, max_unroll=32)
+        assert max(space["default_tile_size"]) <= 16
+        assert max(space["overall_unroll_size"]) <= 32
+
+
+class TestBuildTilingSpace:
+    def test_full_population(self):
+        space = build_tiling_space(small_graph(), 16, 64)
+        for node in space.nodes:
+            assert node.tile_sizes
+            assert node.unroll_factor >= 1
+            assert node.tile_loop_order is not None
+
+    def test_unroll_budget_respected(self):
+        space = build_tiling_space(small_graph(), 16, 32)
+        assert space.total_unroll() <= 32
+
+
+class TestExploreTilingSpace:
+    def test_exploration_returns_best_space_and_study(self):
+        graph = small_graph()
+
+        def feedback(space):
+            return {"converter_bytes": 0.0}
+
+        best, study = explore_tiling_space(graph, feedback, n_trials=4, seed=1)
+        assert best.nodes
+        assert len(study.trials) >= 3
+        assert study.best_trial.objective <= max(t.objective for t in study.trials)
+
+    def test_memory_penalty_steers_away_from_overflow(self):
+        graph = small_graph()
+
+        def feedback(space):
+            # Pretend large tiles blow the converter budget.
+            over = space.default_tile_size >= 64
+            return {"converter_bytes": 1e9 if over else 1e3}
+
+        best, _study = explore_tiling_space(graph, feedback, n_trials=6,
+                                            memory_budget_bytes=1e6, seed=0)
+        assert best.default_tile_size < 64

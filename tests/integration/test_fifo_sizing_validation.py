@@ -1,0 +1,77 @@
+"""Cross-validation: LP FIFO sizing against the token-level simulator.
+
+This ties together the two halves of the Pitfall-4 story: the analytical
+token behaviour model + LP choose FIFO depths, and the simulator confirms
+that those depths keep the pipeline deadlock-free while undersized FIFOs do
+not behave as well.
+"""
+
+import pytest
+
+from repro.resource.fifo_sizing import SizingEdge, size_fifos
+from repro.resource.token_model import EqualizationStrategy, KernelTiming
+from repro.sim.simulator import DataflowSimulator, SimFifo, SimKernel
+
+
+def build_chain_sim(depths, timings, tokens=32):
+    """A three-stage pipeline with explicitly chosen FIFO depths."""
+    sim = DataflowSimulator()
+    sim.add_fifo(SimFifo("src_in", capacity=tokens))
+    sim.preload_fifo("src_in", tokens)
+    sim.add_fifo(SimFifo("a_b", capacity=depths[("a", "b")]))
+    sim.add_fifo(SimFifo("b_c", capacity=depths[("b", "c")]))
+    sim.add_fifo(SimFifo("sink", capacity=tokens))
+    sim.add_kernel(SimKernel("a", tokens, timings["a"].initial_delay,
+                             timings["a"].pipeline_ii,
+                             input_fifos=[("src_in", 1.0)],
+                             output_fifos=[("a_b", 1.0)]))
+    sim.add_kernel(SimKernel("b", tokens, timings["b"].initial_delay,
+                             timings["b"].pipeline_ii,
+                             input_fifos=[("a_b", 1.0)],
+                             output_fifos=[("b_c", 1.0)]))
+    sim.add_kernel(SimKernel("c", tokens, timings["c"].initial_delay,
+                             timings["c"].pipeline_ii,
+                             input_fifos=[("b_c", 1.0)],
+                             output_fifos=[("sink", 1.0)]))
+    return sim
+
+
+@pytest.fixture
+def unbalanced_timings():
+    return {
+        "a": KernelTiming("a", initial_delay=4, pipeline_ii=1, total_tokens=32),
+        "b": KernelTiming("b", initial_delay=8, pipeline_ii=3, total_tokens=32),
+        "c": KernelTiming("c", initial_delay=2, pipeline_ii=1, total_tokens=32),
+    }
+
+
+class TestSizingAgainstSimulation:
+    def test_lp_sized_fifos_run_cleanly(self, unbalanced_timings):
+        edges = [SizingEdge("a", "b", 32), SizingEdge("b", "c", 32)]
+        result = size_fifos(edges, unbalanced_timings)
+        sim = build_chain_sim(result.depths, unbalanced_timings)
+        outcome = sim.run()
+        assert not outcome.deadlocked
+
+    def test_observed_occupancy_never_exceeds_lp_depth(self, unbalanced_timings):
+        edges = [SizingEdge("a", "b", 32), SizingEdge("b", "c", 32)]
+        result = size_fifos(edges, unbalanced_timings)
+        sim = build_chain_sim(result.depths, unbalanced_timings)
+        outcome = sim.run()
+        assert outcome.fifo_max_occupancy["a_b"] <= result.depth_of("a", "b")
+        assert outcome.fifo_max_occupancy["b_c"] <= result.depth_of("b", "c")
+
+    def test_sized_design_is_not_slower_than_minimal_fifos(self, unbalanced_timings):
+        edges = [SizingEdge("a", "b", 32), SizingEdge("b", "c", 32)]
+        sized = size_fifos(edges, unbalanced_timings)
+        minimal = {("a", "b"): 2, ("b", "c"): 2}
+        sized_cycles = build_chain_sim(sized.depths, unbalanced_timings).run().total_cycles
+        minimal_cycles = build_chain_sim(minimal, unbalanced_timings).run().total_cycles
+        assert sized_cycles <= minimal_cycles
+
+    def test_conservative_strategy_trades_latency_for_area(self, unbalanced_timings):
+        edges = [SizingEdge("a", "b", 32), SizingEdge("b", "c", 32)]
+        normal = size_fifos(edges, unbalanced_timings, EqualizationStrategy.NORMAL)
+        conservative = size_fifos(edges, unbalanced_timings,
+                                  EqualizationStrategy.CONSERVATIVE)
+        assert conservative.total_depth <= normal.total_depth

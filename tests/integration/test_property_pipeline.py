@@ -1,0 +1,91 @@
+"""Property-based tests over the compilation pipeline (hypothesis).
+
+These generate random small Linalg programs (chains of matmuls and
+elementwise ops with random shapes) and check pipeline-level invariants that
+must hold for *any* input program, not just the LLM blocks:
+
+* compilation succeeds and the dataflow graph verifies;
+* stream-based fusion never increases the on-chip intermediate footprint;
+* every stream edge either type-matches or carries a converter whose buffer
+  is bounded by the full tensor;
+* the FIFO-sizing LP returns a depth of at least 2 for every stream edge.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import CompilerOptions, StreamTensorCompiler
+from repro.ir.builder import GraphBuilder
+from repro.ir.dtypes import INT8
+from repro.itensor.converter import infer_converter
+
+
+@st.composite
+def random_program(draw):
+    """A random chain of matmul / elementwise ops over power-of-two shapes."""
+    dims = [draw(st.sampled_from([16, 32, 64])) for _ in range(4)]
+    num_ops = draw(st.integers(min_value=2, max_value=5))
+    builder = GraphBuilder("random")
+    value = builder.input((dims[0], dims[1]), INT8)
+    current_cols = dims[1]
+    for index in range(num_ops):
+        kind = draw(st.sampled_from(["matmul", "gelu", "add", "softmax"]))
+        if kind == "matmul":
+            out_cols = draw(st.sampled_from([16, 32, 64]))
+            weight = builder.weight((current_cols, out_cols), INT8,
+                                    name=f"w{index}")
+            value = builder.matmul(value, weight, name=f"mm{index}")
+            current_cols = out_cols
+        elif kind == "gelu":
+            value = builder.gelu(value, name=f"gelu{index}")
+        elif kind == "add":
+            other = builder.weight(value.type.shape, INT8, name=f"b{index}")
+            value = builder.add(value, other, name=f"add{index}")
+        else:
+            value = builder.softmax(value, name=f"softmax{index}")
+    builder.output(value)
+    return builder.build()
+
+
+OPTIONS = CompilerOptions(default_tile_size=8, overall_unroll_size=32,
+                          generate_code=False)
+
+
+class TestPipelineProperties:
+    @given(random_program())
+    @settings(max_examples=25, deadline=None)
+    def test_compilation_succeeds_and_verifies(self, graph):
+        result = StreamTensorCompiler(OPTIONS).compile(graph)
+        result.dataflow_graph.verify()
+        assert result.report.num_kernels >= 1
+
+    @given(random_program())
+    @settings(max_examples=25, deadline=None)
+    def test_fusion_never_increases_onchip_memory(self, graph):
+        result = StreamTensorCompiler(OPTIONS).compile(graph)
+        report = result.report
+        if report.intermediate_bytes_unfused > 0:
+            assert (report.intermediate_bytes_fused
+                    <= report.intermediate_bytes_unfused + 1e-6)
+
+    @given(random_program())
+    @settings(max_examples=25, deadline=None)
+    def test_stream_edges_are_type_safe(self, graph):
+        result = StreamTensorCompiler(OPTIONS).compile(graph)
+        for edge in result.dataflow_graph.stream_edges():
+            if edge.needs_converter:
+                spec = infer_converter(edge.producer_type, edge.consumer_type)
+                full = math.prod(edge.producer_type.tensor_shape())
+                assert math.prod(spec.buf_shape) <= full
+            else:
+                assert edge.producer_type.is_compatible_with(edge.consumer_type)
+
+    @given(random_program())
+    @settings(max_examples=25, deadline=None)
+    def test_fifo_depths_are_sized(self, graph):
+        result = StreamTensorCompiler(OPTIONS).compile(graph)
+        for edge in result.dataflow_graph.stream_edges():
+            assert edge.fifo_depth is not None and edge.fifo_depth >= 2
+            assert edge.fifo_depth <= max(2, edge.token_count)

@@ -1,0 +1,60 @@
+"""Tests for repro.ir.types."""
+
+import pytest
+
+from repro.ir.dtypes import FLOAT32, INT4, INT8
+from repro.ir.types import MemRefType, TensorType, VectorType
+
+
+class TestTensorType:
+    def test_basic_properties(self):
+        t = TensorType((8, 8), FLOAT32)
+        assert t.rank == 2
+        assert t.num_elements == 64
+        assert t.size_bits == 64 * 32
+        assert t.size_bytes == 256.0
+
+    def test_sub_byte_tensor_size(self):
+        t = TensorType((1024, 1024), INT4)
+        assert t.size_bytes == 1024 * 1024 / 2
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorType((0, 4), FLOAT32)
+
+    def test_with_shape(self):
+        t = TensorType((8, 8), INT8).with_shape((4, 16))
+        assert t.shape == (4, 16)
+        assert t.dtype == INT8
+
+    def test_str(self):
+        assert str(TensorType((8, 8), FLOAT32)) == "tensor<8x8xf32>"
+
+    def test_equality_and_hash(self):
+        assert TensorType((2, 2), INT8) == TensorType((2, 2), INT8)
+        assert len({TensorType((2, 2), INT8), TensorType((2, 2), INT8)}) == 1
+
+
+class TestVectorType:
+    def test_size(self):
+        v = VectorType((8, 8), INT8)
+        assert v.num_elements == 64
+        assert v.size_bits == 512
+
+    def test_str(self):
+        assert str(VectorType((8, 8), INT8)) == "vector<8x8xi8>"
+
+
+class TestMemRefType:
+    def test_single_buffer_size(self):
+        m = MemRefType((16, 64), INT8, double_buffered=False)
+        assert m.size_bytes == 1024.0
+
+    def test_ping_pong_doubles_size(self):
+        m = MemRefType((16, 64), INT8, double_buffered=True)
+        assert m.size_bytes == 2048.0
+
+    def test_str_mentions_ping_pong(self):
+        m = MemRefType((4, 4), FLOAT32, "uram", double_buffered=True)
+        assert "ping-pong" in str(m)
+        assert "uram" in str(m)

@@ -1,0 +1,135 @@
+"""Tests for the itensor / stream operation set (Tables 1 and 2)."""
+
+import pytest
+
+from repro.ir.affine import AffineMap
+from repro.ir.dtypes import FLOAT32, INT8
+from repro.itensor.itensor_type import ITensorError, ITensorType
+from repro.itensor.ops import (
+    ITensorCast,
+    ITensorConcat,
+    ITensorChunk,
+    ITensorConverterOp,
+    ITensorFork,
+    ITensorJoin,
+    ITensorRead,
+    ITensorReassociate,
+    ITensorValue,
+    ITensorWrite,
+    StreamOp,
+    StreamRead,
+    StreamValue,
+    StreamWrite,
+    empty,
+    fork,
+    instance,
+    read,
+    write,
+)
+from repro.itensor.stream_type import BufferType, StreamType
+
+
+@pytest.fixture
+def itype():
+    return ITensorType((4, 2), FLOAT32, (4, 2), (2, 4),
+                       AffineMap.from_results(2, [1, 0]))
+
+
+@pytest.fixture
+def reaccess_type():
+    return ITensorType((4, 2), FLOAT32, (4, 2, 2), (2, 1, 4),
+                       AffineMap.from_results(3, [2, 0]))
+
+
+class TestDestinationCarriedOps:
+    def test_empty_and_instance(self, itype):
+        assert empty(itype).result.type == itype
+        assert instance(itype).result.type == itype
+
+    def test_write_returns_same_type(self, itype):
+        op = write(empty(itype).result)
+        assert op.result.type == itype
+        assert op.dest.type == itype
+
+    def test_write_type_mismatch_rejected(self, itype, reaccess_type):
+        with pytest.raises(ITensorError):
+            ITensorWrite(dest=ITensorValue(itype),
+                         result=ITensorValue(reaccess_type))
+
+    def test_read_value_type_is_element_tensor(self, itype):
+        op = read(ITensorValue(itype))
+        assert op.value_type.shape == (4, 2)
+        assert op.value_type.dtype == FLOAT32
+
+
+class TestLayoutOps:
+    def test_cast_requires_same_stream_order(self, itype, reaccess_type):
+        same = ITensorCast(source=ITensorValue(itype),
+                           result=ITensorValue(itype))
+        assert same.result.type == itype
+        with pytest.raises(ITensorError):
+            ITensorCast(source=ITensorValue(itype),
+                        result=ITensorValue(reaccess_type))
+
+    def test_reassociate_preserves_total_elements(self, itype):
+        flat = ITensorType((8,), FLOAT32, (8,), (8,), AffineMap.identity(1))
+        ITensorReassociate(source=ITensorValue(itype), result=ITensorValue(flat))
+
+    def test_reassociate_element_count_mismatch_rejected(self, itype):
+        small = ITensorType((2,), FLOAT32, (2,), (2,), AffineMap.identity(1))
+        with pytest.raises(ITensorError):
+            ITensorReassociate(source=ITensorValue(itype),
+                               result=ITensorValue(small))
+
+    def test_converter_op_carries_buffer(self, itype, reaccess_type):
+        op = ITensorConverterOp(source=ITensorValue(itype),
+                                result=ITensorValue(reaccess_type),
+                                buffer=BufferType((8, 2), FLOAT32))
+        assert op.buffer.size_bytes == 2 * 16 * 4
+
+
+class TestForkJoinChunkConcat:
+    def test_fork_duplicates_type(self, itype):
+        op = fork(ITensorValue(itype), 3)
+        assert len(op.results) == 3
+        assert all(r.type == itype for r in op.results)
+
+    def test_fork_requires_two_results(self, itype):
+        with pytest.raises(ITensorError):
+            ITensorFork(source=ITensorValue(itype), results=[ITensorValue(itype)])
+
+    def test_fork_type_mismatch_rejected(self, itype, reaccess_type):
+        with pytest.raises(ITensorError):
+            ITensorFork(source=ITensorValue(itype),
+                        results=[ITensorValue(itype), ITensorValue(reaccess_type)])
+
+    def test_join_requires_two_sources(self, itype):
+        with pytest.raises(ITensorError):
+            ITensorJoin(sources=[ITensorValue(itype)], result=ITensorValue(itype))
+
+    def test_chunk_and_concat_require_operands(self, itype):
+        with pytest.raises(ITensorError):
+            ITensorChunk(source=ITensorValue(itype), results=[])
+        with pytest.raises(ITensorError):
+            ITensorConcat(sources=[], result=ITensorValue(itype))
+
+    def test_valid_join(self, itype):
+        op = ITensorJoin(sources=[ITensorValue(itype), ITensorValue(itype)],
+                         result=ITensorValue(itype))
+        assert len(op.sources) == 2
+
+
+class TestStreamOps:
+    def test_stream_op_and_read_write(self):
+        stream = StreamValue(StreamType(INT8, 32))
+        StreamOp(result=stream)
+        StreamRead(source=stream)
+        StreamWrite(dest=stream)
+        assert stream.type.depth == 32
+
+    def test_op_name_property(self, itype):
+        assert read(ITensorValue(itype)).op_name == "ITensorRead"
+
+    def test_values_get_unique_names(self, itype):
+        a, b = ITensorValue(itype), ITensorValue(itype)
+        assert a.name != b.name

@@ -1,0 +1,155 @@
+"""Tests for the iterative tensor type (Section 3.1.2, Figure 5)."""
+
+import pytest
+
+from repro.ir.affine import AffineMap
+from repro.ir.dtypes import FLOAT32, INT8
+from repro.itensor.itensor_type import ITensorError, ITensorType, itensor_from_tiling
+from repro.ir.types import TensorType
+
+
+class TestFigure5Semantics:
+    """The three worked examples of Figure 5 must reproduce exactly."""
+
+    def test_itensor_a_stream_order(self, itensor_a):
+        order = itensor_a.stream_order_list(6)
+        assert order == [(0, 0), (0, 2), (0, 4), (0, 6), (2, 0), (2, 2)]
+
+    def test_itensor_b_stream_order(self, itensor_b):
+        # Paper: data access indices become [0,0], [4,0], [0,2], [4,2], ...
+        order = itensor_b.stream_order_list(4)
+        assert order == [(0, 0), (4, 0), (0, 2), (4, 2)]
+
+    def test_itensor_c_stream_order_reaccesses_rows(self, itensor_c):
+        # Paper: indices like [0,0], [4,0], [0,0], [4,0], [0,2], ...
+        order = itensor_c.stream_order_list(5)
+        assert order == [(0, 0), (4, 0), (0, 0), (4, 0), (0, 2)]
+
+    def test_all_cover_the_same_tensor(self, itensor_a, itensor_b, itensor_c):
+        assert itensor_a.tensor_shape() == (8, 8)
+        assert itensor_b.tensor_shape() == (8, 8)
+        assert itensor_c.tensor_shape() == (8, 8)
+
+    def test_token_counts(self, itensor_a, itensor_b, itensor_c):
+        assert itensor_a.num_iterations == 16
+        assert itensor_b.num_iterations == 8
+        assert itensor_c.num_iterations == 16  # re-access doubles the tokens
+
+    def test_reaccess_factor(self, itensor_b, itensor_c):
+        assert itensor_b.reaccess_factor() == 1
+        assert itensor_c.reaccess_factor() == 2
+
+    def test_matching_types_are_compatible(self, itensor_b):
+        other = ITensorType((4, 2), FLOAT32, (4, 2), (2, 4),
+                            AffineMap.from_results(2, [1, 0]))
+        assert itensor_b.matches(other)
+        assert itensor_b.is_compatible_with(other)
+
+    def test_mismatched_types_need_converter(self, itensor_b, itensor_c):
+        assert not itensor_b.matches(itensor_c)
+        assert not itensor_b.is_compatible_with(itensor_c)
+
+
+class TestValidation:
+    def test_tripcount_step_length_mismatch(self):
+        with pytest.raises(ITensorError):
+            ITensorType((2,), FLOAT32, (4, 2), (2,), AffineMap.identity(2))
+
+    def test_map_arity_must_match_loops(self):
+        with pytest.raises(ITensorError):
+            ITensorType((2, 2), FLOAT32, (4,), (2,), AffineMap.identity(2))
+
+    def test_map_results_must_match_rank(self):
+        with pytest.raises(ITensorError):
+            ITensorType((2, 2), FLOAT32, (4, 4), (2, 2),
+                        AffineMap.projection(2, [0]))
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ITensorError):
+            ITensorType((0, 2), FLOAT32, (4, 4), (2, 2), AffineMap.identity(2))
+        with pytest.raises(ITensorError):
+            ITensorType((2, 2), FLOAT32, (4, 0), (2, 2), AffineMap.identity(2))
+
+    def test_vector_shape_must_divide_element(self):
+        with pytest.raises(ITensorError):
+            ITensorType((4, 2), FLOAT32, (2, 4), (4, 2), AffineMap.identity(2),
+                        vector_shape=(3, 1))
+
+    def test_vector_shape_rank_must_match(self):
+        with pytest.raises(ITensorError):
+            ITensorType((4, 2), FLOAT32, (2, 4), (4, 2), AffineMap.identity(2),
+                        vector_shape=(2,))
+
+
+class TestDerivedQuantities:
+    def test_element_bytes(self, itensor_b):
+        assert itensor_b.element_elements == 8
+        assert itensor_b.element_bytes == 32.0
+
+    def test_total_bytes_streamed_includes_reaccess(self, itensor_b, itensor_c):
+        assert itensor_b.total_bytes_streamed == 8 * 32.0
+        assert itensor_c.total_bytes_streamed == 16 * 32.0
+
+    def test_with_vector_shape(self, itensor_b):
+        vectorized = itensor_b.with_vector_shape((2, 2))
+        assert vectorized.vector_shape == (2, 2)
+        assert vectorized.element_shape == itensor_b.element_shape
+
+    def test_with_dtype(self, itensor_b):
+        assert itensor_b.with_dtype(INT8).dtype == INT8
+
+    def test_str_contains_key_fields(self, itensor_b):
+        text = str(itensor_b)
+        assert "4x2" in text and "iter_space" in text and "iter_map" in text
+
+    def test_loop_for_data_dim(self, itensor_c):
+        assert itensor_c.loop_for_data_dim(0) == 2
+        assert itensor_c.loop_for_data_dim(1) == 0
+
+
+class TestItensorFromTiling:
+    def test_row_major_tiling(self):
+        itype = itensor_from_tiling(TensorType((64, 64), INT8), (16, 16))
+        assert itype.element_shape == (16, 16)
+        assert itype.iter_tripcounts == (4, 4)
+        assert itype.iter_steps == (16, 16)
+        assert itype.stream_order_list(5) == [
+            (0, 0), (0, 16), (0, 32), (0, 48), (16, 0)]
+
+    def test_column_major_loop_order(self):
+        itype = itensor_from_tiling(TensorType((64, 64), INT8), (16, 16),
+                                    loop_order=[1, 0])
+        assert itype.stream_order_list(5) == [
+            (0, 0), (16, 0), (32, 0), (48, 0), (0, 16)]
+
+    def test_reaccess_loop_insertion(self):
+        itype = itensor_from_tiling(TensorType((8, 8), FLOAT32), (4, 2),
+                                    loop_order=[1, 0],
+                                    reaccess_loops=[(1, 2)])
+        assert itype.num_iterations == 16
+        assert itype.reaccess_factor() == 2
+
+    def test_non_dividing_tile_rejected(self):
+        with pytest.raises(ITensorError):
+            itensor_from_tiling(TensorType((10, 10), INT8), (3, 3))
+
+    def test_bad_loop_order_rejected(self):
+        with pytest.raises(ITensorError):
+            itensor_from_tiling(TensorType((8, 8), INT8), (4, 4), loop_order=[0, 0])
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ITensorError):
+            itensor_from_tiling(TensorType((8, 8), INT8), (4,))
+
+
+class TestSameStreamOrder:
+    def test_different_encoding_same_order(self):
+        """A unit re-access loop does not change the stream order."""
+        base = itensor_from_tiling(TensorType((8, 8), FLOAT32), (4, 2))
+        padded = ITensorType((4, 2), FLOAT32, (2, 1, 4), (4, 1, 2),
+                             AffineMap.from_results(3, [0, 2]))
+        assert base.same_stream_order(padded)
+        assert base.is_compatible_with(padded)
+
+    def test_different_element_shape_not_compatible(self, itensor_a, itensor_b):
+        assert not itensor_a.same_stream_order(itensor_b)

@@ -1,0 +1,120 @@
+"""Property-based tests on the itensor type system (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.dtypes import FLOAT32, INT8
+from repro.ir.types import TensorType
+from repro.itensor.converter import infer_converter
+from repro.itensor.itensor_type import itensor_from_tiling
+from repro.itensor.verify import verify_coverage
+
+
+def divisors(n):
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+@st.composite
+def tiled_itensor_pair(draw):
+    """Two itensor views (possibly different loop orders/tiles) of one tensor."""
+    rank = draw(st.integers(min_value=1, max_value=3))
+    shape = tuple(draw(st.sampled_from([4, 8, 16])) for _ in range(rank))
+    tensor = TensorType(shape, INT8)
+
+    def draw_view():
+        tile = tuple(draw(st.sampled_from(divisors(dim))) for dim in shape)
+        order = draw(st.permutations(list(range(rank))))
+        return itensor_from_tiling(tensor, tile, loop_order=list(order))
+
+    return tensor, draw_view(), draw_view()
+
+
+@st.composite
+def tiled_itensor(draw):
+    rank = draw(st.integers(min_value=1, max_value=3))
+    shape = tuple(draw(st.sampled_from([2, 4, 6, 8, 12])) for _ in range(rank))
+    tensor = TensorType(shape, FLOAT32)
+    tile = tuple(draw(st.sampled_from(divisors(dim))) for dim in shape)
+    order = draw(st.permutations(list(range(rank))))
+    return tensor, itensor_from_tiling(tensor, tile, loop_order=list(order))
+
+
+class TestStreamOrderProperties:
+    @given(tiled_itensor())
+    @settings(max_examples=60, deadline=None)
+    def test_stream_covers_every_tile_exactly_once(self, data):
+        tensor, itype = data
+        order = itype.stream_order_list()
+        assert len(order) == itype.num_iterations
+        assert len(set(order)) == len(order)
+        # Offsets tile the tensor exactly.
+        expected_tiles = math.prod(
+            tensor.shape[d] // itype.element_shape[d] for d in range(tensor.rank))
+        assert len(order) == expected_tiles
+
+    @given(tiled_itensor())
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_in_bounds_and_aligned(self, data):
+        tensor, itype = data
+        for offset in itype.stream_order_list():
+            for dim, value in enumerate(offset):
+                assert 0 <= value < tensor.shape[dim]
+                assert value % itype.element_shape[dim] == 0
+
+    @given(tiled_itensor())
+    @settings(max_examples=60, deadline=None)
+    def test_tensor_shape_reconstruction(self, data):
+        tensor, itype = data
+        assert itype.tensor_shape() == tensor.shape
+        verify_coverage(itype)
+
+    @given(tiled_itensor())
+    @settings(max_examples=40, deadline=None)
+    def test_compatibility_is_reflexive(self, data):
+        _tensor, itype = data
+        assert itype.is_compatible_with(itype)
+
+
+class TestConverterProperties:
+    @given(tiled_itensor_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_converter_buffer_bounds(self, data):
+        """The converter buffer is at least one source tile and at most the
+        whole tensor (both counted in ping-pong bytes)."""
+        tensor, producer, consumer = data
+        if producer.element_shape != consumer.element_shape:
+            return
+        spec = infer_converter(producer, consumer)
+        tile_elements = math.prod(producer.element_shape)
+        full_elements = math.prod(tensor.shape)
+        buffer_elements = math.prod(spec.buf_shape)
+        assert tile_elements <= buffer_elements <= full_elements
+
+    @given(tiled_itensor_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_identical_views_need_no_buffering_beyond_one_tile(self, data):
+        _tensor, producer, _ = data
+        spec = infer_converter(producer, producer)
+        assert spec.buf_shape == producer.element_shape
+
+    @given(tiled_itensor_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_shared_loops_form_outermost_prefix(self, data):
+        _tensor, producer, consumer = data
+        if producer.element_shape != consumer.element_shape:
+            return
+        spec = infer_converter(producer, consumer)
+        assert list(spec.shared_loops) == list(range(spec.before_loop))
+
+    @given(tiled_itensor_pair())
+    @settings(max_examples=60, deadline=None)
+    def test_reuse_times_buffer_covers_tensor(self, data):
+        """reuse_factor * reduced dims coverage >= full tensor elements."""
+        tensor, producer, consumer = data
+        if producer.element_shape != consumer.element_shape:
+            return
+        spec = infer_converter(producer, consumer)
+        covered = math.prod(spec.buf_shape) * spec.reuse_factor
+        assert covered >= math.prod(tensor.shape)

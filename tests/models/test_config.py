@@ -1,0 +1,79 @@
+"""Tests for the Table 7 model configurations."""
+
+import pytest
+
+from repro.models.config import (
+    GEMMA,
+    GPT2,
+    LLAMA,
+    MODEL_CONFIGS,
+    ModelConfig,
+    QWEN,
+    get_model_config,
+)
+
+
+class TestTable7Values:
+    @pytest.mark.parametrize("config,layers,hidden,ffn,heads,kv_heads,activation", [
+        (GPT2, 24, 1024, 4096, 16, 16, "gelu"),
+        (QWEN, 24, 896, 4864, 14, 2, "silu"),
+        (LLAMA, 22, 2048, 5632, 32, 4, "silu"),
+        (GEMMA, 26, 1152, 6912, 4, 1, "gelu"),
+    ])
+    def test_table7_rows(self, config, layers, hidden, ffn, heads, kv_heads,
+                         activation):
+        assert config.num_layers == layers
+        assert config.hidden_size == hidden
+        assert config.ffn_hidden_size == ffn
+        assert config.num_heads == heads
+        assert config.num_kv_heads == kv_heads
+        assert config.activation == activation
+
+    def test_registry_and_lookup(self):
+        assert set(MODEL_CONFIGS) == {"gpt2", "qwen", "llama", "gemma"}
+        assert get_model_config("GPT2") is GPT2
+        with pytest.raises(KeyError):
+            get_model_config("opt")
+
+
+class TestDerivedProperties:
+    def test_head_dim(self):
+        assert GPT2.head_dim == 64
+        assert LLAMA.head_dim == 64
+        assert GEMMA.head_dim == 288
+
+    def test_kv_group_size(self):
+        assert GPT2.kv_group_size == 1
+        assert QWEN.kv_group_size == 7
+        assert LLAMA.kv_group_size == 8
+        assert GEMMA.kv_group_size == 4
+
+    def test_kv_hidden_smaller_with_gqa(self):
+        assert QWEN.kv_hidden_size < QWEN.hidden_size
+        assert GPT2.kv_hidden_size == GPT2.hidden_size
+
+    def test_parameter_counts_are_plausible(self):
+        """Sanity-check total parameters against the models' nominal sizes."""
+        assert 0.25e9 < GPT2.total_params() < 0.5e9      # GPT-2 medium ~355M
+        assert 0.3e9 < QWEN.total_params() < 0.7e9       # Qwen2.5-0.5B
+        assert 0.9e9 < LLAMA.total_params() < 1.6e9      # Llama-3.2-1B class
+        assert 0.7e9 < GEMMA.total_params() < 1.4e9      # Gemma-3-1B class
+
+    def test_layer_params_decompose(self):
+        for config in MODEL_CONFIGS.values():
+            assert config.layer_params() == (config.attention_params()
+                                             + config.ffn_params()
+                                             + 2 * config.hidden_size)
+
+    def test_kv_cache_bytes_per_token(self):
+        assert GPT2.kv_cache_bytes_per_token(1.0) == 2 * 24 * 1024
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 100, 400, 3, 3, "gelu", "layer_norm", False, 1000)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 96, 384, 4, 3, "gelu", "layer_norm", False, 1000)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 96, 384, 4, 2, "relu6", "layer_norm", False, 1000)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 96, 384, 4, 2, "gelu", "group_norm", False, 1000)

@@ -1,0 +1,60 @@
+"""Tests for the GPU roofline models."""
+
+import pytest
+
+from repro.platform.gpu import GPU_PLATFORMS, NVIDIA_2080TI, NVIDIA_A100
+
+
+class TestTable6Values:
+    def test_a100_specs(self):
+        assert NVIDIA_A100.peak_int8_tops == 624.0
+        assert NVIDIA_A100.memory_bandwidth_gbs == 1935.0
+        assert NVIDIA_A100.memory_capacity_gb == 80.0
+        assert NVIDIA_A100.tdp_watts == 300.0
+        assert NVIDIA_A100.process_node_nm == 7
+
+    def test_2080ti_specs(self):
+        assert NVIDIA_2080TI.peak_int8_tops == 215.2
+        assert NVIDIA_2080TI.memory_bandwidth_gbs == 616.0
+        assert NVIDIA_2080TI.tdp_watts == 250.0
+
+    def test_registry(self):
+        assert GPU_PLATFORMS["a100"] is NVIDIA_A100
+
+
+class TestRoofline:
+    def test_memory_bound_op(self):
+        """A GEMV-like op with few FLOPs is limited by bandwidth."""
+        time = NVIDIA_A100.op_time_seconds(flops=1e6, bytes_moved=1e9,
+                                           num_kernels=0)
+        memory_time = 1e9 / (NVIDIA_A100.effective_bandwidth_gbs * 1e9)
+        assert time == pytest.approx(memory_time)
+
+    def test_compute_bound_op(self):
+        """A big GEMM is limited by TOPS."""
+        time = NVIDIA_A100.op_time_seconds(flops=1e13, bytes_moved=1e6,
+                                           num_kernels=0)
+        compute_time = 1e13 / (NVIDIA_A100.effective_tops * 1e12)
+        assert time == pytest.approx(compute_time)
+
+    def test_launch_overhead_added(self):
+        base = NVIDIA_A100.op_time_seconds(1e6, 1e6, num_kernels=0)
+        with_launches = NVIDIA_A100.op_time_seconds(1e6, 1e6, num_kernels=10)
+        assert with_launches == pytest.approx(
+            base + 10 * NVIDIA_A100.kernel_launch_us * 1e-6)
+
+    def test_a100_faster_than_2080ti(self):
+        flops, data = 1e12, 1e9
+        assert NVIDIA_A100.op_time_seconds(flops, data) \
+            < NVIDIA_2080TI.op_time_seconds(flops, data)
+
+    def test_average_power_between_idle_and_tdp(self):
+        for fraction in (0.0, 0.5, 1.0):
+            power = NVIDIA_A100.average_power_watts(fraction)
+            assert NVIDIA_A100.tdp_watts * NVIDIA_A100.idle_power_fraction \
+                <= power <= NVIDIA_A100.tdp_watts
+
+    def test_power_clamps_fraction(self):
+        assert NVIDIA_A100.average_power_watts(2.0) == NVIDIA_A100.tdp_watts
+        assert NVIDIA_A100.average_power_watts(-1.0) == pytest.approx(
+            NVIDIA_A100.tdp_watts * NVIDIA_A100.idle_power_fraction)

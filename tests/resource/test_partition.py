@@ -1,0 +1,84 @@
+"""Tests for multi-die graph partitioning."""
+
+import pytest
+
+from repro.resource.partition import (
+    PartitionResult,
+    PartitionTask,
+    partition_graph,
+    partition_tasks,
+)
+
+
+def chain_tasks(n=6, resource=10.0):
+    tasks = []
+    for index in range(n):
+        preds = (f"t{index - 1}",) if index else ()
+        tasks.append(PartitionTask(f"t{index}", resource, preds))
+    return tasks
+
+
+class TestPartitionTasks:
+    def test_single_die_trivial(self):
+        result = partition_tasks(chain_tasks(), num_dies=1)
+        assert result.method == "trivial"
+        assert set(result.assignment.values()) == {0}
+        assert result.cut_edges == 0
+
+    def test_every_task_assigned(self):
+        result = partition_tasks(chain_tasks(), num_dies=3)
+        assert len(result.assignment) == 6
+        assert all(0 <= die < 3 for die in result.assignment.values())
+
+    def test_chain_minimises_cuts(self):
+        result = partition_tasks(chain_tasks(6), num_dies=2)
+        # A pipeline of 6 equal tasks splits into two halves with one cut.
+        assert result.cut_edges <= 2
+        loads = result.die_loads(chain_tasks(6))
+        assert max(loads) <= 2 * min(loads) + 10.0
+
+    def test_capacity_respected_by_greedy(self):
+        tasks = chain_tasks(8, resource=10.0)
+        result = partition_tasks(tasks, num_dies=4, capacity=25.0, prefer_ilp=False)
+        loads = result.die_loads(tasks)
+        assert all(load <= 25.0 + 1e-9 for load in loads)
+
+    def test_invalid_num_dies(self):
+        with pytest.raises(ValueError):
+            partition_tasks(chain_tasks(), num_dies=0)
+
+    def test_empty_tasks(self):
+        result = partition_tasks([], num_dies=2)
+        assert result.assignment == {}
+
+    def test_ilp_and_greedy_agree_on_small_chain(self):
+        tasks = chain_tasks(4)
+        ilp = partition_tasks(tasks, num_dies=2, prefer_ilp=True)
+        greedy = partition_tasks(tasks, num_dies=2, prefer_ilp=False)
+        assert ilp.cut_edges <= greedy.cut_edges
+        if ilp.method == "ilp":
+            assert ilp.objective <= greedy.objective + 1e-9
+
+    def test_objective_combines_cut_and_imbalance(self):
+        tasks = chain_tasks(4)
+        result = partition_tasks(tasks, num_dies=2, comm_weight=1.0,
+                                 balance_weight=4.0)
+        assert result.objective == pytest.approx(
+            result.cut_edges + 4.0 * result.imbalance)
+
+
+class TestPartitionGraph:
+    def test_compiled_graph_partition(self, gpt2_compiled):
+        result = gpt2_compiled.partition
+        graph = gpt2_compiled.dataflow_graph
+        assert result is not None
+        assert len(result.assignment) == len(graph.kernels)
+        for kernel in graph.kernels:
+            assert kernel.die_assignment is not None
+            assert 0 <= kernel.die_assignment < result.num_dies
+
+    def test_partition_graph_two_dies(self, gpt2_compiled):
+        graph = gpt2_compiled.dataflow_graph
+        result = partition_graph(graph, num_dies=2)
+        assert result.num_dies == 2
+        assert set(result.assignment.values()) <= {0, 1}

@@ -1,0 +1,93 @@
+"""Tests for the host-runtime inference session."""
+
+import pytest
+
+from repro.eval.latency import FpgaPerformanceModel
+from repro.models.config import GPT2, LLAMA, QWEN
+from repro.models.workload import Workload
+from repro.resource.token_model import EqualizationStrategy
+from repro.runtime.session import InferenceSession
+
+
+class TestGeneration:
+    def test_step_structure(self):
+        session = InferenceSession(GPT2)
+        result = session.generate(Workload(32, 16))
+        assert result.steps[0].kind == "prefill"
+        assert result.steps[0].tokens == 32
+        decode_steps = [s for s in result.steps if s.kind == "decode"]
+        assert len(decode_steps) == 15
+        assert all(step.tokens == 1 for step in decode_steps)
+
+    def test_kv_cache_grows_monotonically(self):
+        session = InferenceSession(GPT2)
+        result = session.generate(Workload(16, 8))
+        kv_lengths = [step.kv_len for step in result.steps]
+        assert kv_lengths == sorted(kv_lengths)
+        assert kv_lengths[-1] == 16 + 7
+
+    def test_ttft_and_totals(self):
+        session = InferenceSession(GPT2)
+        result = session.generate(Workload(64, 32))
+        assert result.ttft_s == result.steps[0].seconds
+        assert result.total_seconds == pytest.approx(
+            result.ttft_s + result.decode_seconds)
+        assert result.decode_tokens_per_second > 0
+
+    def test_matches_latency_model(self):
+        """The session is the stepwise view of the Table 4 latency model."""
+        session = InferenceSession(GPT2)
+        workload = Workload(32, 32)
+        result = session.generate(workload)
+        breakdown = FpgaPerformanceModel().evaluate(GPT2, workload)
+        assert result.ttft_s == pytest.approx(breakdown.ttft_s)
+        assert result.decode_seconds == pytest.approx(breakdown.decode_time_s)
+
+    def test_kernel_invocations_counted_per_layer(self):
+        session = InferenceSession(GPT2)
+        result = session.generate(Workload(8, 4))
+        assert result.total_kernel_invocations == GPT2.num_layers * len(result.steps)
+
+    def test_per_token_latencies(self):
+        session = InferenceSession(GPT2)
+        result = session.generate(Workload(8, 4))
+        latencies = result.per_token_latencies_ms()
+        assert len(latencies) == len(result.steps)
+        assert latencies[0] > latencies[1]  # prefill slower than one decode step
+
+    def test_kv_cache_bytes_accounted(self):
+        session = InferenceSession(QWEN)
+        result = session.generate(Workload(32, 32))
+        assert result.kv_cache_bytes == pytest.approx(
+            64 * QWEN.kv_cache_bytes_per_token(1.0))
+
+
+class TestSessionPolicies:
+    def test_max_seq_len_enforced(self):
+        session = InferenceSession(GPT2, max_seq_len=64)
+        with pytest.raises(ValueError, match="max_seq_len"):
+            session.generate(Workload(64, 32))
+
+    def test_parameters_packed_once(self):
+        session = InferenceSession(GPT2)
+        first = session.pack_parameters()
+        second = session.pack_parameters()
+        assert first > 0 and second == 0.0
+
+    def test_throughput_sweep_packs_once(self):
+        session = InferenceSession(GPT2)
+        results = session.throughput_sweep([Workload(8, 4), Workload(8, 4)])
+        assert results[0].packing_seconds > 0
+        assert results[1].packing_seconds == 0.0
+
+    def test_strategy_from_compiled_design(self, gpt2_compiled):
+        session = InferenceSession(GPT2, compiled=gpt2_compiled)
+        assert session.strategy is EqualizationStrategy.NORMAL
+
+    def test_conservative_strategy_slows_generation(self):
+        fast = InferenceSession(LLAMA)
+        slow = InferenceSession(LLAMA)
+        slow.strategy = EqualizationStrategy.CONSERVATIVE
+        workload = Workload(32, 16)
+        assert slow.generate(workload).total_seconds \
+            > fast.generate(workload).total_seconds

@@ -1,0 +1,137 @@
+"""Tests for the cycle-approximate dataflow simulator."""
+
+import pytest
+
+from repro.sim.simulator import (
+    DataflowSimulator,
+    DeadlockError,
+    SimFifo,
+    SimKernel,
+)
+
+
+def two_stage_pipeline(fifo_depth=4, src_ii=1.0, dst_ii=2.0, tokens=8):
+    sim = DataflowSimulator()
+    sim.add_fifo(SimFifo("input", capacity=tokens))
+    sim.add_fifo(SimFifo("inter", capacity=fifo_depth))
+    sim.add_fifo(SimFifo("output", capacity=tokens))
+    sim.preload_fifo("input", tokens)
+    sim.add_kernel(SimKernel("source", total_firings=tokens, initial_delay=3,
+                             pipeline_ii=src_ii,
+                             input_fifos=[("input", 1.0)],
+                             output_fifos=[("inter", 1.0)]))
+    sim.add_kernel(SimKernel("target", total_firings=tokens, initial_delay=1,
+                             pipeline_ii=dst_ii,
+                             input_fifos=[("inter", 1.0)],
+                             output_fifos=[("output", 1.0)]))
+    return sim
+
+
+class TestBasicExecution:
+    def test_pipeline_completes(self):
+        result = two_stage_pipeline().run()
+        assert not result.deadlocked
+        assert result.total_cycles > 0
+        assert result.fifo_max_occupancy["output"] == 8
+
+    def test_throughput_limited_by_slowest_kernel(self):
+        fast = two_stage_pipeline(dst_ii=1.0, tokens=32).run()
+        slow = two_stage_pipeline(dst_ii=4.0, tokens=32).run()
+        assert slow.total_cycles > fast.total_cycles
+
+    def test_fifo_occupancy_tracked(self):
+        result = two_stage_pipeline(fifo_depth=16).run()
+        assert 1 <= result.fifo_max_occupancy["inter"] <= 16
+
+    def test_overlapped_execution_beats_sequential(self):
+        """Stream-based execution overlaps producer and consumer (Figure 1(c))."""
+        result = two_stage_pipeline(fifo_depth=64, tokens=32).run()
+        source_only = 3 + 32 * 1.0
+        target_only = 1 + 32 * 2.0
+        assert result.total_cycles < source_only + target_only
+
+
+class TestBackPressure:
+    def test_small_fifo_causes_backpressure_stalls(self):
+        generous = two_stage_pipeline(fifo_depth=64, tokens=32).run()
+        tight = two_stage_pipeline(fifo_depth=2, tokens=32).run()
+        assert tight.total_backpressure_stalls >= generous.total_backpressure_stalls
+
+    def test_adequate_fifo_avoids_source_backpressure(self):
+        result = two_stage_pipeline(fifo_depth=64, tokens=32).run()
+        assert result.backpressure_stalls["source"] == 0
+
+
+class TestDeadlock:
+    def make_deadlocking_sim(self):
+        """A consumer needing two operands, one of which never arrives."""
+        sim = DataflowSimulator()
+        sim.add_fifo(SimFifo("a", capacity=4))
+        sim.add_fifo(SimFifo("b", capacity=4))
+        sim.add_kernel(SimKernel("consumer", total_firings=4,
+                                 input_fifos=[("a", 1.0), ("b", 1.0)]))
+        sim.add_kernel(SimKernel("producer_a", total_firings=4,
+                                 output_fifos=[("a", 1.0)]))
+        # producer_b is missing entirely: FIFO "b" stays empty.
+        return sim
+
+    def test_deadlock_raises(self):
+        with pytest.raises(DeadlockError, match="deadlock"):
+            self.make_deadlocking_sim().run()
+
+    def test_deadlock_can_be_reported_instead(self):
+        result = self.make_deadlocking_sim().run(raise_on_deadlock=False)
+        assert result.deadlocked
+
+    def test_undersized_reconvergent_fifo_deadlocks(self):
+        """Pitfall 4: a too-shallow FIFO on a reconvergent path deadlocks."""
+        sim = DataflowSimulator()
+        sim.add_fifo(SimFifo("short", capacity=1))
+        sim.add_fifo(SimFifo("long_in", capacity=1))
+        sim.add_fifo(SimFifo("long_out", capacity=1))
+        tokens = 8
+        sim.add_kernel(SimKernel("producer", total_firings=tokens,
+                                 output_fifos=[("short", 1.0), ("long_in", 1.0)]))
+        # The long path has a huge initial delay before it forwards anything.
+        sim.add_kernel(SimKernel("slow_mid", total_firings=tokens,
+                                 initial_delay=100, pipeline_ii=1,
+                                 input_fifos=[("long_in", 1.0)],
+                                 output_fifos=[("long_out", 1.0)]))
+        sim.add_kernel(SimKernel("joiner", total_firings=tokens,
+                                 input_fifos=[("short", 1.0), ("long_out", 1.0)]))
+        result = sim.run(raise_on_deadlock=False)
+        # The producer cannot push into the full short FIFO, the joiner waits
+        # for the long path, and nothing can proceed past the first tokens.
+        assert result.deadlocked or result.total_backpressure_stalls > 0
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        sim = DataflowSimulator()
+        sim.add_kernel(SimKernel("k", total_firings=1))
+        with pytest.raises(ValueError):
+            sim.add_kernel(SimKernel("k", total_firings=1))
+        sim.add_fifo(SimFifo("f", capacity=2))
+        with pytest.raises(ValueError):
+            sim.add_fifo(SimFifo("f", capacity=2))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SimFifo("f", capacity=0)
+        with pytest.raises(ValueError):
+            SimKernel("k", total_firings=1, pipeline_ii=0)
+
+    def test_fifo_overflow_guard(self):
+        fifo = SimFifo("f", capacity=1)
+        fifo.push()
+        with pytest.raises(OverflowError):
+            fifo.push()
+
+    def test_fifo_underflow_guard(self):
+        with pytest.raises(RuntimeError):
+            SimFifo("f", capacity=1).pop()
+
+    def test_max_cycles_guard(self):
+        sim = two_stage_pipeline(tokens=32)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_cycles=1)

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompileCommand:
+    def test_compile_decode_block(self, tmp_path, capsys):
+        exit_code = main(["compile", "--model", "gpt2", "--mode", "decode",
+                          "--kv-len", "32", "--out", str(tmp_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "gpt2" in out
+        assert (tmp_path / "kernel.cpp").exists()
+        assert (tmp_path / "link.cfg").exists()
+        assert (tmp_path / "host.cpp").exists()
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["model"] == "gpt2"
+        assert report["fused_groups"] == 1
+
+    def test_compile_prefill_without_output_dir(self, capsys):
+        exit_code = main(["compile", "--model", "qwen", "--mode", "prefill",
+                          "--seq-len", "16"])
+        assert exit_code == 0
+        assert "qwen" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "--model", "opt"])
+
+
+class TestEvaluateCommand:
+    def test_single_experiment(self, capsys):
+        exit_code = main(["evaluate", "--experiment", "figure10a"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 10a" in out
+        assert "llama" in out
+
+    def test_table7(self, capsys):
+        assert main(["evaluate", "--experiment", "table7"]) == 0
+        assert "hidden_size" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--experiment", "figure99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
