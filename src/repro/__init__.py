@@ -5,7 +5,9 @@ Stream in Dataflow Accelerators for LLMs" (MICRO 2025): an end-to-end
 compiler that lowers transformer models to stream-based dataflow accelerator
 designs, built around an iterative tensor (itensor) type system, stream-based
 kernel fusion, hierarchical design-space exploration, and LP-based FIFO
-sizing.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+sizing.  Beyond the paper, :mod:`repro.serving` adds a continuous-batching
+serving tier over the analytical accelerator model.  See README.md for a
+quickstart, DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured comparison.
 
 Typical usage::
@@ -39,8 +41,15 @@ from repro.models import (
 )
 from repro.platform import AMD_U280, AMD_U55C, NVIDIA_2080TI, NVIDIA_A100
 from repro.runtime import GenerationResult, InferenceSession
+from repro.serving import (
+    SchedulerConfig,
+    ServingEngine,
+    ServingReport,
+    burst_trace,
+    poisson_trace,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "AMD_U280",
@@ -59,13 +68,18 @@ __all__ = [
     "NVIDIA_2080TI",
     "NVIDIA_A100",
     "QWEN",
+    "SchedulerConfig",
+    "ServingEngine",
+    "ServingReport",
     "StreamTensorCompiler",
     "StreamType",
     "Workload",
     "__version__",
     "build_decode_block",
     "build_prefill_block",
+    "burst_trace",
     "compile_model_block",
     "get_model_config",
     "infer_converter",
+    "poisson_trace",
 ]

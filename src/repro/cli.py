@@ -1,13 +1,18 @@
 """Command-line interface for the StreamTensor reproduction.
 
-Two subcommands cover the common workflows:
+Three subcommands cover the common workflows:
 
 * ``python -m repro compile --model gpt2 --mode decode --kv-len 256 --out build/``
   compiles one transformer block and writes the generated artefacts (HLS C++,
   link connectivity, host runtime source, compilation report) to a directory;
 * ``python -m repro evaluate --experiment table4`` regenerates one of the
   paper's tables/figures and prints it (``--experiment all`` runs everything,
-  mirroring ``examples/paper_evaluation.py``).
+  mirroring ``examples/paper_evaluation.py``);
+* ``python -m repro serve-sim --model gpt2 --devices 2 --requests 64`` serves
+  a synthetic Poisson workload through the continuous-batching engine over N
+  simulated accelerators and reports TTFT/TPOT percentiles, aggregate
+  tokens/s and the speedup over the sequential one-request-at-a-time
+  baseline.
 """
 
 from __future__ import annotations
@@ -74,6 +79,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--experiment", default="all",
         choices=["all", "table4", "table5", "table7", "figure9",
                  "figure10a", "figure10b", "figure10c"])
+
+    serve_parser = subparsers.add_parser(
+        "serve-sim",
+        help="serve a synthetic workload through the continuous-batching "
+             "engine (simulation)")
+    serve_parser.add_argument("--model", choices=sorted(MODEL_CONFIGS),
+                              default="gpt2")
+    serve_parser.add_argument("--devices", type=int, default=2,
+                              help="simulated accelerator instances")
+    serve_parser.add_argument("--requests", type=int, default=64,
+                              help="number of requests in the Poisson trace")
+    serve_parser.add_argument("--arrival-rate", type=float, default=8.0,
+                              help="Poisson arrival rate in requests/s")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--max-batch", type=int, default=8,
+                              help="max concurrent requests per device")
+    serve_parser.add_argument("--token-budget", type=int, default=256,
+                              help="max tokens per engine step")
+    serve_parser.add_argument("--no-chunked-prefill", action="store_true",
+                              help="give long prompts a dedicated step "
+                                   "instead of chunking them")
+    serve_parser.add_argument("--cold-start", action="store_true",
+                              help="charge the one-time parameter packing "
+                                   "to the serving clock")
+    serve_parser.add_argument("--no-baseline", action="store_true",
+                              help="skip the sequential-sweep comparison")
+    serve_parser.add_argument("--json", type=Path, default=None,
+                              help="also write the report as JSON")
 
     return parser
 
@@ -144,6 +177,47 @@ def _run_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_sim(args: argparse.Namespace) -> int:
+    from repro.eval.serving import compare_with_sequential, run_sequential_baseline
+    from repro.serving import SchedulerConfig, ServingEngine, poisson_trace
+
+    config = get_model_config(args.model)
+    try:
+        trace = poisson_trace(args.requests, args.arrival_rate, seed=args.seed)
+        engine = ServingEngine(
+            config,
+            num_devices=args.devices,
+            scheduler_config=SchedulerConfig(
+                max_batch_size=args.max_batch,
+                token_budget=args.token_budget,
+                chunked_prefill=not args.no_chunked_prefill,
+            ),
+            cold_start=args.cold_start,
+        )
+    except ValueError as error:
+        print(f"serve-sim: {error}", file=sys.stderr)
+        return 2
+    report = engine.run(trace)
+    print(report.format())
+
+    comparison = None
+    if not args.no_baseline:
+        baseline = run_sequential_baseline(config, trace,
+                                           cold_start=args.cold_start)
+        comparison = compare_with_sequential(report, baseline)
+        print(comparison.format())
+
+    if args.json is not None:
+        payload = report.to_dict()
+        if comparison is not None:
+            payload["sequential_tokens_per_s"] = comparison.baseline.tokens_per_s
+            payload["speedup_vs_sequential"] = comparison.speedup
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2))
+        print(f"report written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -152,6 +226,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_compile(args)
     if args.command == "evaluate":
         return _run_evaluate(args)
+    if args.command == "serve-sim":
+        return _run_serve_sim(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

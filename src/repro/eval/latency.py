@@ -29,7 +29,7 @@ per experiment).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.models.config import ModelConfig
 from repro.models.workload import Workload
@@ -132,30 +132,77 @@ class FpgaPerformanceModel:
     # ------------------------------------------------------------------
     # Building blocks
     # ------------------------------------------------------------------
-    def block_time_s(self, config: ModelConfig, seq_len: int, kv_len: int,
-                     strategy: EqualizationStrategy) -> float:
-        """Execution time of one transformer-block invocation."""
+    def _batched_block_time_s(self, config: ModelConfig,
+                              batch: Sequence[Tuple[int, int]],
+                              strategy: EqualizationStrategy) -> float:
+        """Execution time of one block invocation shared by a batch of
+        ``(tokens, kv_len)`` slices.  Weights stream once; KV traffic and
+        compute scale per slice.  The single implementation behind both the
+        single-request and batched engine-step costs."""
         from repro.models.transformer import block_flops
 
         weight_time = self.weight_bytes(config.layer_params()) / (
             self.weight_stream_gbs * 1e9)
-        compute_time = block_flops(config, seq_len, kv_len) / self.effective_ops_per_s
-        kv_bytes = 2 * kv_len * config.kv_hidden_size * (
-            self.platform.quantization.activation_bits / 8.0)
-        kv_time = kv_bytes / (self.weight_stream_gbs * 1e9)
+        activation_bytes = self.platform.quantization.activation_bits / 8.0
+        kv_time = sum(
+            2 * kv_len * config.kv_hidden_size * activation_bytes
+            / (self.weight_stream_gbs * 1e9)
+            for _, kv_len in batch)
+        compute_time = sum(
+            block_flops(config, tokens, kv_len) / self.effective_ops_per_s
+            for tokens, kv_len in batch)
         steady = max(weight_time + kv_time, compute_time)
         slowdown = (self.conservative_slowdown
                     if strategy is EqualizationStrategy.CONSERVATIVE else 1.0)
         return steady * slowdown + self.per_layer_overhead_s
 
-    def lm_head_time_s(self, config: ModelConfig, seq_len: int) -> float:
-        """LM-head (vocabulary projection) time; only the last position is
-        projected during prefill, every position during decode."""
+    def _head_time_s(self, config: ModelConfig, num_positions: int) -> float:
+        """LM-head time: vocabulary weights stream once, ``num_positions``
+        positions are projected."""
         params = config.vocab_size * config.hidden_size
         weight_time = self.weight_bytes(params) / (self.weight_stream_gbs * 1e9)
-        compute_time = 2.0 * config.hidden_size * config.vocab_size \
-            / self.effective_ops_per_s
+        compute_time = num_positions * 2.0 * config.hidden_size \
+            * config.vocab_size / self.effective_ops_per_s
         return max(weight_time, compute_time)
+
+    def block_time_s(self, config: ModelConfig, seq_len: int, kv_len: int,
+                     strategy: EqualizationStrategy) -> float:
+        """Execution time of one transformer-block invocation."""
+        return self._batched_block_time_s(config, [(seq_len, kv_len)], strategy)
+
+    def engine_step_time_s(self, config: ModelConfig,
+                           batch: Sequence[Tuple[int, int]],
+                           strategy: EqualizationStrategy,
+                           emitting: Optional[int] = None) -> float:
+        """Execution time of one engine step over a batch of request slices.
+
+        ``batch`` holds one ``(tokens, kv_len)`` pair per request sharing the
+        step: a decode slice contributes ``(1, kv_len)``, a prefill (or
+        chunked-prefill) slice ``(chunk_len, kv_len)``.  ``emitting`` is how
+        many of those slices produce an output token this step (a mid-prompt
+        prefill chunk does not, so it skips the LM head); ``None`` means all
+        of them.
+
+        The fused block streams each layer's weights from HBM exactly once
+        per invocation regardless of how many requests ride along, so the
+        weight-streaming term — the dominant cost of single-token decoding —
+        is paid once per layer while KV traffic and compute scale with the
+        batch.  This amortisation is what iteration-level continuous batching
+        exploits.  A singleton batch reduces exactly to
+        :meth:`prefill_time_s` / :meth:`decode_step_time_s`.
+        """
+        if not batch:
+            return 0.0
+        block = self._batched_block_time_s(config, batch, strategy)
+        num_emitting = len(batch) if emitting is None else emitting
+        head = self._head_time_s(config, num_emitting) if num_emitting else 0.0
+        return config.num_layers * block + head + self.per_pass_overhead_s
+
+    def lm_head_time_s(self, config: ModelConfig) -> float:
+        """LM-head (vocabulary projection) time for the one position a
+        forward pass projects: the last prompt position during prefill, the
+        single new position during decode."""
+        return self._head_time_s(config, 1)
 
     # ------------------------------------------------------------------
     # Workload evaluation
@@ -163,13 +210,13 @@ class FpgaPerformanceModel:
     def prefill_time_s(self, config: ModelConfig, prompt_len: int,
                        strategy: EqualizationStrategy) -> float:
         block = self.block_time_s(config, prompt_len, prompt_len, strategy)
-        return (config.num_layers * block + self.lm_head_time_s(config, 1)
+        return (config.num_layers * block + self.lm_head_time_s(config)
                 + self.per_pass_overhead_s)
 
     def decode_step_time_s(self, config: ModelConfig, kv_len: int,
                            strategy: EqualizationStrategy) -> float:
         block = self.block_time_s(config, 1, kv_len, strategy)
-        return (config.num_layers * block + self.lm_head_time_s(config, 1)
+        return (config.num_layers * block + self.lm_head_time_s(config)
                 + self.per_pass_overhead_s)
 
     def evaluate(self, config: ModelConfig, workload: Workload,

@@ -1,0 +1,121 @@
+"""Sequential-serving baseline for the continuous-batching engine.
+
+The pre-serving way to push many requests through the simulated accelerator
+is :meth:`InferenceSession.throughput_sweep` — one request at a time, back
+to back, parameters packed once.  These helpers replay a *timed* trace that
+way: the single device serves requests in arrival order, idling when the
+queue is empty, exactly as the serving engine sees the same trace.  Both
+sides are then measured as output tokens per makespan second, so the
+reported speedup isolates what continuous batching and sharding add and is
+~1x (not spuriously below it) when traffic is sparse enough that both
+systems just wait for arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
+    from repro.eval.latency import FpgaPerformanceModel
+    from repro.models.config import ModelConfig
+    from repro.serving.metrics import ServingReport
+    from repro.serving.workload_gen import TimedRequest
+
+
+@dataclass(frozen=True)
+class SequentialBaseline:
+    """One device replaying a timed trace one request at a time."""
+
+    model: str
+    num_requests: int
+    total_output_tokens: int
+    busy_s: float
+    makespan_s: float
+
+    @property
+    def tokens_per_s(self) -> float:
+        """Output tokens per wall-clock second, arrival gaps included —
+        directly comparable to ``ServingReport.aggregate_tokens_per_s``."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan_s
+
+    @property
+    def busy_tokens_per_s(self) -> float:
+        """Output tokens per second of device busy time (arrival idle
+        excluded) — the pure back-to-back ``throughput_sweep`` rate."""
+        if self.busy_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.busy_s
+
+
+@dataclass(frozen=True)
+class ServingComparison:
+    """Continuous batching versus the sequential sweep."""
+
+    baseline: SequentialBaseline
+    engine_tokens_per_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.baseline.tokens_per_s <= 0:
+            return 0.0
+        return self.engine_tokens_per_s / self.baseline.tokens_per_s
+
+    def format(self) -> str:
+        return (f"sequential baseline: {self.baseline.tokens_per_s:.1f} tok/s; "
+                f"continuous batching: {self.engine_tokens_per_s:.1f} tok/s "
+                f"({self.speedup:.1f}x)")
+
+
+def run_sequential_baseline(config: ModelConfig,
+                            trace: Sequence[TimedRequest],
+                            performance_model: Optional[FpgaPerformanceModel] = None,
+                            max_seq_len: Optional[int] = None,
+                            cold_start: bool = False) -> SequentialBaseline:
+    """Replay the trace one request at a time on a single device.
+
+    Each request runs to completion with :meth:`InferenceSession.generate`
+    (parameters packed once); the device idles until the next arrival when
+    the queue is empty.  Admission reuses the session's own rejection rule
+    (:meth:`InferenceSession.start_request`), so comparisons stay over
+    exactly the request set the serving engine would accept.  ``cold_start``
+    charges the one-time packing before serving begins, mirroring
+    ``ServingEngine(cold_start=True)``; off by default to match the
+    engine's steady-state default.
+    """
+    from repro.runtime.session import InferenceSession
+
+    session = InferenceSession(config, performance_model=performance_model,
+                               max_seq_len=max_seq_len)
+    packing = session.pack_parameters()
+    admissible: List[TimedRequest] = []
+    for timed in sorted(trace, key=lambda t: (t.arrival_s, t.request_id)):
+        try:
+            session.start_request(timed.workload)
+        except ValueError:
+            continue
+        admissible.append(timed)
+    busy = 0.0
+    start = admissible[0].arrival_s if admissible else 0.0
+    clock = max(start, packing) if cold_start else start
+    for timed in admissible:
+        clock = max(clock, timed.arrival_s)
+        result = session.generate(timed.workload)
+        clock += result.total_seconds
+        busy += result.total_seconds
+    return SequentialBaseline(
+        model=config.name,
+        num_requests=len(admissible),
+        total_output_tokens=sum(t.workload.output_len for t in admissible),
+        busy_s=busy,
+        makespan_s=clock - start,
+    )
+
+
+def compare_with_sequential(report: ServingReport,
+                            baseline: SequentialBaseline) -> ServingComparison:
+    """Pair an engine report with the sequential baseline on the same trace."""
+    return ServingComparison(baseline=baseline,
+                             engine_tokens_per_s=report.aggregate_tokens_per_s)

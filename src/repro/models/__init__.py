@@ -21,6 +21,7 @@ from repro.models.workload import (
     FIGURE9_WORKLOADS,
     TABLE4_WORKLOADS,
     Workload,
+    random_workloads,
     workload_from_label,
 )
 
@@ -41,5 +42,6 @@ __all__ = [
     "build_transformer_block",
     "get_model_config",
     "model_flops",
+    "random_workloads",
     "workload_from_label",
 ]

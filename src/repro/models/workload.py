@@ -9,8 +9,9 @@ processes ``input_len`` tokens at once, then the decode loop produces
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,25 @@ FIGURE9_WORKLOADS: List[Workload] = [
     for i in (32, 64, 128)
     for o in (32, 64, 128)
 ]
+
+
+def random_workloads(count: int,
+                     rng: Union[int, random.Random, None] = None,
+                     input_choices: Sequence[int] = (32, 64, 128),
+                     output_choices: Sequence[int] = (32, 64, 128)) -> List[Workload]:
+    """Sample ``count`` workloads with lengths drawn from the paper's sweeps.
+
+    ``rng`` may be a seed or a :class:`random.Random`; the defaults cover the
+    Figure 9 grid, so a sampled serving trace stays within the sequence
+    lengths the evaluation characterises.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not isinstance(rng, random.Random):
+        rng = random.Random(rng)
+    return [Workload(rng.choice(list(input_choices)),
+                     rng.choice(list(output_choices)))
+            for _ in range(count)]
 
 
 def workload_from_label(label: str) -> Workload:

@@ -1,9 +1,17 @@
 """Host runtime: simulated serving of compiled StreamTensor accelerators."""
 
-from repro.runtime.session import GenerationResult, InferenceSession, StepRecord
+from repro.runtime.session import (
+    ActiveRequest,
+    GenerationResult,
+    InferenceSession,
+    StepRecord,
+    StepWork,
+)
 
 __all__ = [
+    "ActiveRequest",
     "GenerationResult",
     "InferenceSession",
     "StepRecord",
+    "StepWork",
 ]

@@ -16,7 +16,7 @@ this model on the generated accelerator look like?" without owning an FPGA.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.compiler.pipeline import CompilationResult
 from repro.eval.latency import FpgaPerformanceModel
@@ -35,6 +35,94 @@ class StepRecord:
     kv_len: int        # KV-cache length visible to attention
     seconds: float
     kernel_invocations: int
+
+
+@dataclass(frozen=True)
+class StepWork:
+    """One request's contribution to a single engine step.
+
+    A decode slice is ``(kind="decode", tokens=1)``; a prefill slice covers
+    ``tokens`` prompt positions (possibly a chunk of a longer prompt when a
+    scheduler enforces a per-step token budget).  ``kv_len`` is the KV-cache
+    length attention sees once this slice completes.  ``emits`` is whether
+    the slice produces an output token — true for decode and for the final
+    prefill chunk, false for mid-prompt chunks, which therefore skip the
+    LM head in the step cost.
+    """
+
+    kind: str          # "prefill" or "decode"
+    tokens: int
+    kv_len: int
+    emits: bool = True
+
+
+class ActiveRequest:
+    """Step-granular cursor over one generation request.
+
+    Created by :meth:`InferenceSession.start_request`.  A scheduler asks
+    :meth:`next_work` what the request needs next, folds that slice into an
+    engine step (possibly alongside slices of other requests), and calls
+    :meth:`record` with the step's wall-clock duration.  The accumulated
+    :class:`StepRecord` timeline is this request's view of the service it
+    received, whether it ran alone or continuously batched.
+    """
+
+    def __init__(self, workload: Workload, num_layers: int) -> None:
+        self.workload = workload
+        self.steps: List[StepRecord] = []
+        self._num_layers = num_layers
+        self._prefilled = 0
+        self._generated = 0
+
+    @property
+    def tokens_generated(self) -> int:
+        return self._generated
+
+    @property
+    def in_prefill(self) -> bool:
+        return self._prefilled < self.workload.input_len
+
+    @property
+    def finished(self) -> bool:
+        return self._generated >= self.workload.output_len
+
+    def next_work(self, token_budget: Optional[int] = None) -> StepWork:
+        """The slice this request needs in the next engine step.
+
+        Args:
+            token_budget: Optional cap on prompt tokens for this step; a
+                prompt longer than the budget is prefilled in chunks across
+                several steps (decode always needs exactly one token).
+        """
+        if self.finished:
+            raise RuntimeError(f"request {self.workload.label} already finished")
+        if self.in_prefill:
+            remaining = self.workload.input_len - self._prefilled
+            chunk = remaining if token_budget is None \
+                else max(1, min(remaining, token_budget))
+            return StepWork("prefill", chunk, self._prefilled + chunk,
+                            emits=chunk == remaining)
+        return StepWork("decode", 1, self.workload.input_len + self._generated)
+
+    def record(self, work: StepWork, seconds: float) -> int:
+        """Account one completed slice; returns tokens emitted (0 or 1).
+
+        The first output token is emitted when the last prefill chunk
+        completes; every decode slice emits one more.
+        """
+        self.steps.append(StepRecord(
+            index=len(self.steps), kind=work.kind, tokens=work.tokens,
+            kv_len=work.kv_len, seconds=seconds,
+            kernel_invocations=self._num_layers,
+        ))
+        if work.kind == "prefill":
+            self._prefilled += work.tokens
+            if not self.in_prefill:
+                self._generated = 1
+                return 1
+            return 0
+        self._generated += 1
+        return 1
 
 
 @dataclass
@@ -121,11 +209,20 @@ class InferenceSession:
         pack_rate_bytes_per_second = 1.2e9
         return 5.0 + weight_bytes / pack_rate_bytes_per_second
 
+    def reset(self) -> None:
+        """Forget the packed parameter binaries.
+
+        The next :meth:`pack_parameters` (or the next :meth:`generate`) pays
+        the one-time packing cost again — use this to model a cold start,
+        e.g. after rebuilding the accelerator for a different design point.
+        """
+        self._parameters_packed = False
+
     # ------------------------------------------------------------------
-    # Generation
+    # Step-granular API (drives continuous batching in repro.serving)
     # ------------------------------------------------------------------
-    def generate(self, workload: Workload) -> GenerationResult:
-        """Simulate one [input:output] request.
+    def start_request(self, workload: Workload) -> ActiveRequest:
+        """Open a step-granular cursor for one request.
 
         Raises:
             ValueError: if the request exceeds the session's maximum sequence
@@ -136,26 +233,54 @@ class InferenceSession:
                 f"request needs {workload.total_tokens} positions but the "
                 f"accelerator was built for max_seq_len={self.max_seq_len}"
             )
+        return ActiveRequest(workload, self.config.num_layers)
+
+    def execute_step(self, works: Sequence[StepWork]) -> float:
+        """Simulate one engine step over a batch of request slices.
+
+        The fused block streams each layer's weights once per invocation no
+        matter how many requests share the step, so batching amortises the
+        weight-streaming cost that dominates single-token decoding (see
+        :meth:`FpgaPerformanceModel.engine_step_time_s`).  Returns the step's
+        wall-clock seconds; an empty batch is free.
+        """
+        for work in works:
+            if work.kv_len > self.max_seq_len:
+                raise ValueError(
+                    f"step needs kv_len={work.kv_len} but the accelerator "
+                    f"was built for max_seq_len={self.max_seq_len}"
+                )
+        return self.model.engine_step_time_s(
+            self.config, [(work.tokens, work.kv_len) for work in works],
+            self.strategy,
+            emitting=sum(1 for work in works if work.emits))
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate(self, workload: Workload) -> GenerationResult:
+        """Simulate one [input:output] request, one step at a time.
+
+        ``packing_seconds`` of the returned result is the one-time parameter
+        packing cost, charged to whichever request triggers it: it is
+        non-zero only for the first request after the session is created (or
+        :meth:`reset`), and exactly 0.0 for every later request because the
+        packed binaries are reused.
+
+        Raises:
+            ValueError: if the request exceeds the session's maximum sequence
+                length (the static shape hint the accelerator was built for).
+        """
+        active = self.start_request(workload)
         result = GenerationResult(workload=workload)
         result.packing_seconds = self.pack_parameters()
 
-        # Prefill: one pass over the whole prompt.
-        prefill_seconds = self.model.prefill_time_s(
-            self.config, workload.input_len, self.strategy)
-        result.steps.append(StepRecord(
-            index=0, kind="prefill", tokens=workload.input_len,
-            kv_len=workload.input_len, seconds=prefill_seconds,
-            kernel_invocations=self.config.num_layers,
-        ))
-
-        # Decode: one pass per generated token against the growing KV cache.
-        for step, kv_len in enumerate(workload.decode_kv_lengths(), start=1):
-            seconds = self.model.decode_step_time_s(self.config, kv_len,
-                                                    self.strategy)
-            result.steps.append(StepRecord(
-                index=step, kind="decode", tokens=1, kv_len=kv_len,
-                seconds=seconds, kernel_invocations=self.config.num_layers,
-            ))
+        # Whole-prompt prefill, then one decode step per generated token
+        # against the growing KV cache — each a singleton engine step.
+        while not active.finished:
+            work = active.next_work()
+            active.record(work, self.execute_step([work]))
+        result.steps = active.steps
 
         bytes_per_element = self.model.platform.quantization.activation_bits / 8.0
         result.kv_cache_bytes = (workload.total_tokens

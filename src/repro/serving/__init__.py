@@ -1,0 +1,70 @@
+"""Continuous-batching serving tier over simulated StreamTensor accelerators.
+
+The source paper (conf_micro_YeC25) compiles one transformer block to a
+dataflow accelerator and evaluates **single-request** GPT-2 latency and
+energy; its Section 2 host runtime drives one request at a time.  This
+package deliberately goes beyond that: it layers a production-style serving
+tier — request queue, iteration-level continuous batching with a per-step
+token budget, round-robin multi-device sharding, TTFT/TPOT/percentile
+metrics — on top of the same analytical performance model
+(:class:`~repro.eval.latency.FpgaPerformanceModel`).
+
+Nothing here is measured on hardware and none of it appears in the paper's
+evaluation.  What *is* grounded in the paper is the per-step cost model the
+engine drives: weight streaming once per layer per block invocation (Section
+6.1), KV traffic and compute per request, and the conservative FIFO-sizing
+slowdown for memory-heavy designs (Figure 9).  The batching advantage the
+engine exhibits is a direct consequence of that cost structure, not a tuned
+constant.
+
+Entry points::
+
+    from repro.serving import ServingEngine, SchedulerConfig, poisson_trace
+
+    trace = poisson_trace(num_requests=64, arrival_rate_hz=8.0, seed=0)
+    engine = ServingEngine(GPT2, num_devices=2)
+    report = engine.run(trace)
+    print(report.format())
+
+or from the command line: ``python -m repro serve-sim --model gpt2
+--devices 2 --requests 64``.
+"""
+
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import (
+    DeviceStats,
+    LatencyStats,
+    QueueSample,
+    ServingReport,
+    percentile,
+)
+from repro.serving.request import RequestState, ServingRequest
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    SchedulerConfig,
+    StepPlan,
+)
+from repro.serving.workload_gen import (
+    TimedRequest,
+    burst_trace,
+    poisson_trace,
+    trace_from_specs,
+)
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "DeviceStats",
+    "LatencyStats",
+    "QueueSample",
+    "RequestState",
+    "SchedulerConfig",
+    "ServingEngine",
+    "ServingReport",
+    "ServingRequest",
+    "StepPlan",
+    "TimedRequest",
+    "burst_trace",
+    "percentile",
+    "poisson_trace",
+    "trace_from_specs",
+]

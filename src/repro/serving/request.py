@@ -1,0 +1,75 @@
+"""Serving-level request lifecycle.
+
+A :class:`ServingRequest` wraps one [input:output] workload with everything
+the engine needs that the per-request :class:`~repro.runtime.ActiveRequest`
+cursor does not track: when it arrived, which device it was sharded to, and
+the absolute timestamps of admission, first token and completion — the raw
+material for TTFT/TPOT/latency metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.models.workload import Workload
+from repro.runtime.session import ActiveRequest
+
+
+class RequestState(Enum):
+    QUEUED = "queued"        # arrived, waiting for a batch slot
+    RUNNING = "running"      # admitted into the continuous batch
+    FINISHED = "finished"    # all output tokens emitted
+    REJECTED = "rejected"    # exceeds the accelerator's max_seq_len
+
+
+@dataclass
+class ServingRequest:
+    """One request as the serving engine sees it."""
+
+    request_id: int
+    workload: Workload
+    arrival_s: float
+    state: RequestState = RequestState.QUEUED
+    device_id: Optional[int] = None
+    active: Optional[ActiveRequest] = field(default=None, repr=False)
+    admitted_s: Optional[float] = None
+    first_token_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    tokens_emitted: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived per-request metrics (valid once the request finished)
+    # ------------------------------------------------------------------
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent waiting before admission into the batch."""
+        if self.admitted_s is None:
+            return 0.0
+        return self.admitted_s - self.arrival_s
+
+    @property
+    def ttft_s(self) -> float:
+        """Time to first token, measured from arrival (queueing included)."""
+        if self.first_token_s is None:
+            return 0.0
+        return self.first_token_s - self.arrival_s
+
+    @property
+    def tpot_s(self) -> float:
+        """Time per output token over the decode phase (0 for one-token
+        outputs, which finish at the first token)."""
+        if self.first_token_s is None or self.finish_s is None:
+            return 0.0
+        decode_tokens = self.workload.output_len - 1
+        if decode_tokens <= 0:
+            return 0.0
+        return (self.finish_s - self.first_token_s) / decode_tokens
+
+    @property
+    def e2e_latency_s(self) -> float:
+        """Arrival-to-completion latency."""
+        if self.finish_s is None:
+            return 0.0
+        return self.finish_s - self.arrival_s

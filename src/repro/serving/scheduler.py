@@ -1,0 +1,114 @@
+"""Iteration-level continuous-batching scheduler.
+
+At every engine step the scheduler composes a batch of request slices under
+two limits: ``max_batch_size`` concurrent requests and a ``token_budget`` of
+tokens processed per step (the knob that trades TTFT against TPOT, as in
+vLLM/Orca-style iteration-level scheduling).  Requests already in the batch
+keep their slot and are scheduled first — a decode slice costs one token —
+then waiting requests are admitted FIFO while slots and budget remain.
+Prompts longer than the remaining budget are prefilled in chunks across
+steps when ``chunked_prefill`` is on; otherwise an oversized prompt gets a
+dedicated step once it reaches the head of the queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, List, Tuple
+
+from repro.runtime.session import StepWork
+from repro.serving.request import ServingRequest
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the iteration-level scheduler.
+
+    Attributes:
+        max_batch_size: Maximum requests resident in the batch at once.
+        token_budget: Maximum tokens processed per engine step (decode
+            slices cost 1, prefill slices their chunk length).
+        chunked_prefill: Split prompts longer than the remaining budget
+            across several steps instead of giving them a dedicated step.
+    """
+
+    max_batch_size: int = 8
+    token_budget: int = 256
+    chunked_prefill: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.token_budget < 1:
+            raise ValueError("token_budget must be at least 1")
+
+
+@dataclass
+class StepPlan:
+    """What one engine step will execute."""
+
+    entries: List[Tuple[ServingRequest, StepWork]] = field(default_factory=list)
+    admitted: List[ServingRequest] = field(default_factory=list)
+
+    @property
+    def works(self) -> List[StepWork]:
+        return [work for _, work in self.entries]
+
+    @property
+    def scheduled_tokens(self) -> int:
+        return sum(work.tokens for _, work in self.entries)
+
+
+class ContinuousBatchingScheduler:
+    """Plans one engine step at a time over running and waiting requests."""
+
+    def __init__(self, config: SchedulerConfig = SchedulerConfig()) -> None:
+        self.config = config
+
+    def plan_step(self, running: List[ServingRequest],
+                  waiting: Deque[ServingRequest]) -> StepPlan:
+        """Compose the next step's batch.
+
+        ``running`` requests are read but not mutated; admitted requests are
+        popped from ``waiting`` and reported in ``plan.admitted`` — the
+        engine owns the state transition.
+        """
+        plan = StepPlan()
+        budget = self.config.token_budget
+
+        # Resident requests first: they keep their batch slot.  Decode
+        # slices (1 token each) are scheduled before resident prefill
+        # chunks so a long chunked prefill can never starve the decodes
+        # already flowing — that is the whole point of chunking.  The sort
+        # is stable, so FIFO order is preserved within each class.
+        for request in sorted(running, key=lambda r: r.active.in_prefill):
+            if budget <= 0:
+                break
+            work = request.active.next_work(
+                token_budget=budget if self.config.chunked_prefill else None)
+            # A resident slice always fits: decode costs 1, chunked prefill
+            # is clipped to the remaining budget, and unchunked prefill
+            # completes in its admission step so never runs here.
+            assert work.tokens <= budget, "resident slice exceeds budget"
+            plan.entries.append((request, work))
+            budget -= work.tokens
+
+        # FIFO admission while slots and budget remain (no reordering: a
+        # blocked head-of-line request is not overtaken).
+        slots = self.config.max_batch_size - len(running)
+        while waiting and slots > 0:
+            request = waiting[0]
+            work = request.active.next_work(
+                token_budget=budget if self.config.chunked_prefill else None)
+            if work.tokens > budget:
+                # An unchunked prompt larger than the whole budget would
+                # starve forever; give it a dedicated step instead.
+                if plan.entries or budget < self.config.token_budget:
+                    break
+            waiting.popleft()
+            plan.admitted.append(request)
+            plan.entries.append((request, work))
+            budget -= work.tokens
+            slots -= 1
+
+        return plan

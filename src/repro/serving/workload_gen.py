@@ -1,0 +1,66 @@
+"""Synthetic serving traces: Poisson arrivals and explicit request lists.
+
+The paper evaluates single-request latency (Tables 4/5); a serving engine
+needs *traffic*.  A trace is a list of :class:`TimedRequest` — an arrival
+time plus an [input:output] workload — and can come from a Poisson process
+(the standard open-loop load model), a fixed back-to-back batch, or an
+explicit ``(arrival, "[in:out]")`` listing.  Everything is seeded and
+deterministic so serving experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.models.workload import Workload, random_workloads, workload_from_label
+
+
+@dataclass(frozen=True)
+class TimedRequest:
+    """One request of a serving trace."""
+
+    request_id: int
+    workload: Workload
+    arrival_s: float
+
+
+def poisson_trace(num_requests: int,
+                  arrival_rate_hz: float,
+                  seed: int = 0,
+                  input_choices: Sequence[int] = (32, 64, 128),
+                  output_choices: Sequence[int] = (32, 64, 128)) -> List[TimedRequest]:
+    """An open-loop Poisson arrival process at ``arrival_rate_hz``.
+
+    Inter-arrival gaps are exponential with mean ``1 / arrival_rate_hz``;
+    request lengths are sampled uniformly from the given choices (defaults
+    cover the paper's Figure 9 sweep).
+    """
+    if arrival_rate_hz <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = random.Random(seed)
+    workloads = random_workloads(num_requests, rng, input_choices, output_choices)
+    trace: List[TimedRequest] = []
+    clock = 0.0
+    for request_id, workload in enumerate(workloads):
+        clock += rng.expovariate(arrival_rate_hz)
+        trace.append(TimedRequest(request_id, workload, clock))
+    return trace
+
+
+def burst_trace(workloads: Sequence[Workload],
+                arrival_s: float = 0.0) -> List[TimedRequest]:
+    """All requests arrive at once — a closed batch, the worst queueing case."""
+    return [TimedRequest(i, workload, arrival_s)
+            for i, workload in enumerate(workloads)]
+
+
+def trace_from_specs(specs: Sequence[Tuple[float, str]]) -> List[TimedRequest]:
+    """Build a trace from ``(arrival_seconds, "[in:out]")`` pairs.
+
+    Arrivals are sorted, so specs may be listed in any order.
+    """
+    ordered = sorted(specs, key=lambda spec: spec[0])
+    return [TimedRequest(i, workload_from_label(label), float(arrival))
+            for i, (arrival, label) in enumerate(ordered)]

@@ -1,0 +1,110 @@
+"""Tests for the batched step cost model and the sequential baseline."""
+
+import pytest
+
+from repro.eval.latency import FpgaPerformanceModel
+from repro.eval.serving import run_sequential_baseline
+from repro.models.config import GPT2, LLAMA
+from repro.models.workload import Workload
+from repro.resource.token_model import EqualizationStrategy
+from repro.serving.workload_gen import burst_trace, trace_from_specs
+
+
+class TestEngineStepTime:
+    def test_empty_batch_is_free(self):
+        model = FpgaPerformanceModel()
+        assert model.engine_step_time_s(GPT2, [],
+                                        EqualizationStrategy.NORMAL) == 0.0
+
+    def test_singleton_reduces_to_decode_step(self):
+        model = FpgaPerformanceModel()
+        single = model.engine_step_time_s(GPT2, [(1, 64)],
+                                          EqualizationStrategy.NORMAL)
+        assert single == pytest.approx(
+            model.decode_step_time_s(GPT2, 64, EqualizationStrategy.NORMAL))
+
+    def test_singleton_reduces_to_prefill(self):
+        model = FpgaPerformanceModel()
+        single = model.engine_step_time_s(GPT2, [(128, 128)],
+                                          EqualizationStrategy.NORMAL)
+        assert single == pytest.approx(
+            model.prefill_time_s(GPT2, 128, EqualizationStrategy.NORMAL))
+
+    def test_batch_is_sublinear_in_size(self):
+        model = FpgaPerformanceModel()
+        single = model.engine_step_time_s(GPT2, [(1, 64)],
+                                          EqualizationStrategy.NORMAL)
+        batch8 = model.engine_step_time_s(GPT2, [(1, 64)] * 8,
+                                          EqualizationStrategy.NORMAL)
+        assert batch8 < 8 * single
+        assert batch8 >= single
+
+    def test_batch_time_monotonic_in_members(self):
+        model = FpgaPerformanceModel()
+        small = model.engine_step_time_s(GPT2, [(1, 64)] * 2,
+                                         EqualizationStrategy.NORMAL)
+        large = model.engine_step_time_s(GPT2, [(1, 64)] * 4,
+                                         EqualizationStrategy.NORMAL)
+        assert large >= small
+
+    def test_conservative_strategy_dilates_step(self):
+        model = FpgaPerformanceModel()
+        batch = [(1, 64)] * 4
+        normal = model.engine_step_time_s(LLAMA, batch,
+                                          EqualizationStrategy.NORMAL)
+        conservative = model.engine_step_time_s(
+            LLAMA, batch, EqualizationStrategy.CONSERVATIVE)
+        assert conservative > normal
+
+
+    def test_mid_prefill_chunks_skip_the_lm_head(self):
+        """A step of non-emitting chunks is cheaper than an emitting one;
+        chunked prefill must not pay the vocabulary projection per chunk."""
+        model = FpgaPerformanceModel()
+        batch = [(64, 64)]
+        silent = model.engine_step_time_s(GPT2, batch,
+                                          EqualizationStrategy.NORMAL,
+                                          emitting=0)
+        emitting = model.engine_step_time_s(GPT2, batch,
+                                            EqualizationStrategy.NORMAL)
+        assert silent < emitting
+        assert emitting - silent == pytest.approx(
+            model.lm_head_time_s(GPT2))
+
+
+class TestSequentialBaseline:
+    def test_burst_trace_matches_throughput_sweep_totals(self):
+        trace = burst_trace([Workload(16, 8), Workload(32, 16)])
+        baseline = run_sequential_baseline(GPT2, trace)
+        assert baseline.num_requests == 2
+        assert baseline.total_output_tokens == 24
+        # All requests arrive at once: makespan is pure busy time.
+        assert baseline.makespan_s == pytest.approx(baseline.busy_s)
+        assert baseline.tokens_per_s == pytest.approx(24 / baseline.busy_s)
+        assert baseline.busy_tokens_per_s == baseline.tokens_per_s
+
+    def test_arrival_gaps_counted_in_makespan(self):
+        trace = trace_from_specs([(0.0, "[16:8]"), (100.0, "[16:8]")])
+        baseline = run_sequential_baseline(GPT2, trace)
+        assert baseline.makespan_s > 100.0
+        assert baseline.busy_s < 10.0
+        assert baseline.tokens_per_s < baseline.busy_tokens_per_s
+
+    def test_oversized_requests_skipped(self):
+        trace = trace_from_specs([(0.0, "[16:8]"), (0.1, "[2000:64]")])
+        baseline = run_sequential_baseline(GPT2, trace, max_seq_len=128)
+        assert baseline.num_requests == 1
+        assert baseline.total_output_tokens == 8
+
+    def test_empty_trace(self):
+        baseline = run_sequential_baseline(GPT2, [])
+        assert baseline.tokens_per_s == 0.0
+
+    def test_cold_start_charges_packing_symmetrically(self):
+        """With cold_start the baseline pays the packing delay too, so the
+        engine/baseline comparison stays apples-to-apples."""
+        trace = burst_trace([Workload(16, 8)])
+        warm = run_sequential_baseline(GPT2, trace)
+        cold = run_sequential_baseline(GPT2, trace, cold_start=True)
+        assert cold.makespan_s > warm.makespan_s + 1.0
+        assert cold.busy_s == pytest.approx(warm.busy_s)

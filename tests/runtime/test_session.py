@@ -6,7 +6,7 @@ from repro.eval.latency import FpgaPerformanceModel
 from repro.models.config import GPT2, LLAMA, QWEN
 from repro.models.workload import Workload
 from repro.resource.token_model import EqualizationStrategy
-from repro.runtime.session import InferenceSession
+from repro.runtime.session import InferenceSession, StepWork
 
 
 class TestGeneration:
@@ -91,3 +91,129 @@ class TestSessionPolicies:
         workload = Workload(32, 16)
         assert slow.generate(workload).total_seconds \
             > fast.generate(workload).total_seconds
+
+    def test_packing_cost_charged_to_first_request_only(self):
+        """generate() reports the one-time packing cost exactly once."""
+        session = InferenceSession(GPT2)
+        first = session.generate(Workload(8, 4))
+        second = session.generate(Workload(8, 4))
+        assert first.packing_seconds > 0
+        assert second.packing_seconds == 0.0
+
+    def test_reset_repacks(self):
+        session = InferenceSession(GPT2)
+        initial = session.pack_parameters()
+        session.reset()
+        assert session.pack_parameters() == pytest.approx(initial)
+        assert session.pack_parameters() == 0.0
+
+    def test_reset_restores_generate_packing_cost(self):
+        session = InferenceSession(GPT2)
+        first = session.generate(Workload(8, 4))
+        session.reset()
+        again = session.generate(Workload(8, 4))
+        assert again.packing_seconds == pytest.approx(first.packing_seconds)
+
+
+class TestEmptyDecodeWorkloads:
+    """output_len=1: the only output token comes out of the prefill pass."""
+
+    def test_single_prefill_step(self):
+        session = InferenceSession(GPT2)
+        result = session.generate(Workload(32, 1))
+        assert len(result.steps) == 1
+        assert result.steps[0].kind == "prefill"
+        assert result.decode_seconds == 0.0
+        assert result.decode_tokens_per_second == 0.0
+        assert result.total_seconds == result.ttft_s
+
+    def test_throughput_sweep_with_empty_decodes(self):
+        session = InferenceSession(GPT2)
+        results = session.throughput_sweep([Workload(8, 1), Workload(8, 1)])
+        assert all(len(r.steps) == 1 for r in results)
+
+
+class TestStepGranularApi:
+    def test_start_request_rejects_oversized(self):
+        session = InferenceSession(GPT2, max_seq_len=64)
+        with pytest.raises(ValueError, match="max_seq_len"):
+            session.start_request(Workload(64, 32))
+
+    def test_work_sequence(self):
+        session = InferenceSession(GPT2)
+        active = session.start_request(Workload(16, 3))
+        first = active.next_work()
+        assert first == StepWork("prefill", 16, 16)
+        assert active.record(first, 0.1) == 1  # prefill emits the first token
+        second = active.next_work()
+        assert second == StepWork("decode", 1, 17)
+        assert active.record(second, 0.01) == 1
+        third = active.next_work()
+        assert third == StepWork("decode", 1, 18)
+        active.record(third, 0.01)
+        assert active.finished
+        with pytest.raises(RuntimeError, match="finished"):
+            active.next_work()
+
+    def test_chunked_prefill_emits_token_only_at_the_end(self):
+        session = InferenceSession(GPT2)
+        active = session.start_request(Workload(40, 2))
+        chunk = active.next_work(token_budget=16)
+        assert chunk == StepWork("prefill", 16, 16, emits=False)
+        assert active.record(chunk, 0.1) == 0
+        chunk = active.next_work(token_budget=16)
+        assert chunk == StepWork("prefill", 16, 32, emits=False)
+        assert active.record(chunk, 0.1) == 0
+        chunk = active.next_work(token_budget=16)
+        assert chunk == StepWork("prefill", 8, 40, emits=True)
+        assert active.record(chunk, 0.1) == 1
+        assert active.tokens_generated == 1
+        assert not active.finished
+
+    def test_mid_prompt_chunks_skip_lm_head_cost(self):
+        """The sum of chunked-prefill steps charges the LM head once, at
+        the final chunk, not once per chunk."""
+        session = InferenceSession(GPT2)
+        silent = session.execute_step(
+            [StepWork("prefill", 16, 32, emits=False)])
+        final = session.execute_step(
+            [StepWork("prefill", 16, 32, emits=True)])
+        head = FpgaPerformanceModel().lm_head_time_s(GPT2)
+        assert final - silent == pytest.approx(head)
+
+    def test_step_records_accumulate(self):
+        session = InferenceSession(GPT2)
+        active = session.start_request(Workload(8, 3))
+        while not active.finished:
+            work = active.next_work()
+            active.record(work, session.execute_step([work]))
+        assert [s.kind for s in active.steps] == ["prefill", "decode", "decode"]
+        assert [s.index for s in active.steps] == [0, 1, 2]
+
+    def test_execute_step_empty_batch_is_free(self):
+        assert InferenceSession(GPT2).execute_step([]) == 0.0
+
+    def test_execute_step_validates_kv_len(self):
+        session = InferenceSession(GPT2, max_seq_len=64)
+        with pytest.raises(ValueError, match="max_seq_len"):
+            session.execute_step([StepWork("decode", 1, 65)])
+
+    def test_singleton_step_matches_latency_model(self):
+        session = InferenceSession(GPT2)
+        model = FpgaPerformanceModel()
+        prefill = session.execute_step([StepWork("prefill", 32, 32)])
+        assert prefill == pytest.approx(
+            model.prefill_time_s(GPT2, 32, EqualizationStrategy.NORMAL))
+        decode = session.execute_step([StepWork("decode", 1, 33)])
+        assert decode == pytest.approx(
+            model.decode_step_time_s(GPT2, 33, EqualizationStrategy.NORMAL))
+
+    def test_batched_decode_amortises_weight_streaming(self):
+        """8 decode slices in one step cost far less than 8 separate steps."""
+        session = InferenceSession(GPT2)
+        works = [StepWork("decode", 1, 64 + i) for i in range(8)]
+        batched = session.execute_step(works)
+        sequential = sum(session.execute_step([w]) for w in works)
+        assert batched < sequential / 2
+        # ... but a batch is never cheaper than its slowest member alone.
+        assert batched >= max(session.execute_step([w]) for w in works)

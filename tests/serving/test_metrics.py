@@ -1,0 +1,89 @@
+"""Tests for serving metrics and report assembly."""
+
+import pytest
+
+from repro.models.workload import Workload
+from repro.serving.metrics import LatencyStats, build_report, percentile
+from repro.serving.request import RequestState, ServingRequest
+
+
+class TestPercentile:
+    def test_empty_sample(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_value(self):
+        assert percentile([3.0], 99.0) == 3.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50.0) == pytest.approx(5.0)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 100.0) == 4.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+
+    def test_unsorted_input(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([1.0], 101.0)
+
+
+class TestLatencyStats:
+    def test_from_empty(self):
+        stats = LatencyStats.from_values([])
+        assert stats.mean == 0.0 and stats.max == 0.0
+
+    def test_ordering_invariant(self):
+        stats = LatencyStats.from_values([float(i) for i in range(100)])
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.max
+        assert stats.mean == pytest.approx(49.5)
+
+
+class TestBuildReport:
+    def _finished_request(self, request_id, arrival, first_token, finish,
+                          workload=Workload(8, 4)):
+        request = ServingRequest(request_id, workload, arrival)
+        request.state = RequestState.FINISHED
+        request.admitted_s = arrival
+        request.first_token_s = first_token
+        request.finish_s = finish
+        request.tokens_emitted = workload.output_len
+        return request
+
+    def test_aggregates(self):
+        requests = [
+            self._finished_request(0, 0.0, 1.0, 2.0),
+            self._finished_request(1, 1.0, 2.0, 4.0),
+        ]
+        report = build_report("gpt2", 1, requests, [], [])
+        assert report.completed == 2
+        assert report.total_output_tokens == 8
+        assert report.makespan_s == pytest.approx(4.0)
+        assert report.aggregate_tokens_per_s == pytest.approx(2.0)
+        assert report.ttft.max == pytest.approx(1.0)
+
+    def test_one_token_outputs_excluded_from_tpot(self):
+        requests = [
+            self._finished_request(0, 0.0, 1.0, 1.0, workload=Workload(8, 1)),
+            self._finished_request(1, 0.0, 1.0, 2.0, workload=Workload(8, 3)),
+        ]
+        report = build_report("gpt2", 1, requests, [], [])
+        # Only the 3-token request contributes: (2.0 - 1.0) / 2 decodes.
+        assert report.tpot.max == pytest.approx(0.5)
+        assert report.tpot.mean == pytest.approx(0.5)
+
+    def test_format_is_printable(self):
+        report = build_report("gpt2", 1,
+                              [self._finished_request(0, 0.0, 1.0, 2.0)], [], [])
+        text = report.format()
+        assert "serving report" in text
+        assert "tok/s" in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        report = build_report("gpt2", 1,
+                              [self._finished_request(0, 0.0, 1.0, 2.0)], [], [])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["completed"] == 1
+        assert payload["ttft_ms"]["max"] == pytest.approx(1000.0)
+        assert payload["aggregate_tokens_per_s"] == pytest.approx(2.0)

@@ -1,0 +1,67 @@
+"""Tests for trace generation and workload sampling."""
+
+import pytest
+
+from repro.models.workload import Workload, random_workloads
+from repro.serving.workload_gen import (
+    burst_trace,
+    poisson_trace,
+    trace_from_specs,
+)
+
+
+class TestPoissonTrace:
+    def test_deterministic_per_seed(self):
+        assert poisson_trace(16, 5.0, seed=1) == poisson_trace(16, 5.0, seed=1)
+        assert poisson_trace(16, 5.0, seed=1) != poisson_trace(16, 5.0, seed=2)
+
+    def test_arrivals_sorted_and_positive(self):
+        trace = poisson_trace(32, 5.0, seed=0)
+        arrivals = [t.arrival_s for t in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_mean_rate_roughly_matches(self):
+        trace = poisson_trace(500, 10.0, seed=0)
+        mean_gap = trace[-1].arrival_s / len(trace)
+        assert mean_gap == pytest.approx(0.1, rel=0.2)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError, match="arrival rate"):
+            poisson_trace(4, 0.0)
+
+    def test_lengths_drawn_from_choices(self):
+        trace = poisson_trace(64, 5.0, seed=0,
+                              input_choices=(16,), output_choices=(8,))
+        assert all(t.workload == Workload(16, 8) for t in trace)
+
+
+class TestOtherTraces:
+    def test_burst_trace_arrives_at_once(self):
+        trace = burst_trace([Workload(8, 8), Workload(16, 16)])
+        assert [t.arrival_s for t in trace] == [0.0, 0.0]
+        assert [t.request_id for t in trace] == [0, 1]
+
+    def test_trace_from_specs_sorts_by_arrival(self):
+        trace = trace_from_specs([(2.0, "[8:8]"), (0.5, "[16:4]")])
+        assert trace[0].workload == Workload(16, 4)
+        assert trace[0].arrival_s == 0.5
+        assert trace[1].arrival_s == 2.0
+
+    def test_trace_from_specs_rejects_bad_label(self):
+        with pytest.raises(ValueError, match="malformed"):
+            trace_from_specs([(0.0, "oops")])
+
+
+class TestRandomWorkloads:
+    def test_seed_reproducible(self):
+        assert random_workloads(8, 3) == random_workloads(8, 3)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            random_workloads(-1)
+
+    def test_choices_respected(self):
+        for workload in random_workloads(32, 0, (32, 64), (16,)):
+            assert workload.input_len in (32, 64)
+            assert workload.output_len == 16

@@ -32,6 +32,35 @@ class TestCompileCommand:
             main(["compile", "--model", "opt"])
 
 
+class TestServeSimCommand:
+    def test_serves_poisson_workload(self, capsys):
+        exit_code = main(["serve-sim", "--model", "gpt2", "--devices", "2",
+                          "--requests", "8", "--arrival-rate", "20"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "serving report: gpt2 on 2 device(s)" in out
+        assert "8/8 completed" in out
+        assert "tok/s" in out
+        assert "sequential baseline" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        report_path = tmp_path / "serve.json"
+        exit_code = main(["serve-sim", "--requests", "4", "--devices", "1",
+                          "--no-baseline", "--json", str(report_path)])
+        assert exit_code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 4
+        assert payload["aggregate_tokens_per_s"] > 0
+        assert "speedup_vs_sequential" not in payload
+
+    def test_scheduler_flags_accepted(self, capsys):
+        exit_code = main(["serve-sim", "--requests", "4", "--max-batch", "2",
+                          "--token-budget", "64", "--no-chunked-prefill",
+                          "--cold-start", "--no-baseline"])
+        assert exit_code == 0
+        assert "completed" in capsys.readouterr().out
+
+
 class TestEvaluateCommand:
     def test_single_experiment(self, capsys):
         exit_code = main(["evaluate", "--experiment", "figure10a"])
