@@ -12,7 +12,9 @@ Three subcommands cover the common workflows:
   a synthetic Poisson workload through the continuous-batching engine over N
   simulated accelerators and reports TTFT/TPOT percentiles, aggregate
   tokens/s and the speedup over the sequential one-request-at-a-time
-  baseline.
+  baseline; ``--kv-capacity-mb`` (with ``--block-size`` and ``--watermark``)
+  bounds each device's KV cache with the block-based memory manager and
+  reports utilization and preemptions.
 """
 
 from __future__ import annotations
@@ -100,6 +102,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-chunked-prefill", action="store_true",
                               help="give long prompts a dedicated step "
                                    "instead of chunking them")
+    serve_parser.add_argument("--kv-capacity-mb", type=float, default=None,
+                              help="per-device KV-cache capacity in MB; "
+                                   "bounds admission/decode by KV blocks and "
+                                   "preempts the youngest request under "
+                                   "memory pressure (default: unmanaged)")
+    serve_parser.add_argument("--block-size", type=int, default=16,
+                              help="token slots per KV block (paging "
+                                   "granularity; only with --kv-capacity-mb)")
+    serve_parser.add_argument("--watermark", type=float, nargs=2,
+                              default=(0.95, 0.80), metavar=("HIGH", "LOW"),
+                              help="KV utilization watermarks: crossing HIGH "
+                                   "preempts down to LOW and admission stays "
+                                   "closed until below LOW (hysteresis; only "
+                                   "with --kv-capacity-mb)")
     serve_parser.add_argument("--cold-start", action="store_true",
                               help="charge the one-time parameter packing "
                                    "to the serving clock")
@@ -179,10 +195,21 @@ def _run_evaluate(args: argparse.Namespace) -> int:
 
 def _run_serve_sim(args: argparse.Namespace) -> int:
     from repro.eval.serving import compare_with_sequential, run_sequential_baseline
-    from repro.serving import SchedulerConfig, ServingEngine, poisson_trace
+    from repro.serving import (
+        KVCacheConfig,
+        SchedulerConfig,
+        ServingEngine,
+        poisson_trace,
+    )
 
     config = get_model_config(args.model)
     try:
+        kv_config = None
+        if args.kv_capacity_mb is not None:
+            high, low = args.watermark
+            kv_config = KVCacheConfig.from_capacity_mb(
+                args.kv_capacity_mb, block_size=args.block_size,
+                high_watermark=high, low_watermark=low)
         trace = poisson_trace(args.requests, args.arrival_rate, seed=args.seed)
         engine = ServingEngine(
             config,
@@ -193,6 +220,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
                 chunked_prefill=not args.no_chunked_prefill,
             ),
             cold_start=args.cold_start,
+            kv_config=kv_config,
         )
     except ValueError as error:
         print(f"serve-sim: {error}", file=sys.stderr)

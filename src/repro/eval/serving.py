@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
     from repro.eval.latency import FpgaPerformanceModel
     from repro.models.config import ModelConfig
     from repro.serving.metrics import ServingReport
+    from repro.serving.scheduler import SchedulerConfig
     from repro.serving.workload_gen import TimedRequest
 
 
@@ -119,3 +120,63 @@ def compare_with_sequential(report: ServingReport,
     """Pair an engine report with the sequential baseline on the same trace."""
     return ServingComparison(baseline=baseline,
                              engine_tokens_per_s=report.aggregate_tokens_per_s)
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """One point of the throughput-vs-KV-capacity curve."""
+
+    capacity_mb: Optional[float]   # None = unmanaged (PR 1 engine)
+    report: "ServingReport"
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.report.aggregate_tokens_per_s
+
+    @property
+    def preemptions(self) -> int:
+        return self.report.preemptions
+
+    def format(self) -> str:
+        label = ("unmanaged" if self.capacity_mb is None
+                 else f"{self.capacity_mb:8.1f} MB")
+        return (f"{label:>10}: {self.tokens_per_s:8.1f} tok/s, "
+                f"{self.report.completed}/{self.report.num_requests} done, "
+                f"{self.preemptions} preemption(s), "
+                f"peak kv util {self.report.peak_kv_utilization * 100:.0f}%")
+
+
+def run_capacity_sweep(config: ModelConfig,
+                       trace: Sequence[TimedRequest],
+                       capacities_mb: Sequence[Optional[float]],
+                       num_devices: int = 1,
+                       scheduler_config: Optional[SchedulerConfig] = None,
+                       block_size: int = 16,
+                       high_watermark: float = 0.95,
+                       low_watermark: float = 0.80,
+                       performance_model: Optional[FpgaPerformanceModel] = None,
+                       ) -> List[CapacityPoint]:
+    """Serve the same trace under a sweep of per-device KV capacities.
+
+    ``None`` in ``capacities_mb`` runs the capacity-oblivious engine — the
+    ample-memory reference the managed points are judged against.  The
+    resulting curve is the serving analogue of a roofline: flat (0
+    preemptions, reference throughput) while capacity covers the working
+    set, then throughput decays as recompute preemptions eat the budget.
+    """
+    from repro.serving.engine import ServingEngine
+    from repro.serving.kv_manager import KVCacheConfig
+
+    points: List[CapacityPoint] = []
+    for capacity_mb in capacities_mb:
+        kv_config = None
+        if capacity_mb is not None:
+            kv_config = KVCacheConfig.from_capacity_mb(
+                capacity_mb, block_size=block_size,
+                high_watermark=high_watermark, low_watermark=low_watermark)
+        engine = ServingEngine(config, num_devices=num_devices,
+                               scheduler_config=scheduler_config,
+                               performance_model=performance_model,
+                               kv_config=kv_config)
+        points.append(CapacityPoint(capacity_mb, engine.run(trace)))
+    return points

@@ -55,6 +55,18 @@ class StepWork:
     kv_len: int
     emits: bool = True
 
+    @property
+    def kv_tokens_after(self) -> int:
+        """KV rows resident once this slice (and its emitted token) land.
+
+        A decode slice attends over ``kv_len`` rows and appends the row of
+        the token it emits; an emitting (final) prefill chunk likewise adds
+        the first output token's row.  Mid-prompt chunks only hold the
+        positions prefilled so far.  Over a request's lifetime this peaks at
+        ``workload.total_tokens`` — the figure KV capacity must cover.
+        """
+        return self.kv_len + (1 if self.emits else 0)
+
 
 class ActiveRequest:
     """Step-granular cursor over one generation request.
@@ -77,6 +89,12 @@ class ActiveRequest:
     @property
     def tokens_generated(self) -> int:
         return self._generated
+
+    @property
+    def kv_tokens(self) -> int:
+        """KV rows this request currently holds (prompt prefilled so far
+        plus every generated token)."""
+        return self._prefilled + self._generated
 
     @property
     def in_prefill(self) -> bool:
@@ -191,6 +209,21 @@ class InferenceSession:
         else:
             self.strategy = EqualizationStrategy.NORMAL
 
+    @property
+    def kv_bytes_per_token(self) -> float:
+        """Device bytes one KV row (all layers, K and V) occupies.
+
+        The host runtime owns KV allocation (Section 2); this is the per-
+        token footprint a capacity-aware scheduler budgets against, at the
+        platform's activation quantisation.
+        """
+        bytes_per_element = self.model.platform.quantization.activation_bits / 8.0
+        return self.config.kv_cache_bytes_per_token(bytes_per_element)
+
+    def request_kv_bytes(self, active: ActiveRequest) -> float:
+        """Device bytes the request's KV cache occupies right now."""
+        return active.kv_tokens * self.kv_bytes_per_token
+
     # ------------------------------------------------------------------
     # Parameter packing (one-time, offline for static tensors)
     # ------------------------------------------------------------------
@@ -282,9 +315,7 @@ class InferenceSession:
             active.record(work, self.execute_step([work]))
         result.steps = active.steps
 
-        bytes_per_element = self.model.platform.quantization.activation_bits / 8.0
-        result.kv_cache_bytes = (workload.total_tokens
-                                 * self.config.kv_cache_bytes_per_token(bytes_per_element))
+        result.kv_cache_bytes = workload.total_tokens * self.kv_bytes_per_token
         return result
 
     def throughput_sweep(self, workloads: List[Workload]) -> List[GenerationResult]:

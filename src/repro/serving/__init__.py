@@ -5,7 +5,8 @@ dataflow accelerator and evaluates **single-request** GPT-2 latency and
 energy; its Section 2 host runtime drives one request at a time.  This
 package deliberately goes beyond that: it layers a production-style serving
 tier — request queue, iteration-level continuous batching with a per-step
-token budget, round-robin multi-device sharding, TTFT/TPOT/percentile
+token budget, round-robin multi-device sharding, block-based KV-cache
+management with watermark-driven preemption, TTFT/TPOT/percentile
 metrics — on top of the same analytical performance model
 (:class:`~repro.eval.latency.FpgaPerformanceModel`).
 
@@ -31,9 +32,16 @@ or from the command line: ``python -m repro serve-sim --model gpt2
 """
 
 from repro.serving.engine import ServingEngine
+from repro.serving.kv_manager import (
+    KVBlockManager,
+    KVCacheConfig,
+    KVCacheExhausted,
+)
 from repro.serving.metrics import (
     DeviceStats,
+    KVSample,
     LatencyStats,
+    PreemptionEvent,
     QueueSample,
     ServingReport,
     percentile,
@@ -54,7 +62,12 @@ from repro.serving.workload_gen import (
 __all__ = [
     "ContinuousBatchingScheduler",
     "DeviceStats",
+    "KVBlockManager",
+    "KVCacheConfig",
+    "KVCacheExhausted",
+    "KVSample",
     "LatencyStats",
+    "PreemptionEvent",
     "QueueSample",
     "RequestState",
     "SchedulerConfig",

@@ -10,12 +10,20 @@ cost coming from :meth:`FpgaPerformanceModel.engine_step_time_s` (weights
 stream once per layer per step, so batching amortises the dominant
 weight-streaming cost of decoding).
 
+With a :class:`~repro.serving.kv_manager.KVCacheConfig` the loop is also
+memory-pressure-aware: each device owns a block pool sized from the config,
+admission and decode growth claim blocks through the scheduler's plan, and
+when the pool is exhausted (or crosses the high watermark) the engine
+preempts the youngest running request — frees its blocks, requeues it at the
+head of the waiting queue, and recomputes its KV on re-admission.  Every
+preemption is recorded in the report's blocks-swapped timeline.
+
 Honesty note: the paper (conf_micro_YeC25) evaluates *single-request*
 latency/energy and its Section 2 host runtime triggers one request at a
 time; everything here — request queues, token-budget scheduling, multi-device
-sharding — extrapolates beyond the paper on top of its performance model.
-It answers "what would a vLLM-style serving tier over these accelerators
-look like", not "what did the paper measure".
+sharding, paged KV management — extrapolates beyond the paper on top of its
+performance model.  It answers "what would a vLLM-style serving tier over
+these accelerators look like", not "what did the paper measure".
 """
 
 from __future__ import annotations
@@ -27,8 +35,11 @@ from repro.compiler.pipeline import CompilationResult
 from repro.eval.latency import FpgaPerformanceModel
 from repro.models.config import ModelConfig
 from repro.runtime.session import InferenceSession
+from repro.serving.kv_manager import KVBlockManager, KVCacheConfig
 from repro.serving.metrics import (
     DeviceStats,
+    KVSample,
+    PreemptionEvent,
     QueueSample,
     ServingReport,
     build_report,
@@ -56,6 +67,10 @@ class ServingEngine:
         cold_start: Charge each device's one-time parameter packing to the
             serving clock (a cold deploy).  Off by default so throughput
             reflects the steady state with packed binaries resident.
+        kv_config: Optional per-device KV-cache pool.  ``None`` (the
+            default) reproduces the capacity-oblivious PR 1 engine exactly;
+            with a config, scheduling is bounded by KV blocks and memory
+            pressure is resolved by preempting the youngest request.
     """
 
     def __init__(self, config: ModelConfig,
@@ -64,19 +79,25 @@ class ServingEngine:
                  performance_model: Optional[FpgaPerformanceModel] = None,
                  compiled: Optional[CompilationResult] = None,
                  max_seq_len: Optional[int] = None,
-                 cold_start: bool = False) -> None:
+                 cold_start: bool = False,
+                 kv_config: Optional[KVCacheConfig] = None) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be at least 1")
         self.config = config
         self.num_devices = num_devices
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.cold_start = cold_start
+        self.kv_config = kv_config
         self.sessions = [
             InferenceSession(config, compiled=compiled,
                              performance_model=performance_model,
                              max_seq_len=max_seq_len)
             for _ in range(num_devices)
         ]
+        if kv_config is not None:
+            # Fail fast if the pool cannot hold even one block for this
+            # model's KV row size.
+            kv_config.manager_for(self.sessions[0].kv_bytes_per_token)
 
     # ------------------------------------------------------------------
     # Simulation
@@ -94,20 +115,52 @@ class ServingEngine:
 
         devices: List[DeviceStats] = []
         samples: List[QueueSample] = []
+        kv_samples: List[KVSample] = []
+        preemptions: List[PreemptionEvent] = []
         for device_id, (session, inbox) in enumerate(zip(self.sessions, inboxes)):
-            stats = self._run_device(device_id, session, inbox, samples)
+            stats = self._run_device(device_id, session, inbox, samples,
+                                     kv_samples, preemptions)
             devices.append(stats)
 
         return build_report(self.config.name, self.num_devices, requests,
-                            devices, samples)
+                            devices, samples, kv_samples, preemptions)
+
+    def _preempt_youngest(self, session: InferenceSession,
+                          manager: KVBlockManager,
+                          running: List[ServingRequest],
+                          waiting: Deque[ServingRequest],
+                          device_id: int, clock: float,
+                          events: List[PreemptionEvent]) -> None:
+        """Evict the most recently admitted request to free KV blocks.
+
+        Recompute-style preemption: the victim's blocks are freed instantly,
+        its emitted tokens become prompt (see
+        :meth:`ServingRequest.resume_workload`), and it rejoins the *head*
+        of the waiting queue — it was admitted before everything still
+        waiting, so FIFO order by arrival is preserved.
+        """
+        victim = running.pop()
+        freed = manager.release(victim.request_id)
+        manager.mark_pressure()
+        victim.preemptions += 1
+        victim.state = RequestState.QUEUED
+        victim.active = session.start_request(victim.resume_workload())
+        waiting.appendleft(victim)
+        events.append(PreemptionEvent(device_id, clock,
+                                      victim.request_id, freed))
 
     def _run_device(self, device_id: int, session: InferenceSession,
                     inbox: List[ServingRequest],
-                    samples: List[QueueSample]) -> DeviceStats:
+                    samples: List[QueueSample],
+                    kv_samples: List[KVSample],
+                    preemption_events: List[PreemptionEvent]) -> DeviceStats:
         scheduler = ContinuousBatchingScheduler(self.scheduler_config)
         pending: Deque[ServingRequest] = deque(inbox)
         waiting: Deque[ServingRequest] = deque()
         running: List[ServingRequest] = []
+        manager: Optional[KVBlockManager] = None
+        if self.kv_config is not None:
+            manager = self.kv_config.manager_for(session.kv_bytes_per_token)
 
         # Every run() starts from a cold device so repeated runs (parameter
         # sweeps, benchmark repetitions) measure the same system.
@@ -118,6 +171,7 @@ class ServingEngine:
         steps = 0
         tokens = 0
         served = 0
+        preempt_count = 0
 
         while pending or waiting or running:
             # Iteration-level admission: arrivals become visible at step
@@ -125,6 +179,14 @@ class ServingEngine:
             while pending and pending[0].arrival_s <= clock:
                 request = pending.popleft()
                 request.device_id = device_id
+                # A request whose total positions outgrow the whole block
+                # pool could never finish even alone on the device; reject
+                # it up front or it would preempt-thrash forever.
+                if manager is not None and \
+                        manager.blocks_for(request.workload.total_tokens) \
+                        > manager.num_blocks:
+                    request.state = RequestState.REJECTED
+                    continue
                 try:
                     request.active = session.start_request(request.workload)
                 except ValueError:
@@ -137,11 +199,51 @@ class ServingEngine:
                 clock = max(clock, pending[0].arrival_s)
                 continue
 
-            plan = scheduler.plan_step(running, waiting)
+            # Watermark hysteresis: growing strictly past the high mark
+            # frees the youngest requests down to the low mark, so the pool
+            # does not oscillate one block around the trigger point.
+            # Strictly past — admission may fill to exactly the high mark,
+            # and evicting what was just admitted within policy would be
+            # pure thrash.
+            if manager is not None and len(running) > 1 and \
+                    manager.utilization > self.kv_config.high_watermark:
+                manager.mark_pressure()
+                while len(running) > 1 and \
+                        manager.utilization > self.kv_config.low_watermark:
+                    self._preempt_youngest(session, manager, running, waiting,
+                                           device_id, clock,
+                                           preemption_events)
+                    preempt_count += 1
+            if manager is not None:
+                manager.refresh_pressure()
+
+            plan = scheduler.plan_step(running, waiting, kv=manager)
+            # Hard exhaustion: a resident slice did not fit in free blocks.
+            # Undo this plan's tentative admissions, preempt the youngest
+            # and replan until every resident is covered; a lone resident
+            # always fits because admission rejected anything whose total
+            # positions exceed the pool.  Restore-then-preempt order
+            # matters: the victim was admitted before anything now waiting,
+            # so its appendleft must land last to keep FIFO by arrival.
+            while manager is not None and plan.starved and len(running) > 1:
+                for request in reversed(plan.admitted):
+                    waiting.appendleft(request)
+                self._preempt_youngest(session, manager, running, waiting,
+                                       device_id, clock, preemption_events)
+                preempt_count += 1
+                manager.refresh_pressure()
+                plan = scheduler.plan_step(running, waiting, kv=manager)
             assert plan.entries, "scheduler starved with work available"
+            assert not plan.starved, \
+                "resident KV demand exceeds the whole block pool"
+
+            if manager is not None:
+                for request_id, blocks in plan.claims.items():
+                    manager.claim(request_id, blocks)
             for request in plan.admitted:
                 request.state = RequestState.RUNNING
-                request.admitted_s = clock
+                if request.admitted_s is None:
+                    request.admitted_s = clock
                 running.append(request)
 
             seconds = session.execute_step(plan.works)
@@ -160,6 +262,8 @@ class ServingEngine:
                     request.state = RequestState.FINISHED
                     running.remove(request)
                     served += 1
+                    if manager is not None:
+                        manager.release(request.request_id)
 
             # Arrivals during the step sit in `pending` until the next
             # admission sweep but are already queued from the requests'
@@ -169,6 +273,10 @@ class ServingEngine:
             samples.append(QueueSample(device_id, clock,
                                        queued=len(waiting) + arrived,
                                        running=len(running)))
+            if manager is not None:
+                kv_samples.append(KVSample(device_id, clock,
+                                           used_blocks=manager.used_blocks,
+                                           total_blocks=manager.num_blocks))
 
         return DeviceStats(
             device_id=device_id,
@@ -178,4 +286,7 @@ class ServingEngine:
             tokens_generated=tokens,
             requests_served=served,
             packing_s=packing_s,
+            preemptions=preempt_count,
+            kv_blocks_total=manager.num_blocks if manager else 0,
+            kv_peak_blocks=manager.peak_used_blocks if manager else 0,
         )

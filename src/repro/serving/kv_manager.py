@@ -1,0 +1,207 @@
+"""Block-based KV-cache memory manager for the serving engine.
+
+The paper's host runtime (Section 2) owns KV-cache management while the
+accelerator executes one transformer block at a time; ``InferenceSession``
+models the KV *cost* of that split but nothing in PR 1 made KV capacity a
+scheduling constraint — a device could "hold" unbounded cache.  This module
+closes that gap with a vLLM-style paged allocator: device KV memory is carved
+into fixed-size blocks of ``block_size`` token slots each, every resident
+request holds the blocks covering its prompt plus the tokens generated so
+far, and the scheduler/engine consult the manager before admitting a request
+(blocks for the whole prompt must be available) or growing a decode (a step
+that crosses a block boundary claims one more block).
+
+Capacity comes from the same memory model the compiler uses on-chip:
+:class:`~repro.resource.memory_alloc.MemoryResource` budgets fold into a byte
+capacity via :func:`KVCacheConfig.from_resources`, or an explicit
+``--kv-capacity-mb`` from the CLI.  When the device runs out of blocks the
+engine preempts the *youngest* running request — its blocks are freed
+instantly and the request is requeued for full KV recomputation on
+re-admission (generated tokens become prompt; there is no swap device in
+this model, so preemption is recompute-only).  High/low watermark hysteresis
+keeps the system out of the thrash zone: once utilisation touches the high
+watermark the engine frees down to the low watermark and admission stays
+closed until utilisation is back below it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.resource.memory_alloc import MemoryResource, total_capacity_bytes
+
+
+class KVCacheExhausted(RuntimeError):
+    """Raised when a block claim exceeds the device's free blocks.
+
+    The engine is expected to *prevent* this by preempting; seeing it escape
+    means the capacity-aware scheduler and the manager disagree.
+    """
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """Sizing and policy knobs of the per-device KV-cache pool.
+
+    Attributes:
+        capacity_bytes: Device bytes reserved for KV cache.
+        block_size: Token slots per block (the paging granularity).
+        high_watermark: Utilisation fraction that triggers preemption.
+        low_watermark: Utilisation fraction preemption frees down to; while
+            the pool is pressured, admission stays closed until utilisation
+            is back below this mark (hysteresis).
+    """
+
+    capacity_bytes: float
+    block_size: int = 16
+    high_watermark: float = 0.95
+    low_watermark: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("kv capacity_bytes must be positive")
+        if self.block_size < 1:
+            raise ValueError("kv block_size must be at least 1")
+        if not 0.0 < self.low_watermark <= self.high_watermark <= 1.0:
+            raise ValueError(
+                "watermarks must satisfy 0 < low <= high <= 1, got "
+                f"low={self.low_watermark}, high={self.high_watermark}")
+
+    @property
+    def capacity_mb(self) -> float:
+        return self.capacity_bytes / 1e6
+
+    @classmethod
+    def from_capacity_mb(cls, capacity_mb: float,
+                         block_size: int = 16,
+                         high_watermark: float = 0.95,
+                         low_watermark: float = 0.80) -> "KVCacheConfig":
+        """Build from a megabyte budget (the ``--kv-capacity-mb`` flag)."""
+        return cls(capacity_bytes=capacity_mb * 1e6, block_size=block_size,
+                   high_watermark=high_watermark, low_watermark=low_watermark)
+
+    @classmethod
+    def from_resources(cls, resources: Sequence[MemoryResource],
+                       block_size: int = 16,
+                       high_watermark: float = 0.95,
+                       low_watermark: float = 0.80) -> "KVCacheConfig":
+        """Derive the byte capacity from memory-resource budgets.
+
+        Folds :class:`MemoryResource` entries (the same model
+        ``resource.memory_alloc`` places buffers against) into a single KV
+        budget — e.g. the URAM banks a design dedicates to cache.
+        """
+        return cls(capacity_bytes=total_capacity_bytes(resources),
+                   block_size=block_size, high_watermark=high_watermark,
+                   low_watermark=low_watermark)
+
+    def manager_for(self, bytes_per_token: float) -> "KVBlockManager":
+        """A fresh per-device manager for a model with this KV row size."""
+        return KVBlockManager(self, bytes_per_token)
+
+
+class KVBlockManager:
+    """Tracks block ownership for one device's KV-cache pool.
+
+    Pure bookkeeping: the scheduler asks what fits, the engine applies the
+    claims/releases it decided on.  All state is integers, so two runs over
+    the same trace make byte-identical decisions.
+    """
+
+    def __init__(self, config: KVCacheConfig, bytes_per_token: float) -> None:
+        if bytes_per_token <= 0:
+            raise ValueError("bytes_per_token must be positive")
+        self.config = config
+        self.bytes_per_token = bytes_per_token
+        self.block_bytes = config.block_size * bytes_per_token
+        self.num_blocks = int(config.capacity_bytes // self.block_bytes)
+        if self.num_blocks < 1:
+            raise ValueError(
+                f"kv capacity {config.capacity_bytes:.0f} B holds no "
+                f"{config.block_size}-token block "
+                f"({self.block_bytes:.0f} B each)")
+        self._held: Dict[int, int] = {}
+        self.used_blocks = 0
+        self.peak_used_blocks = 0
+        self._pressured = False
+
+    # ------------------------------------------------------------------
+    # Queries (used by the scheduler while planning)
+    # ------------------------------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` KV rows."""
+        if tokens <= 0:
+            return 0
+        return math.ceil(tokens / self.config.block_size)
+
+    def blocks_held(self, request_id: int) -> int:
+        return self._held.get(request_id, 0)
+
+    @property
+    def free_blocks(self) -> int:
+        return self.num_blocks - self.used_blocks
+
+    @property
+    def utilization(self) -> float:
+        return self.used_blocks / self.num_blocks
+
+    def within_high_watermark(self, extra_blocks: int) -> bool:
+        """Would claiming ``extra_blocks`` more stay at/below the high mark?"""
+        return (self.used_blocks + extra_blocks) \
+            <= self.config.high_watermark * self.num_blocks
+
+    @property
+    def admission_blocked(self) -> bool:
+        """Hysteresis gate: once pressured, admission stays closed until
+        utilisation falls back to the low watermark.
+
+        A pure read — the scheduler may consult it mid-planning without
+        side effects.  The engine acknowledges recovery explicitly via
+        :meth:`refresh_pressure` at step boundaries.
+        """
+        return self._pressured \
+            and self.utilization > self.config.low_watermark
+
+    def mark_pressure(self) -> None:
+        """Note that the pool hit the high watermark (or hard exhaustion)."""
+        self._pressured = True
+
+    def refresh_pressure(self) -> None:
+        """Drop the pressure flag once utilisation recovered to the low
+        watermark, so a later climb back above it (without a new high-
+        watermark crossing) does not re-close admission."""
+        if self._pressured \
+                and self.utilization <= self.config.low_watermark:
+            self._pressured = False
+
+    # ------------------------------------------------------------------
+    # Mutations (applied by the engine)
+    # ------------------------------------------------------------------
+    def claim(self, request_id: int, blocks: int) -> None:
+        """Give ``blocks`` more blocks to ``request_id``."""
+        if blocks < 0:
+            raise ValueError("cannot claim a negative block count")
+        if blocks == 0:
+            return
+        if blocks > self.free_blocks:
+            raise KVCacheExhausted(
+                f"request {request_id} needs {blocks} blocks but only "
+                f"{self.free_blocks}/{self.num_blocks} are free")
+        self._held[request_id] = self._held.get(request_id, 0) + blocks
+        self.used_blocks += blocks
+        self.peak_used_blocks = max(self.peak_used_blocks, self.used_blocks)
+
+    def release(self, request_id: int) -> int:
+        """Free every block the request holds; returns the count freed."""
+        freed = self._held.pop(request_id, 0)
+        self.used_blocks -= freed
+        return freed
+
+    def reset(self) -> None:
+        """Forget all ownership (a fresh run on the same device)."""
+        self._held.clear()
+        self.used_blocks = 0
+        self.peak_used_blocks = 0
+        self._pressured = False

@@ -1,24 +1,32 @@
-"""Serving metrics: latency percentiles, throughput, queue-depth timeline.
+"""Serving metrics: latency percentiles, throughput, queue/KV timelines.
 
 Single-request evaluation (Tables 4/5) reports latency/TTFT/speed; a serving
 engine is judged on distributions — TTFT and TPOT percentiles under load,
-aggregate tokens per second, and how deep the admission queue grows.  All
-statistics are computed in pure python over the per-request timestamps the
-engine records.
+aggregate tokens per second, how deep the admission queue grows, and (with a
+KV-cache manager) how full the block pool runs and how often memory pressure
+forced a preemption.  All statistics are computed in pure python over the
+per-request timestamps and per-step samples the engine records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.serving.request import ServingRequest
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Linear-interpolation percentile (pct in [0, 100]) of a sample."""
+    """Linear-interpolation percentile (pct in [0, 100]) of a sample.
+
+    Raises:
+        ValueError: on an empty sample (there is no meaningful percentile of
+            nothing — callers with possibly-empty samples should guard, as
+            :meth:`LatencyStats.from_values` does) or a ``pct`` outside
+            [0, 100].
+    """
     if not values:
-        return 0.0
+        raise ValueError("percentile of an empty sample is undefined")
     if not 0.0 <= pct <= 100.0:
         raise ValueError("percentile must be within [0, 100]")
     ordered = sorted(values)
@@ -33,27 +41,45 @@ def percentile(values: Sequence[float], pct: float) -> float:
 
 @dataclass(frozen=True)
 class LatencyStats:
-    """Distribution summary of one latency metric, in seconds."""
+    """Distribution summary of one latency metric, in seconds.
+
+    ``count`` is the sample size; an all-zero summary with ``count == 0`` is
+    the explicit empty sentinel (e.g. a trace where nothing finished), never
+    a silently-misleading measurement.
+    """
 
     mean: float
     p50: float
     p95: float
     p99: float
     max: float
+    count: int
+
+    @classmethod
+    def empty(cls) -> "LatencyStats":
+        """The sentinel for "no samples" — all zeros, count 0."""
+        return cls(0.0, 0.0, 0.0, 0.0, 0.0, count=0)
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencyStats":
         if not values:
-            return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+            return cls.empty()
         return cls(
             mean=sum(values) / len(values),
             p50=percentile(values, 50.0),
             p95=percentile(values, 95.0),
             p99=percentile(values, 99.0),
             max=max(values),
+            count=len(values),
         )
 
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
     def format_ms(self) -> str:
+        if self.is_empty:
+            return "no samples"
         return (f"mean {self.mean * 1e3:8.1f}  p50 {self.p50 * 1e3:8.1f}  "
                 f"p95 {self.p95 * 1e3:8.1f}  p99 {self.p99 * 1e3:8.1f}  "
                 f"max {self.max * 1e3:8.1f}")
@@ -70,6 +96,32 @@ class QueueSample:
 
 
 @dataclass(frozen=True)
+class KVSample:
+    """KV-block occupancy of one device right after an engine step."""
+
+    device_id: int
+    time_s: float
+    used_blocks: int
+    total_blocks: int
+
+    @property
+    def utilization(self) -> float:
+        if self.total_blocks <= 0:
+            return 0.0
+        return self.used_blocks / self.total_blocks
+
+
+@dataclass(frozen=True)
+class PreemptionEvent:
+    """One memory-pressure preemption: the blocks-swapped timeline entry."""
+
+    device_id: int
+    time_s: float
+    request_id: int
+    blocks_freed: int
+
+
+@dataclass(frozen=True)
 class DeviceStats:
     """Per-device accounting over the whole run."""
 
@@ -80,12 +132,21 @@ class DeviceStats:
     tokens_generated: int
     requests_served: int
     packing_s: float
+    preemptions: int = 0
+    kv_blocks_total: int = 0   # 0 when the device runs without a KV manager
+    kv_peak_blocks: int = 0
 
     @property
     def utilization(self) -> float:
         if self.final_clock_s <= 0:
             return 0.0
         return self.busy_s / self.final_clock_s
+
+    @property
+    def peak_kv_utilization(self) -> float:
+        if self.kv_blocks_total <= 0:
+            return 0.0
+        return self.kv_peak_blocks / self.kv_blocks_total
 
 
 @dataclass
@@ -105,6 +166,8 @@ class ServingReport:
     queue_wait: LatencyStats
     devices: List[DeviceStats] = field(default_factory=list)
     queue_samples: List[QueueSample] = field(default_factory=list)
+    kv_samples: List[KVSample] = field(default_factory=list)
+    preemption_events: List[PreemptionEvent] = field(default_factory=list)
 
     @property
     def aggregate_tokens_per_s(self) -> float:
@@ -124,12 +187,33 @@ class ServingReport:
         return sum(sample.queued for sample in self.queue_samples) \
             / len(self.queue_samples)
 
+    # ------------------------------------------------------------------
+    # KV-cache memory metrics (zero/empty without a KV manager)
+    # ------------------------------------------------------------------
+    @property
+    def preemptions(self) -> int:
+        return sum(device.preemptions for device in self.devices)
+
+    @property
+    def peak_kv_utilization(self) -> float:
+        """Highest block-pool occupancy any device reached, claim-time
+        accurate (a claim released within the same step still counts)."""
+        return max((d.peak_kv_utilization for d in self.devices), default=0.0)
+
+    @property
+    def mean_kv_utilization(self) -> float:
+        """Mean post-step block-pool occupancy over the sampled timeline."""
+        if not self.kv_samples:
+            return 0.0
+        return sum(sample.utilization for sample in self.kv_samples) \
+            / len(self.kv_samples)
+
     def to_dict(self) -> dict:
         """JSON-ready summary (latencies in milliseconds)."""
         def stats_ms(stats: LatencyStats) -> dict:
             return {"mean": stats.mean * 1e3, "p50": stats.p50 * 1e3,
                     "p95": stats.p95 * 1e3, "p99": stats.p99 * 1e3,
-                    "max": stats.max * 1e3}
+                    "max": stats.max * 1e3, "count": stats.count}
 
         return {
             "model": self.model,
@@ -142,6 +226,14 @@ class ServingReport:
             "aggregate_tokens_per_s": self.aggregate_tokens_per_s,
             "peak_queue_depth": self.peak_queue_depth,
             "mean_queue_depth": self.mean_queue_depth,
+            "preemptions": self.preemptions,
+            "peak_kv_utilization": self.peak_kv_utilization,
+            "mean_kv_utilization": self.mean_kv_utilization,
+            "preemption_events": [
+                {"device_id": e.device_id, "time_s": e.time_s,
+                 "request_id": e.request_id, "blocks_freed": e.blocks_freed}
+                for e in self.preemption_events
+            ],
             "ttft_ms": stats_ms(self.ttft),
             "tpot_ms": stats_ms(self.tpot),
             "e2e_latency_ms": stats_ms(self.e2e_latency),
@@ -150,7 +242,10 @@ class ServingReport:
                 {"device_id": d.device_id, "engine_steps": d.engine_steps,
                  "busy_s": d.busy_s, "tokens_generated": d.tokens_generated,
                  "requests_served": d.requests_served,
-                 "utilization": d.utilization}
+                 "utilization": d.utilization,
+                 "preemptions": d.preemptions,
+                 "kv_blocks_total": d.kv_blocks_total,
+                 "kv_peak_blocks": d.kv_peak_blocks}
                 for d in self.devices
             ],
         }
@@ -165,6 +260,15 @@ class ServingReport:
             f"{self.aggregate_tokens_per_s:.1f} tok/s aggregate",
             f"  queue depth:   peak {self.peak_queue_depth}, "
             f"mean {self.mean_queue_depth:.1f}",
+        ]
+        if any(d.kv_blocks_total for d in self.devices):
+            blocks = max(d.kv_blocks_total for d in self.devices)
+            lines.append(
+                f"  kv cache:      {blocks} blocks/device, "
+                f"peak util {self.peak_kv_utilization * 100:.0f}%, "
+                f"mean util {self.mean_kv_utilization * 100:.0f}%, "
+                f"{self.preemptions} preemption(s)")
+        lines += [
             "  latency (ms):",
             f"    ttft        {self.ttft.format_ms()}",
             f"    tpot        {self.tpot.format_ms()}",
@@ -172,18 +276,25 @@ class ServingReport:
             f"    queue wait  {self.queue_wait.format_ms()}",
         ]
         for device in self.devices:
-            lines.append(
-                f"  device {device.device_id}: {device.engine_steps} steps, "
-                f"{device.tokens_generated} tokens, "
-                f"{device.requests_served} requests, "
-                f"utilization {device.utilization * 100:.0f}%")
+            line = (f"  device {device.device_id}: {device.engine_steps} steps, "
+                    f"{device.tokens_generated} tokens, "
+                    f"{device.requests_served} requests, "
+                    f"utilization {device.utilization * 100:.0f}%")
+            if device.kv_blocks_total:
+                line += (f", kv peak {device.kv_peak_blocks}"
+                         f"/{device.kv_blocks_total} blocks, "
+                         f"{device.preemptions} preemption(s)")
+            lines.append(line)
         return "\n".join(lines)
 
 
 def build_report(model: str, num_devices: int,
                  requests: Sequence[ServingRequest],
                  devices: List[DeviceStats],
-                 queue_samples: List[QueueSample]) -> ServingReport:
+                 queue_samples: List[QueueSample],
+                 kv_samples: Optional[List[KVSample]] = None,
+                 preemption_events: Optional[List[PreemptionEvent]] = None,
+                 ) -> ServingReport:
     """Fold per-request timestamps into the aggregate report."""
     from repro.serving.request import RequestState
 
@@ -211,4 +322,7 @@ def build_report(model: str, num_devices: int,
         queue_wait=LatencyStats.from_values([r.queue_wait_s for r in finished]),
         devices=devices,
         queue_samples=sorted(queue_samples, key=lambda s: s.time_s),
+        kv_samples=sorted(kv_samples or [], key=lambda s: s.time_s),
+        preemption_events=sorted(preemption_events or [],
+                                 key=lambda e: e.time_s),
     )

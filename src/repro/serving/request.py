@@ -18,10 +18,10 @@ from repro.runtime.session import ActiveRequest
 
 
 class RequestState(Enum):
-    QUEUED = "queued"        # arrived, waiting for a batch slot
+    QUEUED = "queued"        # waiting for a batch slot (also after preemption)
     RUNNING = "running"      # admitted into the continuous batch
     FINISHED = "finished"    # all output tokens emitted
-    REJECTED = "rejected"    # exceeds the accelerator's max_seq_len
+    REJECTED = "rejected"    # exceeds max_seq_len or the whole KV pool
 
 
 @dataclass
@@ -38,6 +38,26 @@ class ServingRequest:
     first_token_s: Optional[float] = None
     finish_s: Optional[float] = None
     tokens_emitted: int = 0
+    preemptions: int = 0
+
+    def resume_workload(self) -> Workload:
+        """The workload to recompute with after a preemption.
+
+        Recompute-style preemption (there is no swap device) keeps the
+        tokens already streamed to the user: they become part of the prompt,
+        so re-admission prefills ``input_len + tokens_emitted`` positions and
+        then decodes the remaining output.  Total positions are unchanged,
+        so anything that passed the admission-time capacity checks still
+        passes them on resume.
+        """
+        if self.tokens_emitted >= self.workload.output_len:
+            raise RuntimeError(
+                f"request {self.request_id} already emitted all "
+                f"{self.workload.output_len} output tokens")
+        if self.tokens_emitted <= 0:
+            return self.workload
+        return Workload(self.workload.input_len + self.tokens_emitted,
+                        self.workload.output_len - self.tokens_emitted)
 
     # ------------------------------------------------------------------
     # Derived per-request metrics (valid once the request finished)

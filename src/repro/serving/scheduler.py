@@ -9,14 +9,23 @@ then waiting requests are admitted FIFO while slots and budget remain.
 Prompts longer than the remaining budget are prefilled in chunks across
 steps when ``chunked_prefill`` is on; otherwise an oversized prompt gets a
 dedicated step once it reaches the head of the queue.
+
+When a :class:`~repro.serving.kv_manager.KVBlockManager` is supplied the
+plan is additionally capacity-aware: admission reserves blocks for the whole
+prompt, a slice that crosses a block boundary claims another block, and a
+resident whose next slice cannot be covered is reported in ``plan.starved``
+instead of scheduled — the engine then preempts the youngest running request
+and replans.  The scheduler never mutates the manager; the block claims it
+decided on are listed in ``plan.claims`` for the engine to apply.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Deque, List, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.runtime.session import StepWork
+from repro.serving.kv_manager import KVBlockManager
 from repro.serving.request import ServingRequest
 
 
@@ -45,10 +54,18 @@ class SchedulerConfig:
 
 @dataclass
 class StepPlan:
-    """What one engine step will execute."""
+    """What one engine step will execute.
+
+    ``claims`` maps request id to the KV blocks that must be claimed before
+    the step runs (empty without a KV manager); ``starved`` lists resident
+    requests whose next slice did not fit in free KV blocks — a signal for
+    the engine to preempt and replan, never a silent drop.
+    """
 
     entries: List[Tuple[ServingRequest, StepWork]] = field(default_factory=list)
     admitted: List[ServingRequest] = field(default_factory=list)
+    claims: Dict[int, int] = field(default_factory=dict)
+    starved: List[ServingRequest] = field(default_factory=list)
 
     @property
     def works(self) -> List[StepWork]:
@@ -58,6 +75,10 @@ class StepPlan:
     def scheduled_tokens(self) -> int:
         return sum(work.tokens for _, work in self.entries)
 
+    @property
+    def claimed_blocks(self) -> int:
+        return sum(self.claims.values())
+
 
 class ContinuousBatchingScheduler:
     """Plans one engine step at a time over running and waiting requests."""
@@ -66,15 +87,19 @@ class ContinuousBatchingScheduler:
         self.config = config
 
     def plan_step(self, running: List[ServingRequest],
-                  waiting: Deque[ServingRequest]) -> StepPlan:
+                  waiting: Deque[ServingRequest],
+                  kv: Optional[KVBlockManager] = None) -> StepPlan:
         """Compose the next step's batch.
 
         ``running`` requests are read but not mutated; admitted requests are
         popped from ``waiting`` and reported in ``plan.admitted`` — the
-        engine owns the state transition.
+        engine owns the state transition and applies ``plan.claims`` to the
+        KV manager.  Without ``kv`` the plan is identical to the capacity-
+        oblivious PR 1 scheduler.
         """
         plan = StepPlan()
         budget = self.config.token_budget
+        free_kv = kv.free_blocks if kv is not None else 0
 
         # Resident requests first: they keep their batch slot.  Decode
         # slices (1 token each) are scheduled before resident prefill
@@ -90,12 +115,22 @@ class ContinuousBatchingScheduler:
             # is clipped to the remaining budget, and unchunked prefill
             # completes in its admission step so never runs here.
             assert work.tokens <= budget, "resident slice exceeds budget"
+            if kv is not None:
+                extra = (kv.blocks_for(work.kv_tokens_after)
+                         - kv.blocks_held(request.request_id))
+                if extra > free_kv:
+                    plan.starved.append(request)
+                    continue
+                if extra > 0:
+                    plan.claims[request.request_id] = extra
+                    free_kv -= extra
             plan.entries.append((request, work))
             budget -= work.tokens
 
         # FIFO admission while slots and budget remain (no reordering: a
         # blocked head-of-line request is not overtaken).
         slots = self.config.max_batch_size - len(running)
+        admission_blocked = kv is not None and kv.admission_blocked
         while waiting and slots > 0:
             request = waiting[0]
             work = request.active.next_work(
@@ -105,6 +140,25 @@ class ContinuousBatchingScheduler:
                 # starve forever; give it a dedicated step instead.
                 if plan.entries or budget < self.config.token_budget:
                     break
+            if kv is not None:
+                # Admission reserves blocks for the whole prompt up front
+                # (a resumed request's prompt includes its recomputed
+                # tokens), so a chunked prefill can never strand mid-prompt.
+                needed = max(kv.blocks_for(request.active.workload.input_len),
+                             kv.blocks_for(work.kv_tokens_after))
+                if needed > free_kv:
+                    break
+                # An idle device bypasses the watermark/hysteresis gates:
+                # the head of the queue must always be admissible once the
+                # device drains, or it would starve behind a soft limit.
+                if running or plan.entries:
+                    if admission_blocked:
+                        break
+                    if not kv.within_high_watermark(
+                            plan.claimed_blocks + needed):
+                        break
+                plan.claims[request.request_id] = needed
+                free_kv -= needed
             waiting.popleft()
             plan.admitted.append(request)
             plan.entries.append((request, work))

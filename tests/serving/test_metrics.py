@@ -8,11 +8,16 @@ from repro.serving.request import RequestState, ServingRequest
 
 
 class TestPercentile:
-    def test_empty_sample(self):
-        assert percentile([], 50.0) == 0.0
+    def test_empty_sample_rejected(self):
+        """An empty sample has no percentile — a clear error, not a silent
+        0.0 that reads like a measured latency."""
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
 
     def test_single_value(self):
         assert percentile([3.0], 99.0) == 3.0
+        assert percentile([3.0], 0.0) == 3.0
+        assert percentile([3.0], 100.0) == 3.0
 
     def test_interpolation(self):
         assert percentile([0.0, 10.0], 50.0) == pytest.approx(5.0)
@@ -28,14 +33,30 @@ class TestPercentile:
 
 
 class TestLatencyStats:
-    def test_from_empty(self):
+    def test_from_empty_is_explicit_sentinel(self):
+        """Zero-request traces produce the count=0 sentinel, distinguishable
+        from a genuine all-zero latency distribution."""
         stats = LatencyStats.from_values([])
+        assert stats == LatencyStats.empty()
+        assert stats.is_empty
+        assert stats.count == 0
         assert stats.mean == 0.0 and stats.max == 0.0
+        assert stats.format_ms() == "no samples"
+
+    def test_single_sample(self):
+        stats = LatencyStats.from_values([0.25])
+        assert not stats.is_empty
+        assert stats.count == 1
+        # Every summary statistic of a singleton is the sample itself.
+        assert (stats.mean, stats.p50, stats.p95, stats.p99, stats.max) \
+            == (0.25, 0.25, 0.25, 0.25, 0.25)
+        assert "250.0" in stats.format_ms()
 
     def test_ordering_invariant(self):
         stats = LatencyStats.from_values([float(i) for i in range(100)])
         assert stats.p50 <= stats.p95 <= stats.p99 <= stats.max
         assert stats.mean == pytest.approx(49.5)
+        assert stats.count == 100
 
 
 class TestBuildReport:
@@ -86,4 +107,21 @@ class TestBuildReport:
         payload = json.loads(json.dumps(report.to_dict()))
         assert payload["completed"] == 1
         assert payload["ttft_ms"]["max"] == pytest.approx(1000.0)
+        assert payload["ttft_ms"]["count"] == 1
         assert payload["aggregate_tokens_per_s"] == pytest.approx(2.0)
+        assert payload["preemptions"] == 0
+        assert payload["preemption_events"] == []
+
+    def test_zero_request_trace_yields_sentinel_report(self):
+        """An empty trace must format and serialise cleanly, with every
+        latency block marked as the no-samples sentinel."""
+        import json
+
+        report = build_report("gpt2", 1, [], [], [])
+        assert report.completed == 0
+        assert report.ttft.is_empty and report.tpot.is_empty
+        assert report.e2e_latency.is_empty and report.queue_wait.is_empty
+        assert "no samples" in report.format()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ttft_ms"]["count"] == 0
+        assert payload["aggregate_tokens_per_s"] == 0.0

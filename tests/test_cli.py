@@ -60,6 +60,45 @@ class TestServeSimCommand:
         assert exit_code == 0
         assert "completed" in capsys.readouterr().out
 
+    def test_kv_flags_drive_memory_pressure(self, tmp_path, capsys):
+        report_path = tmp_path / "kv.json"
+        exit_code = main(["serve-sim", "--requests", "16", "--arrival-rate",
+                          "100", "--kv-capacity-mb", "16", "--block-size",
+                          "16", "--watermark", "0.9", "0.7", "--no-baseline",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "kv cache:" in out
+        assert "preemption(s)" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 16
+        assert payload["preemptions"] >= 1
+        assert payload["peak_kv_utilization"] > 0
+
+    def test_kv_flags_default_to_unmanaged(self, capsys):
+        exit_code = main(["serve-sim", "--requests", "4", "--no-baseline"])
+        assert exit_code == 0
+        assert "kv cache:" not in capsys.readouterr().out
+
+    def test_invalid_watermarks_rejected(self, capsys):
+        exit_code = main(["serve-sim", "--requests", "4", "--kv-capacity-mb",
+                          "64", "--watermark", "0.5", "0.9", "--no-baseline"])
+        assert exit_code == 2
+        assert "watermark" in capsys.readouterr().err
+
+    def test_help_documents_every_serve_sim_flag(self, capsys):
+        """`repro serve-sim --help` must describe every flag it accepts."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        for flag in ["--model", "--devices", "--requests", "--arrival-rate",
+                     "--seed", "--max-batch", "--token-budget",
+                     "--no-chunked-prefill", "--kv-capacity-mb",
+                     "--block-size", "--watermark", "--cold-start",
+                     "--no-baseline", "--json"]:
+            assert flag in help_text, f"{flag} missing from --help"
+
 
 class TestEvaluateCommand:
     def test_single_experiment(self, capsys):
