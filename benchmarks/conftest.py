@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import pytest
 
+import serving_artifact
 from repro.eval.experiments import ExperimentContext
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist the serving benchmark artifact (BENCH_serving.json) so the
+    perf trajectory is diffable across PRs; no-op when no serving benchmark
+    ran in this session."""
+    serving_artifact.write()
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,53 @@
+"""Machine-readable serving-benchmark artifact: ``BENCH_serving.json``.
+
+Every serving benchmark records its headline numbers here; the conftest
+session hook writes the collected entries to ``benchmarks/BENCH_serving.json``
+once the run finishes.  CI uploads the file as a build artifact, so the
+serving perf trajectory (throughput, TTFT/TPOT percentiles, preemptions,
+prefix hit rate) is tracked across PRs instead of living only in pytest
+stdout.  The format is flat on purpose — one entry per benchmark scenario,
+every value a number — so diffing two PRs' artifacts is a one-liner.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+
+_entries: Dict[str, dict] = {}
+
+
+def record(name: str, report, **extra) -> None:
+    """Register one serving scenario's outcome under ``name``.
+
+    ``report`` is a :class:`~repro.serving.metrics.ServingReport`; ``extra``
+    adds scenario-specific scalars (speedups, sweep parameters, …).
+    Re-recording a name overwrites it, so parametrised reruns stay
+    idempotent.
+    """
+    _entries[name] = {
+        "completed": report.completed,
+        "num_requests": report.num_requests,
+        "tokens_per_s": report.aggregate_tokens_per_s,
+        "makespan_s": report.makespan_s,
+        "ttft_ms_p50": report.ttft.p50 * 1e3,
+        "ttft_ms_p99": report.ttft.p99 * 1e3,
+        "ttft_ms_mean": report.ttft.mean * 1e3,
+        "tpot_ms_p50": report.tpot.p50 * 1e3,
+        "tpot_ms_p99": report.tpot.p99 * 1e3,
+        "preemptions": report.preemptions,
+        "prefix_hit_rate": report.prefix_hit_rate,
+        **extra,
+    }
+
+
+def write(path: Path = ARTIFACT_PATH) -> Path:
+    """Write the collected entries (sorted by name) as JSON; returns the
+    path.  A no-op returning the path when nothing was recorded."""
+    if _entries:
+        path.write_text(json.dumps(dict(sorted(_entries.items())), indent=2)
+                        + "\n")
+    return path

@@ -14,7 +14,11 @@ Three subcommands cover the common workflows:
   tokens/s and the speedup over the sequential one-request-at-a-time
   baseline; ``--kv-capacity-mb`` (with ``--block-size`` and ``--watermark``)
   bounds each device's KV cache with the block-based memory manager and
-  reports utilization and preemptions.
+  reports utilization and preemptions.  ``--policy``/``--placement``/
+  ``--preemption`` select the admission, device-placement and preemption
+  policies; ``--prefix-cache`` (with ``--shared-prefix``) shares KV blocks
+  across requests with a common prompt prefix and skips their cached
+  prefill.
 """
 
 from __future__ import annotations
@@ -102,6 +106,37 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-chunked-prefill", action="store_true",
                               help="give long prompts a dedicated step "
                                    "instead of chunking them")
+    serve_parser.add_argument("--policy", default="fcfs",
+                              choices=["fcfs", "priority", "shortest_prompt"],
+                              help="admission/ordering policy: who gets the "
+                                   "next free batch slot")
+    serve_parser.add_argument("--placement", default="round_robin",
+                              choices=["round_robin", "least_loaded",
+                                       "kv_aware"],
+                              help="device placement policy for arriving "
+                                   "requests")
+    serve_parser.add_argument("--preemption", default="youngest",
+                              choices=["youngest", "lowest_priority",
+                                       "largest_kv"],
+                              help="which resident request is evicted under "
+                                   "KV memory pressure")
+    serve_parser.add_argument("--priority-levels", type=int, default=1,
+                              help="sample each request's priority uniformly "
+                                   "from [0, N); 1 keeps the single-tier "
+                                   "trace (pairs with --policy priority / "
+                                   "--preemption lowest_priority)")
+    serve_parser.add_argument("--prefix-cache", action="store_true",
+                              help="share ref-counted KV blocks across "
+                                   "requests with a common prompt prefix "
+                                   "and skip their cached prefill (requires "
+                                   "--kv-capacity-mb)")
+    serve_parser.add_argument("--shared-prefix", type=int, default=0,
+                              metavar="TOKENS",
+                              help="give every request a common prompt "
+                                   "prefix of TOKENS tokens (one shared "
+                                   "group; capped at each prompt's length) "
+                                   "so --prefix-cache has something to "
+                                   "reuse")
     serve_parser.add_argument("--kv-capacity-mb", type=float, default=None,
                               help="per-device KV-cache capacity in MB; "
                                    "bounds admission/decode by KV blocks and "
@@ -199,18 +234,38 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         KVCacheConfig,
         SchedulerConfig,
         ServingEngine,
+        TimedRequest,
         poisson_trace,
     )
 
     config = get_model_config(args.model)
     try:
+        if args.prefix_cache and args.kv_capacity_mb is None:
+            raise ValueError(
+                "--prefix-cache requires --kv-capacity-mb (the prefix "
+                "cache lives in the KV block manager)")
         kv_config = None
         if args.kv_capacity_mb is not None:
             high, low = args.watermark
             kv_config = KVCacheConfig.from_capacity_mb(
                 args.kv_capacity_mb, block_size=args.block_size,
-                high_watermark=high, low_watermark=low)
-        trace = poisson_trace(args.requests, args.arrival_rate, seed=args.seed)
+                high_watermark=high, low_watermark=low,
+                enable_prefix_cache=args.prefix_cache)
+        priority_choices = None
+        if args.priority_levels > 1:
+            priority_choices = range(args.priority_levels)
+        trace = poisson_trace(args.requests, args.arrival_rate,
+                              seed=args.seed,
+                              priority_choices=priority_choices)
+        if args.shared_prefix > 0:
+            trace = [
+                TimedRequest(t.request_id, t.workload, t.arrival_s,
+                             priority=t.priority,
+                             prefix_group="cli-shared",
+                             prefix_len=min(args.shared_prefix,
+                                            t.workload.input_len))
+                for t in trace
+            ]
         engine = ServingEngine(
             config,
             num_devices=args.devices,
@@ -218,9 +273,12 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
                 max_batch_size=args.max_batch,
                 token_budget=args.token_budget,
                 chunked_prefill=not args.no_chunked_prefill,
+                admission=args.policy,
             ),
             cold_start=args.cold_start,
             kv_config=kv_config,
+            placement=args.placement,
+            preemption=args.preemption,
         )
     except ValueError as error:
         print(f"serve-sim: {error}", file=sys.stderr)

@@ -146,6 +146,98 @@ class CapacityPoint:
                 f"peak kv util {self.report.peak_kv_utilization * 100:.0f}%")
 
 
+@dataclass(frozen=True)
+class PolicySpec:
+    """One admission/placement/preemption/prefix-cache combination."""
+
+    admission: str = "fcfs"
+    placement: str = "round_robin"
+    preemption: str = "youngest"
+    prefix_cache: bool = False
+
+    @property
+    def label(self) -> str:
+        tag = f"{self.admission}/{self.placement}/{self.preemption}"
+        return tag + ("+prefix" if self.prefix_cache else "")
+
+
+@dataclass(frozen=True)
+class PolicyPoint:
+    """One policy combination's outcome on a fixed trace."""
+
+    spec: PolicySpec
+    report: "ServingReport"
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.report.aggregate_tokens_per_s
+
+    @property
+    def mean_ttft_s(self) -> float:
+        return self.report.ttft.mean
+
+    def format(self) -> str:
+        line = (f"{self.spec.label:>42}: {self.tokens_per_s:8.1f} tok/s, "
+                f"ttft mean {self.mean_ttft_s * 1e3:8.1f} ms, "
+                f"{self.report.completed}/{self.report.num_requests} done, "
+                f"{self.report.preemptions} preemption(s)")
+        if self.spec.prefix_cache:
+            line += f", prefix hit {self.report.prefix_hit_rate * 100:.0f}%"
+        return line
+
+
+def run_policy_sweep(config: ModelConfig,
+                     trace: Sequence[TimedRequest],
+                     specs: Sequence[PolicySpec],
+                     num_devices: int = 1,
+                     scheduler_config: Optional[SchedulerConfig] = None,
+                     kv_capacity_mb: Optional[float] = None,
+                     block_size: int = 16,
+                     high_watermark: float = 0.95,
+                     low_watermark: float = 0.80,
+                     performance_model: Optional[FpgaPerformanceModel] = None,
+                     ) -> List[PolicyPoint]:
+    """Serve the same trace under every policy combination in ``specs``.
+
+    The serving counterpart of an ablation table: one fixed trace, one row
+    per policy stack, so differences in throughput/TTFT/preemptions are
+    attributable to the policy alone.  ``kv_capacity_mb`` is required for
+    specs with ``prefix_cache`` (the cache lives in the block manager);
+    without it those specs raise ``ValueError``.
+    """
+    import dataclasses
+
+    from repro.serving.engine import ServingEngine
+    from repro.serving.kv_manager import KVCacheConfig
+    from repro.serving.scheduler import SchedulerConfig as _SchedulerConfig
+
+    base = scheduler_config if scheduler_config is not None \
+        else _SchedulerConfig()
+    points: List[PolicyPoint] = []
+    for spec in specs:
+        if spec.prefix_cache and kv_capacity_mb is None:
+            raise ValueError(
+                f"spec {spec.label!r} enables the prefix cache but the "
+                "sweep has no kv_capacity_mb (the cache lives in the KV "
+                "block manager)")
+        kv_config = None
+        if kv_capacity_mb is not None:
+            kv_config = KVCacheConfig.from_capacity_mb(
+                kv_capacity_mb, block_size=block_size,
+                high_watermark=high_watermark, low_watermark=low_watermark,
+                enable_prefix_cache=spec.prefix_cache)
+        engine = ServingEngine(
+            config, num_devices=num_devices,
+            scheduler_config=dataclasses.replace(base,
+                                                 admission=spec.admission),
+            performance_model=performance_model,
+            kv_config=kv_config,
+            placement=spec.placement,
+            preemption=spec.preemption)
+        points.append(PolicyPoint(spec, engine.run(trace)))
+    return points
+
+
 def run_capacity_sweep(config: ModelConfig,
                        trace: Sequence[TimedRequest],
                        capacities_mb: Sequence[Optional[float]],

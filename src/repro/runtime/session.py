@@ -85,10 +85,17 @@ class ActiveRequest:
         self._num_layers = num_layers
         self._prefilled = 0
         self._generated = 0
+        self.prefix_cached_tokens = 0
 
     @property
     def tokens_generated(self) -> int:
         return self._generated
+
+    @property
+    def prefilled_tokens(self) -> int:
+        """Prompt positions whose KV rows are resident (computed by this
+        request or served from a shared prefix cache)."""
+        return self._prefilled
 
     @property
     def kv_tokens(self) -> int:
@@ -104,21 +111,54 @@ class ActiveRequest:
     def finished(self) -> bool:
         return self._generated >= self.workload.output_len
 
-    def next_work(self, token_budget: Optional[int] = None) -> StepWork:
+    def skip_prefix(self, tokens: int) -> int:
+        """Mark the first ``tokens`` prompt positions as already resident.
+
+        The prefix-caching path calls this right after admission, before any
+        work is recorded: the skipped positions' KV rows live in shared
+        cache blocks, so prefill starts past them (the host runtime only
+        streams the uncached suffix through the accelerator).  At least the
+        final prompt position is always computed — its hidden state feeds
+        the first output token — so the skip is capped at ``input_len - 1``.
+        Returns the positions actually skipped.
+        """
+        if self.steps or self._prefilled or self._generated:
+            raise RuntimeError(
+                f"request {self.workload.label} already started; a prefix "
+                "skip is only valid before the first recorded slice")
+        if tokens < 0:
+            raise ValueError("cannot skip a negative prefix")
+        skipped = min(tokens, self.workload.input_len - 1)
+        self._prefilled = skipped
+        self.prefix_cached_tokens = skipped
+        return skipped
+
+    def next_work(self, token_budget: Optional[int] = None,
+                  assume_prefilled: Optional[int] = None) -> StepWork:
         """The slice this request needs in the next engine step.
 
         Args:
             token_budget: Optional cap on prompt tokens for this step; a
                 prompt longer than the budget is prefilled in chunks across
                 several steps (decode always needs exactly one token).
+            assume_prefilled: Plan the slice as if this many prompt
+                positions were already resident (capped at ``input_len - 1``,
+                like :meth:`skip_prefix`).  A pure what-if for schedulers
+                sizing an admission slice against prefix-cache reuse —
+                nothing is mutated; the engine applies the actual skip via
+                :meth:`skip_prefix` when it admits the request.
         """
         if self.finished:
             raise RuntimeError(f"request {self.workload.label} already finished")
-        if self.in_prefill:
-            remaining = self.workload.input_len - self._prefilled
+        prefilled = self._prefilled
+        if assume_prefilled is not None:
+            prefilled = max(prefilled, min(assume_prefilled,
+                                           self.workload.input_len - 1))
+        if prefilled < self.workload.input_len:
+            remaining = self.workload.input_len - prefilled
             chunk = remaining if token_budget is None \
                 else max(1, min(remaining, token_budget))
-            return StepWork("prefill", chunk, self._prefilled + chunk,
+            return StepWork("prefill", chunk, prefilled + chunk,
                             emits=chunk == remaining)
         return StepWork("decode", 1, self.workload.input_len + self._generated)
 

@@ -36,6 +36,15 @@ from repro.serving.kv_manager import (
     KVBlockManager,
     KVCacheConfig,
     KVCacheExhausted,
+    PrefixReuse,
+)
+from repro.serving.policies import (
+    ADMISSION_POLICIES,
+    PLACEMENT_POLICIES,
+    PREEMPTION_POLICIES,
+    AdmissionPolicy,
+    PlacementPolicy,
+    PreemptionPolicy,
 )
 from repro.serving.metrics import (
     DeviceStats,
@@ -56,10 +65,13 @@ from repro.serving.workload_gen import (
     TimedRequest,
     burst_trace,
     poisson_trace,
+    shared_prefix_trace,
     trace_from_specs,
 )
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionPolicy",
     "ContinuousBatchingScheduler",
     "DeviceStats",
     "KVBlockManager",
@@ -67,7 +79,12 @@ __all__ = [
     "KVCacheExhausted",
     "KVSample",
     "LatencyStats",
+    "PLACEMENT_POLICIES",
+    "PREEMPTION_POLICIES",
+    "PlacementPolicy",
     "PreemptionEvent",
+    "PreemptionPolicy",
+    "PrefixReuse",
     "QueueSample",
     "RequestState",
     "SchedulerConfig",
@@ -79,5 +96,6 @@ __all__ = [
     "burst_trace",
     "percentile",
     "poisson_trace",
+    "shared_prefix_trace",
     "trace_from_specs",
 ]

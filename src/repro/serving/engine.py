@@ -2,34 +2,47 @@
 
 This is the multi-request counterpart of :class:`~repro.runtime.InferenceSession`:
 requests arrive over time (a trace from :mod:`repro.serving.workload_gen`),
-are sharded round-robin across ``num_devices`` simulated accelerator
-instances, and each device runs an iteration-level continuous-batching loop —
-every engine step executes a batch of prefill/decode slices chosen by the
+are sharded across ``num_devices`` simulated accelerator instances by a
+pluggable placement policy, and each device runs an iteration-level
+continuous-batching loop — every engine step executes a batch of
+prefill/decode slices chosen by the
 :class:`~repro.serving.scheduler.ContinuousBatchingScheduler`, with the step
 cost coming from :meth:`FpgaPerformanceModel.engine_step_time_s` (weights
 stream once per layer per step, so batching amortises the dominant
 weight-streaming cost of decoding).
 
+Every scheduling decision is a policy object (see
+:mod:`repro.serving.policies`): *admission order* is configured on the
+scheduler (``SchedulerConfig.admission``), *placement* and *preemption* on
+the engine.  The defaults — FCFS, round-robin, youngest-first — reproduce
+the PR 1/PR 2 engine byte-for-byte.
+
 With a :class:`~repro.serving.kv_manager.KVCacheConfig` the loop is also
 memory-pressure-aware: each device owns a block pool sized from the config,
 admission and decode growth claim blocks through the scheduler's plan, and
 when the pool is exhausted (or crosses the high watermark) the engine
-preempts the youngest running request — frees its blocks, requeues it at the
+preempts the policy-chosen victim — frees its blocks, requeues it at the
 head of the waiting queue, and recomputes its KV on re-admission.  Every
-preemption is recorded in the report's blocks-swapped timeline.
+preemption is recorded in the report's blocks-swapped timeline.  With
+``enable_prefix_cache`` the pool additionally shares ref-counted blocks
+across requests of the same prefix group, and admissions skip prefill for
+positions whose KV rows are already cached (the report then carries the
+prefix hit rate and shared-block counters).
 
 Honesty note: the paper (conf_micro_YeC25) evaluates *single-request*
 latency/energy and its Section 2 host runtime triggers one request at a
 time; everything here — request queues, token-budget scheduling, multi-device
-sharding, paged KV management — extrapolates beyond the paper on top of its
-performance model.  It answers "what would a vLLM-style serving tier over
-these accelerators look like", not "what did the paper measure".
+sharding, paged KV management, prefix caching — extrapolates beyond the
+paper on top of its performance model.  It answers "what would a vLLM-style
+serving tier over these accelerators look like", not "what did the paper
+measure".
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from typing import Deque, List, Optional, Sequence
+from typing import Deque, List, Optional, Sequence, Union
 
 from repro.compiler.pipeline import CompilationResult
 from repro.eval.latency import FpgaPerformanceModel
@@ -44,6 +57,15 @@ from repro.serving.metrics import (
     ServingReport,
     build_report,
 )
+from repro.serving.policies.placement import (
+    DeviceLoad,
+    PlacementPolicy,
+    resolve_placement_policy,
+)
+from repro.serving.policies.preemption import (
+    PreemptionPolicy,
+    resolve_preemption_policy,
+)
 from repro.serving.request import RequestState, ServingRequest
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
 from repro.serving.workload_gen import TimedRequest
@@ -55,9 +77,9 @@ class ServingEngine:
     Args:
         config: The model every device serves.
         num_devices: Simulated accelerator instances; arriving requests are
-            sharded round-robin across them.
+            sharded across them by the placement policy.
         scheduler_config: Iteration-level scheduling knobs (batch size,
-            per-step token budget, chunked prefill).
+            per-step token budget, chunked prefill, admission policy).
         performance_model: Analytical accelerator model shared by all
             devices.
         compiled: Optional compilation result; as for
@@ -70,7 +92,11 @@ class ServingEngine:
         kv_config: Optional per-device KV-cache pool.  ``None`` (the
             default) reproduces the capacity-oblivious PR 1 engine exactly;
             with a config, scheduling is bounded by KV blocks and memory
-            pressure is resolved by preempting the youngest request.
+            pressure is resolved by preemption.
+        placement: Placement policy name or instance (``round_robin`` —
+            the default, PR 1 behaviour — ``least_loaded``, ``kv_aware``).
+        preemption: Preemption policy name or instance (``youngest`` — the
+            default, PR 2 behaviour — ``lowest_priority``, ``largest_kv``).
     """
 
     def __init__(self, config: ModelConfig,
@@ -80,7 +106,10 @@ class ServingEngine:
                  compiled: Optional[CompilationResult] = None,
                  max_seq_len: Optional[int] = None,
                  cold_start: bool = False,
-                 kv_config: Optional[KVCacheConfig] = None) -> None:
+                 kv_config: Optional[KVCacheConfig] = None,
+                 placement: Union[str, PlacementPolicy] = "round_robin",
+                 preemption: Union[str, PreemptionPolicy] = "youngest",
+                 ) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be at least 1")
         self.config = config
@@ -88,16 +117,20 @@ class ServingEngine:
         self.scheduler_config = scheduler_config or SchedulerConfig()
         self.cold_start = cold_start
         self.kv_config = kv_config
+        self.placement = resolve_placement_policy(placement)
+        self.preemption = resolve_preemption_policy(preemption)
         self.sessions = [
             InferenceSession(config, compiled=compiled,
                              performance_model=performance_model,
                              max_seq_len=max_seq_len)
             for _ in range(num_devices)
         ]
+        self._pool_blocks = 0
         if kv_config is not None:
             # Fail fast if the pool cannot hold even one block for this
             # model's KV row size.
-            kv_config.manager_for(self.sessions[0].kv_bytes_per_token)
+            self._pool_blocks = kv_config.manager_for(
+                self.sessions[0].kv_bytes_per_token).num_blocks
 
     # ------------------------------------------------------------------
     # Simulation
@@ -105,13 +138,32 @@ class ServingEngine:
     def run(self, trace: Sequence[TimedRequest]) -> ServingReport:
         """Serve a whole trace; returns the aggregate report."""
         ordered = sorted(trace, key=lambda t: (t.arrival_s, t.request_id))
-        requests = [ServingRequest(t.request_id, t.workload, t.arrival_s)
+        requests = [ServingRequest(t.request_id, t.workload, t.arrival_s,
+                                   priority=t.priority,
+                                   prefix_group=t.prefix_group,
+                                   prefix_len=t.prefix_len)
                     for t in ordered]
 
-        # Round-robin sharding in arrival order.
+        # Arrival-order placement: the policy sees the same running tally a
+        # front-end load balancer would (every arrival counts, including
+        # requests later rejected at admission — exactly the information
+        # available before admission runs).
         inboxes: List[List[ServingRequest]] = [[] for _ in range(self.num_devices)]
-        for index, request in enumerate(requests):
-            inboxes[index % self.num_devices].append(request)
+        loads = [DeviceLoad(device_id=i, kv_blocks_total=self._pool_blocks)
+                 for i in range(self.num_devices)]
+        for request in requests:
+            device_id = self.placement.select_device(request, loads)
+            if not 0 <= device_id < self.num_devices:
+                raise ValueError(
+                    f"placement policy {self.placement.name!r} chose device "
+                    f"{device_id} of {self.num_devices}")
+            inboxes[device_id].append(request)
+            load = loads[device_id]
+            load.requests += 1
+            load.queued_tokens += request.workload.total_tokens
+            if self.kv_config is not None:
+                load.kv_blocks += math.ceil(request.workload.total_tokens
+                                            / self.kv_config.block_size)
 
         devices: List[DeviceStats] = []
         samples: List[QueueSample] = []
@@ -123,25 +175,33 @@ class ServingEngine:
             devices.append(stats)
 
         return build_report(self.config.name, self.num_devices, requests,
-                            devices, samples, kv_samples, preemptions)
+                            devices, samples, kv_samples, preemptions,
+                            prefix_cache_enabled=self.kv_config is not None
+                            and self.kv_config.enable_prefix_cache)
 
-    def _preempt_youngest(self, session: InferenceSession,
-                          manager: KVBlockManager,
-                          running: List[ServingRequest],
-                          waiting: Deque[ServingRequest],
-                          device_id: int, clock: float,
-                          events: List[PreemptionEvent]) -> None:
-        """Evict the most recently admitted request to free KV blocks.
+    def _preempt_one(self, session: InferenceSession,
+                     manager: KVBlockManager,
+                     running: List[ServingRequest],
+                     waiting: Deque[ServingRequest],
+                     device_id: int, clock: float,
+                     events: List[PreemptionEvent]) -> None:
+        """Evict the policy-chosen victim to free KV blocks.
 
-        Recompute-style preemption: the victim's blocks are freed instantly,
-        its emitted tokens become prompt (see
-        :meth:`ServingRequest.resume_workload`), and it rejoins the *head*
-        of the waiting queue — it was admitted before everything still
-        waiting, so FIFO order by arrival is preserved.
+        Recompute-style preemption: the victim's blocks are freed instantly
+        (shared prefix references released, and the victim detaches from
+        the cache — its resume prompt is private), its emitted tokens
+        become prompt (see :meth:`ServingRequest.resume_workload`), and it
+        rejoins the *head* of the waiting queue.  Under the default
+        youngest-first policy that preserves FIFO order by arrival — the
+        victim was admitted before everything still waiting; other victim
+        policies trade that property for their own protection goal, and a
+        non-FCFS admission policy re-orders the queue anyway.
         """
-        victim = running.pop()
+        victim = self.preemption.select_victim(running, manager)
+        running.remove(victim)
         freed = manager.release(victim.request_id)
         manager.mark_pressure()
+        victim.detach_prefix()
         victim.preemptions += 1
         victim.state = RequestState.QUEUED
         victim.active = session.start_request(victim.resume_workload())
@@ -161,6 +221,7 @@ class ServingEngine:
         manager: Optional[KVBlockManager] = None
         if self.kv_config is not None:
             manager = self.kv_config.manager_for(session.kv_bytes_per_token)
+        prefix_caching = manager is not None and manager.prefix_cache_enabled
 
         # Every run() starts from a cold device so repeated runs (parameter
         # sweeps, benchmark repetitions) measure the same system.
@@ -172,6 +233,7 @@ class ServingEngine:
         tokens = 0
         served = 0
         preempt_count = 0
+        prompt_tokens = 0
 
         while pending or waiting or running:
             # Iteration-level admission: arrivals become visible at step
@@ -200,36 +262,34 @@ class ServingEngine:
                 continue
 
             # Watermark hysteresis: growing strictly past the high mark
-            # frees the youngest requests down to the low mark, so the pool
-            # does not oscillate one block around the trigger point.
-            # Strictly past — admission may fill to exactly the high mark,
-            # and evicting what was just admitted within policy would be
-            # pure thrash.
+            # frees victims down to the low mark, so the pool does not
+            # oscillate one block around the trigger point.  Strictly past —
+            # admission may fill to exactly the high mark, and evicting what
+            # was just admitted within policy would be pure thrash.
             if manager is not None and len(running) > 1 and \
                     manager.utilization > self.kv_config.high_watermark:
                 manager.mark_pressure()
                 while len(running) > 1 and \
                         manager.utilization > self.kv_config.low_watermark:
-                    self._preempt_youngest(session, manager, running, waiting,
-                                           device_id, clock,
-                                           preemption_events)
+                    self._preempt_one(session, manager, running, waiting,
+                                      device_id, clock, preemption_events)
                     preempt_count += 1
             if manager is not None:
                 manager.refresh_pressure()
 
             plan = scheduler.plan_step(running, waiting, kv=manager)
             # Hard exhaustion: a resident slice did not fit in free blocks.
-            # Undo this plan's tentative admissions, preempt the youngest
-            # and replan until every resident is covered; a lone resident
+            # Undo this plan's tentative admissions, preempt a victim and
+            # replan until every resident is covered; a lone resident
             # always fits because admission rejected anything whose total
             # positions exceed the pool.  Restore-then-preempt order
-            # matters: the victim was admitted before anything now waiting,
-            # so its appendleft must land last to keep FIFO by arrival.
+            # matters: the victim's appendleft must land last so it resumes
+            # before the requests it displaced.
             while manager is not None and plan.starved and len(running) > 1:
                 for request in reversed(plan.admitted):
                     waiting.appendleft(request)
-                self._preempt_youngest(session, manager, running, waiting,
-                                       device_id, clock, preemption_events)
+                self._preempt_one(session, manager, running, waiting,
+                                  device_id, clock, preemption_events)
                 preempt_count += 1
                 manager.refresh_pressure()
                 plan = scheduler.plan_step(running, waiting, kv=manager)
@@ -238,12 +298,36 @@ class ServingEngine:
                 "resident KV demand exceeds the whole block pool"
 
             if manager is not None:
+                # Pin every admission's reusable prefix blocks first:
+                # pinned blocks are referenced, so the on-demand reclamation
+                # a claim may trigger can never evict a block another
+                # admission of this same plan is about to reuse.
+                admitted_ids = {r.request_id for r in plan.admitted}
+                pins = {}
+                for request in plan.admitted:
+                    reuse = plan.prefix.get(request.request_id)
+                    if reuse is not None:
+                        pins[request.request_id] = manager.pin_prefix(request)
+                        assert pins[request.request_id] == reuse, \
+                            "prefix cache changed between plan and apply"
                 for request_id, blocks in plan.claims.items():
+                    if request_id in admitted_ids:
+                        continue
                     manager.claim(request_id, blocks)
+                for request in plan.admitted:
+                    claim = plan.claims.get(request.request_id, 0)
+                    pin = pins.get(request.request_id)
+                    if pin is not None:
+                        claim -= manager.extend_prefix(request)
+                        if pin.cached_tokens:
+                            request.active.skip_prefix(pin.cached_tokens)
+                    manager.claim(request.request_id, claim)
             for request in plan.admitted:
                 request.state = RequestState.RUNNING
                 if request.admitted_s is None:
                     request.admitted_s = clock
+                if prefix_caching:
+                    prompt_tokens += request.active.workload.input_len
                 running.append(request)
 
             seconds = session.execute_step(plan.works)
@@ -257,6 +341,14 @@ class ServingEngine:
                 request.tokens_emitted += emitted
                 if emitted and request.first_token_s is None:
                     request.first_token_s = clock
+                if prefix_caching and request.shareable_prefix \
+                        and work.kind == "prefill":
+                    # The positions this chunk streamed are now resident:
+                    # full blocks within the shared prefix become reusable.
+                    manager.mark_prefix_computed(
+                        request.prefix_group,
+                        min(request.active.prefilled_tokens,
+                            request.prefix_len))
                 if request.active.finished:
                     request.finish_s = clock
                     request.state = RequestState.FINISHED
@@ -289,4 +381,9 @@ class ServingEngine:
             preemptions=preempt_count,
             kv_blocks_total=manager.num_blocks if manager else 0,
             kv_peak_blocks=manager.peak_used_blocks if manager else 0,
+            prompt_tokens=prompt_tokens,
+            prefix_tokens_reused=manager.prefix_tokens_reused if manager else 0,
+            shared_kv_blocks_reused=manager.prefix_blocks_reused if manager else 0,
+            shared_kv_blocks_created=manager.prefix_blocks_created if manager else 0,
+            prefix_cow_copies=manager.prefix_cow_copies if manager else 0,
         )

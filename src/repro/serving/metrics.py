@@ -135,6 +135,12 @@ class DeviceStats:
     preemptions: int = 0
     kv_blocks_total: int = 0   # 0 when the device runs without a KV manager
     kv_peak_blocks: int = 0
+    # Prefix-cache accounting (all 0 unless enable_prefix_cache ran).
+    prompt_tokens: int = 0            # prompt tokens across admissions
+    prefix_tokens_reused: int = 0     # of those, served from shared blocks
+    shared_kv_blocks_reused: int = 0
+    shared_kv_blocks_created: int = 0
+    prefix_cow_copies: int = 0
 
     @property
     def utilization(self) -> float:
@@ -168,6 +174,7 @@ class ServingReport:
     queue_samples: List[QueueSample] = field(default_factory=list)
     kv_samples: List[KVSample] = field(default_factory=list)
     preemption_events: List[PreemptionEvent] = field(default_factory=list)
+    prefix_cache_enabled: bool = False
 
     @property
     def aggregate_tokens_per_s(self) -> float:
@@ -208,6 +215,34 @@ class ServingReport:
         return sum(sample.utilization for sample in self.kv_samples) \
             / len(self.kv_samples)
 
+    # ------------------------------------------------------------------
+    # Prefix-cache metrics (zero unless enable_prefix_cache ran)
+    # ------------------------------------------------------------------
+    @property
+    def prefix_tokens_reused(self) -> int:
+        return sum(d.prefix_tokens_reused for d in self.devices)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of admitted prompt tokens served from shared prefix
+        blocks instead of being prefilled."""
+        total = sum(d.prompt_tokens for d in self.devices)
+        if total <= 0:
+            return 0.0
+        return self.prefix_tokens_reused / total
+
+    @property
+    def shared_kv_blocks_reused(self) -> int:
+        return sum(d.shared_kv_blocks_reused for d in self.devices)
+
+    @property
+    def shared_kv_blocks_created(self) -> int:
+        return sum(d.shared_kv_blocks_created for d in self.devices)
+
+    @property
+    def prefix_cow_copies(self) -> int:
+        return sum(d.prefix_cow_copies for d in self.devices)
+
     def to_dict(self) -> dict:
         """JSON-ready summary (latencies in milliseconds)."""
         def stats_ms(stats: LatencyStats) -> dict:
@@ -215,7 +250,7 @@ class ServingReport:
                     "p95": stats.p95 * 1e3, "p99": stats.p99 * 1e3,
                     "max": stats.max * 1e3, "count": stats.count}
 
-        return {
+        payload = {
             "model": self.model,
             "num_devices": self.num_devices,
             "num_requests": self.num_requests,
@@ -249,6 +284,18 @@ class ServingReport:
                 for d in self.devices
             ],
         }
+        if self.prefix_cache_enabled:
+            # Keys only appear when the feature ran, so default-policy
+            # reports stay byte-identical to the PR 1/PR 2 payloads.
+            payload["prefix_cache"] = {
+                "hit_rate": self.prefix_hit_rate,
+                "prompt_tokens": sum(d.prompt_tokens for d in self.devices),
+                "tokens_reused": self.prefix_tokens_reused,
+                "shared_blocks_created": self.shared_kv_blocks_created,
+                "shared_blocks_reused": self.shared_kv_blocks_reused,
+                "cow_copies": self.prefix_cow_copies,
+            }
+        return payload
 
     def format(self) -> str:
         lines = [
@@ -268,6 +315,13 @@ class ServingReport:
                 f"peak util {self.peak_kv_utilization * 100:.0f}%, "
                 f"mean util {self.mean_kv_utilization * 100:.0f}%, "
                 f"{self.preemptions} preemption(s)")
+        if self.prefix_cache_enabled:
+            lines.append(
+                f"  prefix cache:  hit rate "
+                f"{self.prefix_hit_rate * 100:.0f}% "
+                f"({self.prefix_tokens_reused} prompt tokens skipped), "
+                f"{self.shared_kv_blocks_reused} block reuse(s), "
+                f"{self.shared_kv_blocks_created} shared block(s) created")
         lines += [
             "  latency (ms):",
             f"    ttft        {self.ttft.format_ms()}",
@@ -294,6 +348,7 @@ def build_report(model: str, num_devices: int,
                  queue_samples: List[QueueSample],
                  kv_samples: Optional[List[KVSample]] = None,
                  preemption_events: Optional[List[PreemptionEvent]] = None,
+                 prefix_cache_enabled: bool = False,
                  ) -> ServingReport:
     """Fold per-request timestamps into the aggregate report."""
     from repro.serving.request import RequestState
@@ -325,4 +380,5 @@ def build_report(model: str, num_devices: int,
         kv_samples=sorted(kv_samples or [], key=lambda s: s.time_s),
         preemption_events=sorted(preemption_events or [],
                                  key=lambda e: e.time_s),
+        prefix_cache_enabled=prefix_cache_enabled,
     )

@@ -1,0 +1,70 @@
+"""Pluggable serving policies: admission ordering, placement, preemption.
+
+PR 1/PR 2 hard-coded every scheduling decision — FCFS admission inside
+``ContinuousBatchingScheduler.plan_step``, round-robin sharding inside
+``ServingEngine.run``, preempt-youngest inside the engine's pressure loop.
+This package lifts each decision into an explicit policy object so new
+traffic scenarios (priority tiers, load-aware placement, shared-prompt
+workloads) plug in without touching the engine loop:
+
+* :mod:`~repro.serving.policies.admission` — in what order waiting requests
+  are considered for a batch slot (consumed by the scheduler);
+* :mod:`~repro.serving.policies.placement` — which device an arriving
+  request is sharded to (consumed by the engine at arrival);
+* :mod:`~repro.serving.policies.preemption` — which resident request is
+  evicted under KV memory pressure (consumed by the engine's pressure loop).
+
+Every policy is **stateless and deterministic**: selection is a pure
+function of the requests and device/manager state it is shown, with ties
+broken by arrival time and request id, so two runs over the same trace make
+byte-identical decisions.  The defaults (``fcfs`` + ``round_robin`` +
+``youngest``) reproduce the PR 1/PR 2 engine behaviour exactly.
+"""
+
+from repro.serving.policies.admission import (
+    ADMISSION_POLICIES,
+    AdmissionPolicy,
+    FCFSAdmission,
+    PriorityAdmission,
+    ShortestPromptAdmission,
+    resolve_admission_policy,
+)
+from repro.serving.policies.placement import (
+    PLACEMENT_POLICIES,
+    DeviceLoad,
+    KVAwarePlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    resolve_placement_policy,
+)
+from repro.serving.policies.preemption import (
+    PREEMPTION_POLICIES,
+    LargestKVFirstPreemption,
+    LowestPriorityFirstPreemption,
+    PreemptionPolicy,
+    YoungestFirstPreemption,
+    resolve_preemption_policy,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionPolicy",
+    "DeviceLoad",
+    "FCFSAdmission",
+    "KVAwarePlacement",
+    "LargestKVFirstPreemption",
+    "LeastLoadedPlacement",
+    "LowestPriorityFirstPreemption",
+    "PLACEMENT_POLICIES",
+    "PREEMPTION_POLICIES",
+    "PlacementPolicy",
+    "PreemptionPolicy",
+    "PriorityAdmission",
+    "RoundRobinPlacement",
+    "ShortestPromptAdmission",
+    "YoungestFirstPreemption",
+    "resolve_admission_policy",
+    "resolve_placement_policy",
+    "resolve_preemption_policy",
+]

@@ -1,0 +1,96 @@
+"""Admission/ordering policies: who gets the next free batch slot.
+
+The scheduler admits from the *head* of the waiting queue and never
+overtakes a blocked head (that no-overtake rule is what makes admission
+starvation-free, and it is policy-independent).  An admission policy
+therefore only decides the queue *order*: ``plan_step`` asks the policy to
+(re)order the waiting queue at the start of every step, then admits from
+the front as before.
+
+``fcfs`` keeps arrival order untouched — byte-identical to the PR 1/PR 2
+scheduler.  ``priority`` serves higher :attr:`ServingRequest.priority`
+tiers first; ``shortest_prompt`` serves short prompts first (an SJF-style
+TTFT optimisation for interactive traffic).  Both re-sort every step, so a
+request arriving late but ranked higher is considered at the very next
+step boundary; within a rank, arrival order (then request id) breaks ties,
+which keeps every ordering total and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from repro.serving.request import ServingRequest
+
+
+class AdmissionPolicy:
+    """Orders the waiting queue before each planning step.
+
+    ``reorders`` is False only for FCFS, letting the scheduler skip the
+    queue rewrite entirely on the default path.
+    """
+
+    name: str = "abstract"
+    reorders: bool = True
+
+    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+        raise NotImplementedError
+
+
+class FCFSAdmission(AdmissionPolicy):
+    """First-come-first-served: arrival order, the PR 1/PR 2 behaviour."""
+
+    name = "fcfs"
+    reorders = False
+
+    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+        return list(waiting)
+
+
+class PriorityAdmission(AdmissionPolicy):
+    """Higher ``priority`` first; FCFS within a tier.
+
+    A preempted high-priority request resumes ahead of lower tiers (its
+    priority is unchanged), so priority inversion cannot be introduced by
+    the preemption path.
+    """
+
+    name = "priority"
+
+    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+        return sorted(waiting, key=lambda r: (-r.priority, r.arrival_s,
+                                              r.request_id))
+
+
+class ShortestPromptAdmission(AdmissionPolicy):
+    """Shortest original prompt first (SJF on prefill work).
+
+    Keyed on the *original* prompt length, not the recompute-inflated one a
+    preempted request resumes with — a victim must not leapfrog the queue
+    just because recompute made its prompt longer.
+    """
+
+    name = "shortest_prompt"
+
+    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+        return sorted(waiting, key=lambda r: (r.workload.input_len,
+                                              r.arrival_s, r.request_id))
+
+
+ADMISSION_POLICIES: Dict[str, Type[AdmissionPolicy]] = {
+    FCFSAdmission.name: FCFSAdmission,
+    PriorityAdmission.name: PriorityAdmission,
+    ShortestPromptAdmission.name: ShortestPromptAdmission,
+}
+
+
+def resolve_admission_policy(policy) -> AdmissionPolicy:
+    """Accepts a policy name or an :class:`AdmissionPolicy` instance."""
+    if isinstance(policy, AdmissionPolicy):
+        return policy
+    try:
+        return ADMISSION_POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown admission policy {policy!r}; "
+            f"choose from {sorted(ADMISSION_POLICIES)}") from None

@@ -1,0 +1,117 @@
+"""Placement policies: which device an arriving request is sharded to.
+
+The engine simulates its devices independently, so placement is decided at
+arrival time from the running tally of what each device has been handed so
+far — the same information a front-end load balancer would have.  The
+engine owns the tally (:class:`DeviceLoad`); a policy is a pure selector
+over it.
+
+``round_robin`` reproduces the PR 1/PR 2 ``index % num_devices`` sharding
+exactly (every arrival counts, including requests later rejected at
+admission).  ``least_loaded`` balances by queued prompt+output tokens —
+the right call for heterogeneous request lengths, where round-robin can
+pile the long prompts onto one device.  ``kv_aware`` balances by projected
+KV-block demand against each device's pool, keeping memory pressure (and
+therefore preemption recompute) even across devices; without a KV manager
+it degrades to ``least_loaded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+from repro.serving.request import ServingRequest
+
+
+@dataclass
+class DeviceLoad:
+    """Running tally of what one device has been assigned so far.
+
+    ``kv_blocks_total`` is 0 when the engine runs without a KV manager;
+    ``kv_blocks`` is the sum of whole-lifetime block demand
+    (``blocks_for(total_tokens)``) of every request assigned so far.
+    """
+
+    device_id: int
+    requests: int = 0
+    queued_tokens: int = 0
+    kv_blocks: int = 0
+    kv_blocks_total: int = 0
+
+    @property
+    def kv_blocks_free(self) -> int:
+        """Projected free blocks (negative once oversubscribed)."""
+        return self.kv_blocks_total - self.kv_blocks
+
+
+class PlacementPolicy:
+    """Selects a device for one arriving request; pure and deterministic."""
+
+    name: str = "abstract"
+
+    def select_device(self, request: ServingRequest,
+                      loads: List[DeviceLoad]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Arrival-order round-robin — the PR 1/PR 2 sharding, kept as default.
+
+    Stateless formulation: the next slot is the total number of requests
+    placed so far modulo the device count, which equals the historical
+    ``index % num_devices`` because every arrival is placed exactly once.
+    """
+
+    name = "round_robin"
+
+    def select_device(self, request: ServingRequest,
+                      loads: List[DeviceLoad]) -> int:
+        placed = sum(load.requests for load in loads)
+        return placed % len(loads)
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Fewest queued tokens wins; lowest device id breaks ties."""
+
+    name = "least_loaded"
+
+    def select_device(self, request: ServingRequest,
+                      loads: List[DeviceLoad]) -> int:
+        return min(loads, key=lambda l: (l.queued_tokens,
+                                         l.device_id)).device_id
+
+
+class KVAwarePlacement(PlacementPolicy):
+    """Most projected free KV blocks wins; ties by queued tokens, then id.
+
+    Falls back to token load when the engine runs without a KV manager
+    (every ``kv_blocks_free`` is then 0 and the tie-break decides).
+    """
+
+    name = "kv_aware"
+
+    def select_device(self, request: ServingRequest,
+                      loads: List[DeviceLoad]) -> int:
+        return min(loads, key=lambda l: (-l.kv_blocks_free,
+                                         l.queued_tokens,
+                                         l.device_id)).device_id
+
+
+PLACEMENT_POLICIES: Dict[str, Type[PlacementPolicy]] = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    LeastLoadedPlacement.name: LeastLoadedPlacement,
+    KVAwarePlacement.name: KVAwarePlacement,
+}
+
+
+def resolve_placement_policy(policy) -> PlacementPolicy:
+    """Accepts a policy name or a :class:`PlacementPolicy` instance."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    try:
+        return PLACEMENT_POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {policy!r}; "
+            f"choose from {sorted(PLACEMENT_POLICIES)}") from None

@@ -1,0 +1,105 @@
+"""Preemption policies: which resident request is evicted under pressure.
+
+The engine guarantees the invariants around a preemption (never evict the
+last resident, requeue the victim at the head of the waiting queue, free
+its blocks instantly, recompute on re-admission); the policy only picks
+the victim.  Any choice preserves forward progress — the pressure loop
+shrinks the resident set until the survivors fit, and a lone resident
+always fits because admission rejects requests larger than the pool.
+
+``youngest`` evicts the most recently admitted request (PR 2 behaviour,
+kept as default): the victim has the least sunk prefill/decode work, so
+recompute waste is minimised.  ``lowest_priority`` protects high tiers at
+the cost of possibly discarding more work.  ``largest_kv`` frees the most
+blocks per eviction, minimising the *number* of victims a pressure episode
+needs.  All ties fall back to youngest-first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from repro.serving.kv_manager import KVBlockManager
+from repro.serving.request import ServingRequest
+
+
+class PreemptionPolicy:
+    """Selects the eviction victim among ``running`` (admission order).
+
+    ``running`` holds at least one request; the engine never calls a policy
+    with fewer than two residents, but selectors must not rely on that.
+    """
+
+    name: str = "abstract"
+
+    def select_victim(self, running: Sequence[ServingRequest],
+                      manager: Optional[KVBlockManager]) -> ServingRequest:
+        raise NotImplementedError
+
+
+class YoungestFirstPreemption(PreemptionPolicy):
+    """Most recently admitted request goes first — the PR 2 behaviour."""
+
+    name = "youngest"
+
+    def select_victim(self, running: Sequence[ServingRequest],
+                      manager: Optional[KVBlockManager]) -> ServingRequest:
+        return running[-1]
+
+
+class LowestPriorityFirstPreemption(PreemptionPolicy):
+    """Lowest ``priority`` goes first; youngest within a tier.
+
+    With uniform priorities this reduces exactly to youngest-first.
+    """
+
+    name = "lowest_priority"
+
+    def select_victim(self, running: Sequence[ServingRequest],
+                      manager: Optional[KVBlockManager]) -> ServingRequest:
+        return min(enumerate(running),
+                   key=lambda pair: (pair[1].priority, -pair[0]))[1]
+
+
+class LargestKVFirstPreemption(PreemptionPolicy):
+    """Largest *releasable* KV footprint goes first; youngest breaks ties.
+
+    One eviction frees the most memory, so a pressure episode needs the
+    fewest victims.  Ranked by :meth:`KVBlockManager.releasable_blocks`,
+    not gross ``blocks_held``: shared prefix blocks still referenced by
+    other group members stay resident after the eviction and would make a
+    cache-heavy follower look big while freeing almost nothing.  Without a
+    manager every footprint reads 0 and the policy reduces to
+    youngest-first.
+    """
+
+    name = "largest_kv"
+
+    def select_victim(self, running: Sequence[ServingRequest],
+                      manager: Optional[KVBlockManager]) -> ServingRequest:
+        def releasable(request: ServingRequest) -> int:
+            if manager is None:
+                return 0
+            return manager.releasable_blocks(request.request_id)
+
+        return min(enumerate(running),
+                   key=lambda pair: (-releasable(pair[1]), -pair[0]))[1]
+
+
+PREEMPTION_POLICIES: Dict[str, Type[PreemptionPolicy]] = {
+    YoungestFirstPreemption.name: YoungestFirstPreemption,
+    LowestPriorityFirstPreemption.name: LowestPriorityFirstPreemption,
+    LargestKVFirstPreemption.name: LargestKVFirstPreemption,
+}
+
+
+def resolve_preemption_policy(policy) -> PreemptionPolicy:
+    """Accepts a policy name or a :class:`PreemptionPolicy` instance."""
+    if isinstance(policy, PreemptionPolicy):
+        return policy
+    try:
+        return PREEMPTION_POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown preemption policy {policy!r}; "
+            f"choose from {sorted(PREEMPTION_POLICIES)}") from None

@@ -26,7 +26,16 @@ class RequestState(Enum):
 
 @dataclass
 class ServingRequest:
-    """One request as the serving engine sees it."""
+    """One request as the serving engine sees it.
+
+    ``priority`` ranks the request for tiered admission and preemption
+    policies (higher = more important; 0 for everything in a single-tier
+    workload).  ``prefix_group``/``prefix_len`` declare that the first
+    ``prefix_len`` prompt tokens are byte-identical across every request of
+    the group (a shared system prompt, few-shot preamble, …) — the handle
+    the prefix-caching KV manager keys its shared blocks on.  Both are
+    ignored unless the engine runs with ``enable_prefix_cache``.
+    """
 
     request_id: int
     workload: Workload
@@ -39,6 +48,33 @@ class ServingRequest:
     finish_s: Optional[float] = None
     tokens_emitted: int = 0
     preemptions: int = 0
+    priority: int = 0
+    prefix_group: Optional[str] = None
+    prefix_len: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prefix_group is not None:
+            if not 0 < self.prefix_len <= self.workload.input_len:
+                raise ValueError(
+                    f"prefix_len must be within (0, input_len] for a "
+                    f"prefix-group request, got {self.prefix_len} for "
+                    f"prompt length {self.workload.input_len}")
+        elif self.prefix_len:
+            raise ValueError("prefix_len requires a prefix_group")
+
+    @property
+    def shareable_prefix(self) -> bool:
+        """Whether this request participates in prefix-cache block reuse."""
+        return self.prefix_group is not None
+
+    def detach_prefix(self) -> None:
+        """Stop participating in prefix sharing (used on preemption: the
+        victim's shared references were released, and its resume prompt —
+        original prefix plus emitted tokens — is recomputed privately
+        rather than re-attached against a cache whose state at re-admission
+        is unknowable at eviction time)."""
+        self.prefix_group = None
+        self.prefix_len = 0
 
     def resume_workload(self) -> Workload:
         """The workload to recompute with after a preemption.

@@ -3,39 +3,59 @@
 The paper evaluates single-request latency (Tables 4/5); a serving engine
 needs *traffic*.  A trace is a list of :class:`TimedRequest` — an arrival
 time plus an [input:output] workload — and can come from a Poisson process
-(the standard open-loop load model), a fixed back-to-back batch, or an
-explicit ``(arrival, "[in:out]")`` listing.  Everything is seeded and
-deterministic so serving experiments are reproducible.
+(the standard open-loop load model), a fixed back-to-back batch, an explicit
+``(arrival, "[in:out]")`` listing, or a shared-prefix generator for
+prefix-cache workloads (many prompts opening with the same system prompt /
+few-shot preamble).  Requests optionally carry a ``priority`` tier (for the
+``priority``/``lowest_priority`` policies) and a ``prefix_group`` +
+``prefix_len`` (the shared-prompt declaration the prefix-caching KV manager
+keys its blocks on).  Everything is seeded and deterministic so serving
+experiments are reproducible.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.models.workload import Workload, random_workloads, workload_from_label
 
 
 @dataclass(frozen=True)
 class TimedRequest:
-    """One request of a serving trace."""
+    """One request of a serving trace.
+
+    ``priority`` ranks the request for tiered policies (higher = more
+    important).  ``prefix_group``/``prefix_len`` declare that the first
+    ``prefix_len`` prompt tokens are shared verbatim with every other
+    request of the group — consumed only when the engine runs with
+    ``enable_prefix_cache``.
+    """
 
     request_id: int
     workload: Workload
     arrival_s: float
+    priority: int = 0
+    prefix_group: Optional[str] = None
+    prefix_len: int = 0
 
 
 def poisson_trace(num_requests: int,
                   arrival_rate_hz: float,
                   seed: int = 0,
                   input_choices: Sequence[int] = (32, 64, 128),
-                  output_choices: Sequence[int] = (32, 64, 128)) -> List[TimedRequest]:
+                  output_choices: Sequence[int] = (32, 64, 128),
+                  priority_choices: Optional[Sequence[int]] = None,
+                  ) -> List[TimedRequest]:
     """An open-loop Poisson arrival process at ``arrival_rate_hz``.
 
     Inter-arrival gaps are exponential with mean ``1 / arrival_rate_hz``;
     request lengths are sampled uniformly from the given choices (defaults
-    cover the paper's Figure 9 sweep).
+    cover the paper's Figure 9 sweep).  With ``priority_choices`` each
+    request additionally draws a uniform priority tier; the default
+    (``None``) assigns priority 0 everywhere and leaves the random stream —
+    and therefore every previously generated trace — byte-identical.
     """
     if arrival_rate_hz <= 0:
         raise ValueError("arrival rate must be positive")
@@ -45,7 +65,11 @@ def poisson_trace(num_requests: int,
     clock = 0.0
     for request_id, workload in enumerate(workloads):
         clock += rng.expovariate(arrival_rate_hz)
-        trace.append(TimedRequest(request_id, workload, clock))
+        priority = 0
+        if priority_choices:
+            priority = rng.choice(list(priority_choices))
+        trace.append(TimedRequest(request_id, workload, clock,
+                                  priority=priority))
     return trace
 
 
@@ -64,3 +88,39 @@ def trace_from_specs(specs: Sequence[Tuple[float, str]]) -> List[TimedRequest]:
     ordered = sorted(specs, key=lambda spec: spec[0])
     return [TimedRequest(i, workload_from_label(label), float(arrival))
             for i, (arrival, label) in enumerate(ordered)]
+
+
+def shared_prefix_trace(num_requests: int,
+                        prefix_len: int,
+                        unique_len: int = 16,
+                        output_len: int = 32,
+                        interval_s: float = 0.0,
+                        num_groups: int = 1,
+                        group_prefix: str = "shared",
+                        ) -> List[TimedRequest]:
+    """A shared-prompt workload: every request's prompt opens with the same
+    ``prefix_len`` tokens (per group) followed by ``unique_len`` private
+    tokens — the chat-with-a-system-prompt / few-shot-batch shape prefix
+    caching exists for.
+
+    Requests arrive ``interval_s`` apart (0 = a burst) and are assigned
+    round-robin to ``num_groups`` groups named ``{group_prefix}-{g}``.
+    Purely arithmetic — no RNG — so the trace is a constant of its
+    arguments.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    if prefix_len < 1:
+        raise ValueError("prefix_len must be at least 1")
+    if unique_len < 1:
+        raise ValueError(
+            "unique_len must be at least 1 (prompts need a private tail)")
+    if num_groups < 1:
+        raise ValueError("num_groups must be at least 1")
+    workload = Workload(prefix_len + unique_len, output_len)
+    return [
+        TimedRequest(i, workload, i * interval_s,
+                     prefix_group=f"{group_prefix}-{i % num_groups}",
+                     prefix_len=prefix_len)
+        for i in range(num_requests)
+    ]

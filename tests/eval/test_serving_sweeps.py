@@ -1,0 +1,119 @@
+"""Edge cases and determinism for the serving sweeps in ``repro.eval``:
+``run_capacity_sweep`` (empty/single-request traces, capacity below one
+block) and the policy-comparison ``run_policy_sweep``."""
+
+import json
+
+import pytest
+
+from repro.eval.serving import (
+    PolicySpec,
+    run_capacity_sweep,
+    run_policy_sweep,
+)
+from repro.models.config import GPT2
+from repro.models.workload import Workload
+from repro.serving import burst_trace, poisson_trace, shared_prefix_trace
+
+
+class TestCapacitySweepEdges:
+    def test_empty_trace(self):
+        points = run_capacity_sweep(GPT2, [], [None, 64.0])
+        assert len(points) == 2
+        for point in points:
+            assert point.report.num_requests == 0
+            assert point.tokens_per_s == 0.0
+            assert point.preemptions == 0
+
+    def test_single_request_trace(self):
+        trace = burst_trace([Workload(32, 16)])
+        points = run_capacity_sweep(GPT2, trace, [None, 64.0])
+        for point in points:
+            assert point.report.completed == 1
+            assert point.preemptions == 0
+        # One request alone: managed and unmanaged timing agree exactly.
+        assert points[0].report.makespan_s == points[1].report.makespan_s
+
+    def test_capacity_below_one_block_raises(self):
+        trace = burst_trace([Workload(32, 16)])
+        # GPT-2 KV is ~49 KB/token at A8: 0.001 MB holds no 16-token block.
+        with pytest.raises(ValueError, match="block"):
+            run_capacity_sweep(GPT2, trace, [0.001])
+
+    def test_empty_capacity_list(self):
+        assert run_capacity_sweep(GPT2, [], []) == []
+
+    def test_deterministic_under_fixed_seed(self):
+        trace = poisson_trace(12, 100.0, seed=4,
+                              input_choices=(64, 128), output_choices=(64,))
+        first = run_capacity_sweep(GPT2, trace, [None, 48.0, 24.0],
+                                   high_watermark=0.9, low_watermark=0.7)
+        second = run_capacity_sweep(GPT2, trace, [None, 48.0, 24.0],
+                                    high_watermark=0.9, low_watermark=0.7)
+        for a, b in zip(first, second):
+            assert json.dumps(a.report.to_dict(), sort_keys=True) \
+                == json.dumps(b.report.to_dict(), sort_keys=True)
+
+    def test_point_format_mentions_capacity(self):
+        trace = burst_trace([Workload(32, 16)])
+        points = run_capacity_sweep(GPT2, trace, [None, 64.0])
+        assert "unmanaged" in points[0].format()
+        assert "64.0 MB" in points[1].format()
+
+
+class TestPolicySweep:
+    TRACE = shared_prefix_trace(8, prefix_len=96, unique_len=16,
+                                output_len=16)
+
+    def test_one_point_per_spec(self):
+        specs = [PolicySpec(),
+                 PolicySpec(admission="shortest_prompt"),
+                 PolicySpec(placement="least_loaded"),
+                 PolicySpec(prefix_cache=True)]
+        points = run_policy_sweep(GPT2, self.TRACE, specs,
+                                  kv_capacity_mb=256.0)
+        assert [p.spec for p in points] == specs
+        for point in points:
+            assert point.report.completed == 8
+            assert point.tokens_per_s > 0
+
+    def test_prefix_cache_spec_requires_kv_capacity(self):
+        with pytest.raises(ValueError, match="kv_capacity_mb"):
+            run_policy_sweep(GPT2, self.TRACE,
+                             [PolicySpec(prefix_cache=True)])
+
+    def test_prefix_cache_spec_outperforms_default_on_shared_trace(self):
+        points = run_policy_sweep(
+            GPT2, self.TRACE,
+            [PolicySpec(), PolicySpec(prefix_cache=True)],
+            kv_capacity_mb=256.0)
+        default, cached = points
+        assert cached.tokens_per_s > default.tokens_per_s
+        assert cached.mean_ttft_s < default.mean_ttft_s
+        assert cached.report.prefix_hit_rate > 0
+
+    def test_default_spec_without_kv_matches_plain_engine(self):
+        from repro.serving import ServingEngine
+
+        points = run_policy_sweep(GPT2, self.TRACE, [PolicySpec()])
+        plain = ServingEngine(GPT2).run(self.TRACE)
+        assert json.dumps(points[0].report.to_dict(), sort_keys=True) \
+            == json.dumps(plain.to_dict(), sort_keys=True)
+
+    def test_spec_labels(self):
+        assert PolicySpec().label == "fcfs/round_robin/youngest"
+        assert PolicySpec(prefix_cache=True).label.endswith("+prefix")
+        point = run_policy_sweep(GPT2, self.TRACE, [PolicySpec()])[0]
+        assert "tok/s" in point.format()
+
+    def test_sweep_deterministic(self):
+        specs = [PolicySpec(admission="priority",
+                            preemption="lowest_priority"),
+                 PolicySpec(prefix_cache=True)]
+        first = run_policy_sweep(GPT2, self.TRACE, specs,
+                                 kv_capacity_mb=128.0)
+        second = run_policy_sweep(GPT2, self.TRACE, specs,
+                                  kv_capacity_mb=128.0)
+        for a, b in zip(first, second):
+            assert json.dumps(a.report.to_dict(), sort_keys=True) \
+                == json.dumps(b.report.to_dict(), sort_keys=True)

@@ -86,6 +86,39 @@ class TestServeSimCommand:
         assert exit_code == 2
         assert "watermark" in capsys.readouterr().err
 
+    def test_policy_flags_accepted(self, capsys):
+        exit_code = main(["serve-sim", "--requests", "8", "--devices", "2",
+                          "--policy", "shortest_prompt",
+                          "--placement", "least_loaded",
+                          "--preemption", "largest_kv",
+                          "--priority-levels", "3", "--no-baseline"])
+        assert exit_code == 0
+        assert "8/8 completed" in capsys.readouterr().out
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--requests", "4", "--policy", "lifo"])
+
+    def test_prefix_cache_flags_report_hit_rate(self, tmp_path, capsys):
+        report_path = tmp_path / "prefix.json"
+        exit_code = main(["serve-sim", "--requests", "8", "--arrival-rate",
+                          "40", "--kv-capacity-mb", "256", "--prefix-cache",
+                          "--shared-prefix", "64", "--devices", "1",
+                          "--no-baseline", "--json", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "prefix cache:" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 8
+        assert payload["prefix_cache"]["hit_rate"] > 0
+        assert payload["prefix_cache"]["shared_blocks_reused"] > 0
+
+    def test_prefix_cache_requires_kv_capacity(self, capsys):
+        exit_code = main(["serve-sim", "--requests", "4", "--prefix-cache",
+                          "--no-baseline"])
+        assert exit_code == 2
+        assert "--kv-capacity-mb" in capsys.readouterr().err
+
     def test_help_documents_every_serve_sim_flag(self, capsys):
         """`repro serve-sim --help` must describe every flag it accepts."""
         with pytest.raises(SystemExit) as excinfo:
@@ -96,7 +129,9 @@ class TestServeSimCommand:
                      "--seed", "--max-batch", "--token-budget",
                      "--no-chunked-prefill", "--kv-capacity-mb",
                      "--block-size", "--watermark", "--cold-start",
-                     "--no-baseline", "--json"]:
+                     "--no-baseline", "--json", "--policy", "--placement",
+                     "--preemption", "--priority-levels", "--prefix-cache",
+                     "--shared-prefix"]:
             assert flag in help_text, f"{flag} missing from --help"
 
 
