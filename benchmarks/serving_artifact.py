@@ -1,12 +1,16 @@
-"""Machine-readable serving-benchmark artifact: ``BENCH_serving.json``.
+"""Machine-readable serving-benchmark artifacts: ``BENCH_serving.json``
+and ``BENCH_cluster.json``.
 
 Every serving benchmark records its headline numbers here; the conftest
-session hook writes the collected entries to ``benchmarks/BENCH_serving.json``
-once the run finishes.  CI uploads the file as a build artifact, so the
-serving perf trajectory (throughput, TTFT/TPOT percentiles, preemptions,
-prefix hit rate) is tracked across PRs instead of living only in pytest
-stdout.  The format is flat on purpose — one entry per benchmark scenario,
-every value a number — so diffing two PRs' artifacts is a one-liner.
+session hook writes the collected entries once the run finishes — engine
+scenarios to ``benchmarks/BENCH_serving.json`` (:func:`record`), cluster
+scenarios to ``benchmarks/BENCH_cluster.json`` (:func:`record_cluster`).
+CI uploads both files as build artifacts, so the serving perf trajectory
+(throughput, TTFT/TPOT percentiles, preemptions, prefix hit rate, fleet
+scaling, SLO attainment, replica-seconds) is tracked across PRs instead of
+living only in pytest stdout.  The format is flat on purpose — one entry
+per benchmark scenario, every value a number — so diffing two PRs'
+artifacts is a one-liner.
 """
 
 from __future__ import annotations
@@ -16,8 +20,10 @@ from pathlib import Path
 from typing import Dict
 
 ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+CLUSTER_ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_cluster.json"
 
 _entries: Dict[str, dict] = {}
+_cluster_entries: Dict[str, dict] = {}
 
 
 def record(name: str, report, **extra) -> None:
@@ -44,10 +50,42 @@ def record(name: str, report, **extra) -> None:
     }
 
 
-def write(path: Path = ARTIFACT_PATH) -> Path:
+def record_cluster(name: str, report, **extra) -> None:
+    """Register one cluster scenario's outcome under ``name``.
+
+    ``report`` is a :class:`~repro.serving.cluster.ClusterReport`; ``extra``
+    adds scenario-specific scalars (scaling factors, sweep parameters, …).
+    """
+    entry = {
+        "completed": report.completed,
+        "num_requests": report.num_requests,
+        "fleet_tokens_per_s": report.fleet_tokens_per_s,
+        "makespan_s": report.makespan_s,
+        "ttft_ms_p50": report.ttft.p50 * 1e3,
+        "ttft_ms_p95": report.ttft.p95 * 1e3,
+        "ttft_ms_p99": report.ttft.p99 * 1e3,
+        "replica_seconds": report.replica_seconds,
+        "peak_replicas": report.peak_replicas,
+        "preemptions": report.preemptions,
+        **extra,
+    }
+    # Key present only when an SLO was configured, keeping the flat
+    # every-value-a-number contract for numeric diffing.
+    if report.slo_attainment is not None:
+        entry["slo_attainment"] = report.slo_attainment
+    _cluster_entries[name] = entry
+
+
+def write(path: Path = ARTIFACT_PATH,
+          cluster_path: Path = CLUSTER_ARTIFACT_PATH) -> Path:
     """Write the collected entries (sorted by name) as JSON; returns the
-    path.  A no-op returning the path when nothing was recorded."""
+    engine-artifact path.  Each file is a no-op when nothing was recorded
+    for it."""
     if _entries:
         path.write_text(json.dumps(dict(sorted(_entries.items())), indent=2)
                         + "\n")
+    if _cluster_entries:
+        cluster_path.write_text(
+            json.dumps(dict(sorted(_cluster_entries.items())), indent=2)
+            + "\n")
     return path

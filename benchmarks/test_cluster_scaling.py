@@ -1,0 +1,115 @@
+"""Cluster scaling: fleet throughput and SLO-aware autoscaling.
+
+Not a paper artefact — the paper (conf_micro_YeC25) measures single-request
+latency only.  This benchmark records what the cluster tier adds on top of
+the single-node serving engine: near-linear fleet throughput scaling on a
+heavy Poisson trace (replicas are independent accelerators behind a
+router), and a p95 TTFT SLO that a fixed single replica misses by a wide
+margin but the autoscaler — starting from that same single replica —
+meets by growing the fleet as the backlog and rolling p95 TTFT cross its
+thresholds.  Headline numbers land in ``BENCH_cluster.json`` via the
+conftest session hook.
+"""
+
+import os
+
+import pytest
+
+import serving_artifact
+from repro.models.config import GPT2
+from repro.serving.cluster import AutoscalerConfig, ServingCluster
+from repro.serving.workload_gen import poisson_trace
+
+# REPRO_BENCH_FAST=1 (the CI smoke job) shrinks the traces; the asserted
+# comparisons are structural and hold at both sizes.
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+# Heavy load: arrivals far above one replica's service rate, so makespan is
+# compute-bound and adding replicas divides it.
+SCALING_REQUESTS = 32 if FAST else 64
+SCALING_RATE_HZ = 60.0
+
+# Overload for the SLO scenario: ~2x one replica's service rate, sustained
+# long enough that a fixed single replica's queue (and therefore TTFT)
+# grows without bound while the autoscaler absorbs it early.
+SLO_REQUESTS = 48 if FAST else 96
+SLO_RATE_HZ = 12.0
+SLO_TTFT_S = 1.5
+
+
+@pytest.fixture(scope="module")
+def scaling_trace():
+    return poisson_trace(SCALING_REQUESTS, SCALING_RATE_HZ, seed=0)
+
+
+@pytest.fixture(scope="module")
+def slo_trace():
+    return poisson_trace(SLO_REQUESTS, SLO_RATE_HZ, seed=0)
+
+
+@pytest.fixture(scope="module")
+def single_replica_report(scaling_trace):
+    return ServingCluster(GPT2, initial_replicas=1).run(scaling_trace)
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_fleet_throughput_scales_with_replicas(benchmark, scaling_trace,
+                                               single_replica_report):
+    base = single_replica_report.fleet_tokens_per_s
+    two = ServingCluster(GPT2, initial_replicas=2).run(scaling_trace)
+    four_cluster = ServingCluster(GPT2, initial_replicas=4)
+    four = benchmark(four_cluster.run, scaling_trace)
+
+    print("\n" + four.format())
+    for label, report in (("1", single_replica_report), ("2", two),
+                          ("4", four)):
+        speedup = report.fleet_tokens_per_s / base
+        print(f"  {label} replica(s): {report.fleet_tokens_per_s:8.1f} "
+              f"tok/s ({speedup:.2f}x)")
+        serving_artifact.record_cluster(
+            f"cluster_scaling_{label}rep", report,
+            speedup_vs_1_replica=speedup)
+
+    assert single_replica_report.completed == SCALING_REQUESTS
+    assert two.completed == four.completed == SCALING_REQUESTS
+    # Replicas are independent accelerators behind a router: fleet
+    # throughput must scale near-linearly on a compute-bound trace.
+    assert two.fleet_tokens_per_s >= 1.8 * base
+    assert four.fleet_tokens_per_s >= 3.0 * base
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_autoscaler_meets_slo_single_replica_misses(benchmark, slo_trace):
+    fixed = ServingCluster(GPT2, initial_replicas=1).run(slo_trace)
+    autoscaled_cluster = ServingCluster(
+        GPT2, initial_replicas=1, router="least_queue",
+        autoscaler=AutoscalerConfig(
+            min_replicas=1, max_replicas=4, slo_ttft_s=SLO_TTFT_S,
+            control_interval_s=0.1, cooldown_s=0.3,
+            queue_high_per_replica=2.0,
+            # Standby image already packed: the warm-up is deploy/attach,
+            # not the full one-time parameter packing.
+            warmup_s=0.2))
+    autoscaled = benchmark(autoscaled_cluster.run, slo_trace)
+
+    print("\n" + autoscaled.format())
+    print(f"  fixed 1-replica p95 TTFT: {fixed.ttft.p95 * 1e3:8.1f} ms "
+          f"(target {SLO_TTFT_S * 1e3:.0f} ms)")
+    print(f"  autoscaled     p95 TTFT: {autoscaled.ttft.p95 * 1e3:8.1f} ms, "
+          f"peak {autoscaled.peak_replicas} replicas, "
+          f"{autoscaled.replica_seconds:.1f} replica-s")
+    serving_artifact.record_cluster(
+        "cluster_slo_fixed_1rep", fixed, slo_ttft_ms=SLO_TTFT_S * 1e3,
+        slo_p95_attained=float(fixed.ttft.p95 <= SLO_TTFT_S))
+    serving_artifact.record_cluster(
+        "cluster_slo_autoscaled", autoscaled, slo_ttft_ms=SLO_TTFT_S * 1e3,
+        slo_p95_attained=float(autoscaled.ttft.p95 <= SLO_TTFT_S))
+
+    assert fixed.completed == autoscaled.completed == SLO_REQUESTS
+    # The overload must genuinely break the fixed replica...
+    assert fixed.ttft.p95 > SLO_TTFT_S
+    # ...and the autoscaler must absorb it: whole-run p95 within the SLO,
+    # reached by actually growing the fleet.
+    assert autoscaled.ttft.p95 <= SLO_TTFT_S
+    assert autoscaled.peak_replicas > 1
+    assert autoscaled.fleet_tokens_per_s > fixed.fleet_tokens_per_s

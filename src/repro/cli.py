@@ -18,7 +18,16 @@ Three subcommands cover the common workflows:
   ``--preemption`` select the admission, device-placement and preemption
   policies; ``--prefix-cache`` (with ``--shared-prefix``) shares KV blocks
   across requests with a common prompt prefix and skips their cached
-  prefill.
+  prefill;
+* ``python -m repro serve-cluster --replicas 2 --router least_queue
+  --requests 128`` serves the workload through a *fleet* of engines behind
+  a router; ``--trace diurnal``/``--trace flash_crowd`` generate
+  rate-modulated traffic, ``--autoscale`` (with ``--slo-ttft-ms``,
+  ``--min-replicas``/``--max-replicas``) lets the SLO-aware control loop
+  grow and drain the fleet, and the report adds fleet throughput, SLO
+  attainment, replica-seconds and the replica-count timeline.  A single
+  ``--seed`` feeds every trace generator, so reports are reproducible
+  byte-for-byte.
 """
 
 from __future__ import annotations
@@ -159,6 +168,122 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--json", type=Path, default=None,
                               help="also write the report as JSON")
 
+    cluster_parser = subparsers.add_parser(
+        "serve-cluster",
+        help="serve a synthetic workload through a multi-replica cluster "
+             "with routing and optional SLO-aware autoscaling (simulation)")
+    cluster_parser.add_argument("--model", choices=sorted(MODEL_CONFIGS),
+                                default="gpt2")
+    cluster_parser.add_argument("--replicas", type=int, default=2,
+                                help="initial fleet size (single-device "
+                                     "engine replicas)")
+    cluster_parser.add_argument("--router", default="round_robin",
+                                choices=["round_robin", "least_queue",
+                                         "least_kv_pressure",
+                                         "prefix_affinity"],
+                                help="routing policy dispatching arrivals "
+                                     "across replicas")
+    cluster_parser.add_argument("--requests", type=int, default=128,
+                                help="number of requests in the trace")
+    cluster_parser.add_argument("--trace", default="poisson",
+                                choices=["poisson", "diurnal",
+                                         "flash_crowd"],
+                                help="arrival process: steady Poisson, "
+                                     "sinusoidal diurnal cycle, or steady "
+                                     "traffic with one burst window")
+    cluster_parser.add_argument("--arrival-rate", type=float, default=8.0,
+                                help="arrival rate in requests/s (the base "
+                                     "rate for diurnal/flash_crowd traces)")
+    cluster_parser.add_argument("--peak-rate", type=float, default=None,
+                                help="diurnal peak rate in requests/s "
+                                     "(default: 4x the base rate; requires "
+                                     "--trace diurnal)")
+    cluster_parser.add_argument("--period", type=float, default=None,
+                                help="diurnal period in seconds (default "
+                                     "20; requires --trace diurnal)")
+    cluster_parser.add_argument("--burst-rate", type=float, default=None,
+                                help="flash-crowd burst rate in requests/s "
+                                     "(default: 8x the base rate; requires "
+                                     "--trace flash_crowd)")
+    cluster_parser.add_argument("--burst-start", type=float, default=None,
+                                help="flash-crowd burst start in seconds "
+                                     "(default 4; requires --trace "
+                                     "flash_crowd)")
+    cluster_parser.add_argument("--burst-duration", type=float, default=None,
+                                help="flash-crowd burst duration in seconds "
+                                     "(default 3; requires --trace "
+                                     "flash_crowd)")
+    cluster_parser.add_argument("--seed", type=int, default=0,
+                                help="single seed feeding every trace "
+                                     "generator (reports are reproducible "
+                                     "byte-for-byte per seed)")
+    cluster_parser.add_argument("--autoscale", action="store_true",
+                                help="let the SLO-aware control loop grow "
+                                     "and drain the fleet between "
+                                     "--min-replicas and --max-replicas")
+    cluster_parser.add_argument("--slo-ttft-ms", type=float, default=None,
+                                help="rolling-p95 TTFT target in ms for the "
+                                     "autoscaler (requires --autoscale)")
+    cluster_parser.add_argument("--min-replicas", type=int, default=None,
+                                help="autoscaler floor (default 1; "
+                                     "requires --autoscale)")
+    cluster_parser.add_argument("--max-replicas", type=int, default=None,
+                                help="autoscaler ceiling (default 4; "
+                                     "requires --autoscale)")
+    cluster_parser.add_argument("--warmup-s", type=float, default=None,
+                                help="warm-up seconds charged to each "
+                                     "scaled-up replica (default: the "
+                                     "engine's one-time parameter-packing "
+                                     "time; requires --autoscale)")
+    cluster_parser.add_argument("--control-interval", type=float,
+                                default=None,
+                                help="autoscaler control interval in "
+                                     "simulated seconds (default 0.25; "
+                                     "requires --autoscale)")
+    cluster_parser.add_argument("--max-batch", type=int, default=8,
+                                help="max concurrent requests per replica")
+    cluster_parser.add_argument("--token-budget", type=int, default=256,
+                                help="max tokens per engine step")
+    cluster_parser.add_argument("--policy", default="fcfs",
+                                choices=["fcfs", "priority",
+                                         "shortest_prompt"],
+                                help="per-replica admission policy")
+    cluster_parser.add_argument("--priority-levels", type=int, default=1,
+                                help="sample each request's priority "
+                                     "uniformly from [0, N); 1 keeps the "
+                                     "single-tier trace (pairs with "
+                                     "--policy priority / --preemption "
+                                     "lowest_priority)")
+    cluster_parser.add_argument("--preemption", default="youngest",
+                                choices=["youngest", "lowest_priority",
+                                         "largest_kv"],
+                                help="per-replica preemption policy under "
+                                     "KV memory pressure")
+    cluster_parser.add_argument("--kv-capacity-mb", type=float, default=None,
+                                help="per-replica KV-cache capacity in MB "
+                                     "(default: unmanaged)")
+    cluster_parser.add_argument("--block-size", type=int, default=None,
+                                help="token slots per KV block (default 16; "
+                                     "requires --kv-capacity-mb)")
+    cluster_parser.add_argument("--prefix-cache", action="store_true",
+                                help="per-replica prefix caching (requires "
+                                     "--kv-capacity-mb; pair with "
+                                     "--shared-prefix and --router "
+                                     "prefix_affinity)")
+    cluster_parser.add_argument("--shared-prefix", type=int, default=0,
+                                metavar="TOKENS",
+                                help="give every request a common prompt "
+                                     "prefix of TOKENS tokens")
+    cluster_parser.add_argument("--prefix-groups", type=int, default=None,
+                                help="split requests round-robin into N "
+                                     "distinct prefix groups (default 1; "
+                                     "requires --shared-prefix; use "
+                                     "several so --router prefix_affinity "
+                                     "can spread groups across replicas)")
+    cluster_parser.add_argument("--json", type=Path, default=None,
+                                help="also write the cluster report as "
+                                     "JSON")
+
     return parser
 
 
@@ -228,22 +353,47 @@ def _run_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _wrap_shared_prefix(trace: List["TimedRequest"], tokens: int,
+                        groups: int = 1) -> List["TimedRequest"]:
+    """Tag every request with a shared prompt prefix of ``tokens`` tokens
+    (capped at each prompt's length) so ``--prefix-cache`` has something
+    to reuse.  ``groups`` splits the requests round-robin into that many
+    distinct prefix groups — one group pins all traffic to a single
+    replica under ``prefix_affinity`` routing, so a fleet needs several
+    to balance."""
+    from repro.serving import TimedRequest
+
+    if tokens <= 0:
+        return trace
+    return [
+        TimedRequest(t.request_id, t.workload, t.arrival_s,
+                     priority=t.priority,
+                     prefix_group="cli-shared" if groups == 1
+                     else f"cli-shared-{i % groups}",
+                     prefix_len=min(tokens, t.workload.input_len))
+        for i, t in enumerate(trace)
+    ]
+
+
+def _require_kv_for_prefix_cache(args: argparse.Namespace) -> None:
+    if args.prefix_cache and args.kv_capacity_mb is None:
+        raise ValueError(
+            "--prefix-cache requires --kv-capacity-mb (the prefix "
+            "cache lives in the KV block manager)")
+
+
 def _run_serve_sim(args: argparse.Namespace) -> int:
     from repro.eval.serving import compare_with_sequential, run_sequential_baseline
     from repro.serving import (
         KVCacheConfig,
         SchedulerConfig,
         ServingEngine,
-        TimedRequest,
         poisson_trace,
     )
 
     config = get_model_config(args.model)
     try:
-        if args.prefix_cache and args.kv_capacity_mb is None:
-            raise ValueError(
-                "--prefix-cache requires --kv-capacity-mb (the prefix "
-                "cache lives in the KV block manager)")
+        _require_kv_for_prefix_cache(args)
         kv_config = None
         if args.kv_capacity_mb is not None:
             high, low = args.watermark
@@ -257,15 +407,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
         trace = poisson_trace(args.requests, args.arrival_rate,
                               seed=args.seed,
                               priority_choices=priority_choices)
-        if args.shared_prefix > 0:
-            trace = [
-                TimedRequest(t.request_id, t.workload, t.arrival_s,
-                             priority=t.priority,
-                             prefix_group="cli-shared",
-                             prefix_len=min(args.shared_prefix,
-                                            t.workload.input_len))
-                for t in trace
-            ]
+        trace = _wrap_shared_prefix(trace, args.shared_prefix)
         engine = ServingEngine(
             config,
             num_devices=args.devices,
@@ -304,6 +446,139 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
+    """One --seed feeds whichever generator --trace selects."""
+    from repro.serving import diurnal_trace, flash_crowd_trace, poisson_trace
+
+    # Flags for the trace shapes not selected would be silently dropped;
+    # reject them the way the autoscaler flags are rejected.
+    shape_flags = {"diurnal": (("--peak-rate", args.peak_rate),
+                               ("--period", args.period)),
+                   "flash_crowd": (("--burst-rate", args.burst_rate),
+                                   ("--burst-start", args.burst_start),
+                                   ("--burst-duration",
+                                    args.burst_duration))}
+    for shape, flags in shape_flags.items():
+        if args.trace == shape:
+            continue
+        ignored = [flag for flag, value in flags if value is not None]
+        if ignored:
+            raise ValueError(
+                f"{', '.join(ignored)} only shape(s) a --trace {shape} "
+                f"trace, not --trace {args.trace}")
+    priority_choices = None
+    if args.priority_levels > 1:
+        priority_choices = range(args.priority_levels)
+    if args.trace == "diurnal":
+        peak = args.peak_rate if args.peak_rate is not None \
+            else 4.0 * args.arrival_rate
+        period = args.period if args.period is not None else 20.0
+        trace = diurnal_trace(args.requests, args.arrival_rate, peak,
+                              period_s=period, seed=args.seed,
+                              priority_choices=priority_choices)
+    elif args.trace == "flash_crowd":
+        burst = args.burst_rate if args.burst_rate is not None \
+            else 8.0 * args.arrival_rate
+        start = args.burst_start if args.burst_start is not None else 4.0
+        duration = args.burst_duration \
+            if args.burst_duration is not None else 3.0
+        trace = flash_crowd_trace(args.requests, args.arrival_rate, burst,
+                                  burst_start_s=start,
+                                  burst_duration_s=duration,
+                                  seed=args.seed,
+                                  priority_choices=priority_choices)
+    else:
+        trace = poisson_trace(args.requests, args.arrival_rate,
+                              seed=args.seed,
+                              priority_choices=priority_choices)
+    groups = args.prefix_groups if args.prefix_groups is not None else 1
+    return _wrap_shared_prefix(trace, args.shared_prefix, groups)
+
+
+def _run_serve_cluster(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        AutoscalerConfig,
+        KVCacheConfig,
+        SchedulerConfig,
+        ServingCluster,
+    )
+
+    config = get_model_config(args.model)
+    try:
+        _require_kv_for_prefix_cache(args)
+        if args.kv_capacity_mb is None and args.block_size is not None:
+            raise ValueError(
+                "--block-size only sizes the KV block pool; pair with "
+                "--kv-capacity-mb")
+        if args.prefix_groups is not None:
+            if args.shared_prefix <= 0:
+                raise ValueError(
+                    "--prefix-groups only splits a shared prefix; pair "
+                    "with --shared-prefix")
+            if args.prefix_groups < 1:
+                raise ValueError("--prefix-groups must be at least 1")
+        if not args.autoscale:
+            ignored = [flag for flag, value in
+                       (("--slo-ttft-ms", args.slo_ttft_ms),
+                        ("--min-replicas", args.min_replicas),
+                        ("--max-replicas", args.max_replicas),
+                        ("--warmup-s", args.warmup_s),
+                        ("--control-interval", args.control_interval))
+                       if value is not None]
+            if ignored:
+                raise ValueError(
+                    f"{', '.join(ignored)} only steer(s) the control "
+                    "loop; pair with --autoscale")
+        kv_config = None
+        if args.kv_capacity_mb is not None:
+            kv_config = KVCacheConfig.from_capacity_mb(
+                args.kv_capacity_mb,
+                block_size=args.block_size
+                if args.block_size is not None else 16,
+                enable_prefix_cache=args.prefix_cache)
+        autoscaler = None
+        if args.autoscale:
+            defaults = AutoscalerConfig()
+            autoscaler = AutoscalerConfig(
+                min_replicas=args.min_replicas
+                if args.min_replicas is not None
+                else defaults.min_replicas,
+                max_replicas=args.max_replicas
+                if args.max_replicas is not None
+                else defaults.max_replicas,
+                slo_ttft_s=args.slo_ttft_ms / 1e3
+                if args.slo_ttft_ms is not None else None,
+                control_interval_s=args.control_interval
+                if args.control_interval is not None
+                else defaults.control_interval_s,
+                warmup_s=args.warmup_s)
+        trace = _build_cluster_trace(args)
+        cluster = ServingCluster(
+            config,
+            initial_replicas=args.replicas,
+            router=args.router,
+            scheduler_config=SchedulerConfig(
+                max_batch_size=args.max_batch,
+                token_budget=args.token_budget,
+                admission=args.policy,
+            ),
+            kv_config=kv_config,
+            preemption=args.preemption,
+            autoscaler=autoscaler,
+        )
+    except ValueError as error:
+        print(f"serve-cluster: {error}", file=sys.stderr)
+        return 2
+    report = cluster.run(trace)
+    print(report.format())
+
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"report written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -314,6 +589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_evaluate(args)
     if args.command == "serve-sim":
         return _run_serve_sim(args)
+    if args.command == "serve-cluster":
+        return _run_serve_cluster(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -19,6 +19,8 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
     from repro.eval.latency import FpgaPerformanceModel
     from repro.models.config import ModelConfig
+    from repro.serving.cluster import AutoscalerConfig, ClusterReport
+    from repro.serving.kv_manager import KVCacheConfig
     from repro.serving.metrics import ServingReport
     from repro.serving.scheduler import SchedulerConfig
     from repro.serving.workload_gen import TimedRequest
@@ -235,6 +237,68 @@ def run_policy_sweep(config: ModelConfig,
             placement=spec.placement,
             preemption=spec.preemption)
         points.append(PolicyPoint(spec, engine.run(trace)))
+    return points
+
+
+@dataclass(frozen=True)
+class ClusterPoint:
+    """One fleet configuration's outcome on a fixed trace."""
+
+    replicas: int            # initial fleet size (the autoscaler may grow it)
+    router: str
+    report: "ClusterReport"
+
+    @property
+    def fleet_tokens_per_s(self) -> float:
+        return self.report.fleet_tokens_per_s
+
+    @property
+    def p95_ttft_s(self) -> float:
+        return self.report.ttft.p95
+
+    def format(self) -> str:
+        report = self.report
+        line = (f"{self.replicas} replica(s) / {self.router:>16}: "
+                f"{self.fleet_tokens_per_s:8.1f} tok/s, "
+                f"p95 ttft {self.p95_ttft_s * 1e3:8.1f} ms, "
+                f"{report.completed}/{report.num_requests} done, "
+                f"{report.replica_seconds:7.1f} replica-s")
+        if report.slo_attainment is not None:
+            line += f", slo {report.slo_attainment * 100:5.1f}%"
+        return line
+
+
+def run_cluster_sweep(config: ModelConfig,
+                      trace: Sequence[TimedRequest],
+                      replica_counts: Sequence[int],
+                      routers: Sequence[str] = ("round_robin",),
+                      scheduler_config: Optional[SchedulerConfig] = None,
+                      kv_config: Optional["KVCacheConfig"] = None,
+                      autoscaler: Optional["AutoscalerConfig"] = None,
+                      performance_model: Optional[FpgaPerformanceModel] = None,
+                      ) -> List[ClusterPoint]:
+    """Serve the same trace under every (fleet size, router) combination.
+
+    The cluster analogue of :func:`run_policy_sweep`: one fixed trace, one
+    row per fleet configuration, so throughput/TTFT/replica-second
+    differences are attributable to the fleet shape alone.  With an
+    ``autoscaler`` config, ``replica_counts`` are the *initial* sizes and
+    the control loop takes over from there — sweeping initial sizes then
+    shows how much of the outcome the controller recovers on its own.
+    """
+    from repro.serving.cluster import ServingCluster
+
+    points: List[ClusterPoint] = []
+    for replicas in replica_counts:
+        for router in routers:
+            cluster = ServingCluster(
+                config, initial_replicas=replicas, router=router,
+                scheduler_config=scheduler_config,
+                performance_model=performance_model,
+                kv_config=kv_config,
+                autoscaler=autoscaler)
+            points.append(ClusterPoint(replicas, router,
+                                       cluster.run(trace)))
     return points
 
 

@@ -31,7 +31,7 @@ or from the command line: ``python -m repro serve-sim --model gpt2
 --devices 2 --requests 64``.
 """
 
-from repro.serving.engine import ServingEngine
+from repro.serving.engine import DeviceWorker, ServingEngine
 from repro.serving.kv_manager import (
     KVBlockManager,
     KVCacheConfig,
@@ -64,16 +64,40 @@ from repro.serving.scheduler import (
 from repro.serving.workload_gen import (
     TimedRequest,
     burst_trace,
+    diurnal_trace,
+    flash_crowd_trace,
     poisson_trace,
     shared_prefix_trace,
     trace_from_specs,
 )
 
+# The cluster tier builds on the engine's DeviceWorker, so it imports last;
+# its full surface lives in repro.serving.cluster.
+from repro.serving.cluster import (  # noqa: E402
+    Autoscaler,
+    AutoscalerConfig,
+    ClusterReport,
+    ClusterRouter,
+    EngineReplica,
+    ReplicaState,
+    RoutingPolicy,
+    ServingCluster,
+)
+
 __all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClusterReport",
+    "ClusterRouter",
+    "EngineReplica",
+    "ReplicaState",
+    "RoutingPolicy",
+    "ServingCluster",
     "ADMISSION_POLICIES",
     "AdmissionPolicy",
     "ContinuousBatchingScheduler",
     "DeviceStats",
+    "DeviceWorker",
     "KVBlockManager",
     "KVCacheConfig",
     "KVCacheExhausted",
@@ -94,6 +118,8 @@ __all__ = [
     "StepPlan",
     "TimedRequest",
     "burst_trace",
+    "diurnal_trace",
+    "flash_crowd_trace",
     "percentile",
     "poisson_trace",
     "shared_prefix_trace",

@@ -1,0 +1,80 @@
+"""Cluster serving tier: a fleet of engines behind a router.
+
+Real deployments of the serving lineage this repo models (Orca's
+iteration-level batching, vLLM's paged KV cache) run many engine instances
+behind a load balancer, and the cluster layer is where load balancing,
+replica scaling and SLO attainment are decided.  This package adds that
+layer on top of the single-node :class:`~repro.serving.ServingEngine`
+without disturbing it:
+
+* :class:`EngineReplica` — one engine + KV pool with a serving lifecycle
+  (warming, active, draining, stopped);
+* :class:`ClusterRouter` + pluggable :class:`RoutingPolicy` registry —
+  ``round_robin``, ``least_queue``, ``least_kv_pressure`` and
+  ``prefix_affinity`` (sticky by prefix group so per-replica prefix
+  caches keep hitting);
+* :class:`Autoscaler` — an SLO-aware control loop over queue depth and
+  rolling p95 TTFT, with warm-up cost on scale-up and graceful drain on
+  scale-down;
+* :class:`ServingCluster` — the deterministic event loop tying them
+  together under a global clock;
+* :class:`ClusterReport` — fleet throughput, SLO attainment,
+  replica-seconds and the replica-count timeline, with per-replica
+  :class:`~repro.serving.metrics.ServingReport`s for drill-down.
+
+Entry points::
+
+    from repro.serving.cluster import AutoscalerConfig, ServingCluster
+    from repro.serving.workload_gen import flash_crowd_trace
+
+    trace = flash_crowd_trace(200, base_rate_hz=4.0, burst_rate_hz=60.0,
+                              burst_start_s=4.0, burst_duration_s=3.0)
+    cluster = ServingCluster(GPT2, initial_replicas=1, router="least_queue",
+                             autoscaler=AutoscalerConfig(
+                                 max_replicas=4, slo_ttft_s=0.5))
+    print(cluster.run(trace).format())
+
+or from the command line: ``python -m repro serve-cluster --replicas 2
+--router least_queue --autoscale --slo-ttft-ms 500``.
+
+As with the rest of :mod:`repro.serving`, nothing here appears in the
+source paper's evaluation — the fleet extrapolates the paper's
+single-request performance model to the cluster scale of the north star.
+"""
+
+from repro.serving.cluster.autoscaler import (
+    Autoscaler,
+    AutoscalerConfig,
+    ScaleDecision,
+)
+from repro.serving.cluster.cluster import ServingCluster
+from repro.serving.cluster.replica import EngineReplica, ReplicaState
+from repro.serving.cluster.report import (
+    ClusterReport,
+    ReplicaCountSample,
+    ReplicaLifecycle,
+    build_cluster_report,
+)
+from repro.serving.cluster.router import (
+    ROUTING_POLICIES,
+    ClusterRouter,
+    RoutingPolicy,
+    resolve_routing_policy,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ClusterReport",
+    "ClusterRouter",
+    "EngineReplica",
+    "ROUTING_POLICIES",
+    "ReplicaCountSample",
+    "ReplicaLifecycle",
+    "ReplicaState",
+    "RoutingPolicy",
+    "ScaleDecision",
+    "ServingCluster",
+    "build_cluster_report",
+    "resolve_routing_policy",
+]

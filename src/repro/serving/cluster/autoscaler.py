@@ -1,0 +1,184 @@
+"""SLO-aware replica autoscaling from a step-driven control loop.
+
+The autoscaler is a pure decision function evaluated at fixed control
+intervals of simulated time.  It reads two fleet signals:
+
+* **queue depth per routable replica** — the congestion signal.  Arrivals
+  outpacing service show up here first, before any latency percentile
+  moves.
+* **rolling p95 TTFT** — the SLO signal.  Computed over the first-token
+  times that landed inside the trailing ``ttft_window_s``, compared
+  against the configured ``slo_ttft_s`` target.
+
+Scale **up** when either signal crosses its high threshold (queue deeper
+than ``queue_high_per_replica`` per routable replica, or rolling p95 TTFT
+above the SLO) and the fleet is below ``max_replicas``.  A new replica is
+not free: it pays a warm-up cost before taking traffic (see
+:class:`~repro.serving.cluster.replica.EngineReplica`), so provisioned
+(active + warming) capacity is what is bounded, not just what is serving.
+
+Scale **down** when the queue is shallow (below ``queue_low_per_replica``)
+*and* the SLO has comfortable margin (rolling p95 under ``slo_margin`` of
+the target, or no SLO configured), draining one replica gracefully — never
+below ``min_replicas``.  ``cooldown_s`` separates consecutive actions so
+one congested window cannot flap the fleet.
+
+Everything is deterministic: thresholds are pure arithmetic over the
+observed state and ties never depend on iteration order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.serving.metrics import percentile
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Knobs of the control loop.
+
+    Attributes:
+        min_replicas: Never drain below this many provisioned
+            (active + warming) replicas.
+        max_replicas: Never spawn above this many provisioned
+            (active + warming) replicas.  A replica draining its in-flight
+            work is no longer counted — the fleet's physical footprint can
+            therefore briefly exceed this bound while a drain overlaps a
+            spawn (visible as ``ClusterReport.peak_replicas``).
+        slo_ttft_s: Rolling-p95 TTFT target in seconds; ``None`` scales on
+            queue depth alone.
+        control_interval_s: Simulated seconds between control evaluations.
+        queue_high_per_replica: Scale up when the fleet admission backlog
+            exceeds this many requests per routable replica.
+        queue_low_per_replica: Scale down only when the backlog is below
+            this many requests per routable replica.
+        ttft_window_s: Width of the trailing window the rolling p95 TTFT
+            is computed over.
+        min_window_samples: Fewer first-token samples than this in the
+            window means "no latency evidence" — the SLO signal is then
+            neutral (neither triggers an up-scale nor blocks a down-scale).
+        cooldown_s: Minimum simulated seconds between two scaling actions.
+        slo_margin: Down-scaling requires rolling p95 below
+            ``slo_margin * slo_ttft_s`` (hysteresis against flapping).
+        warmup_s: Warm-up charged to each scaled-up replica; ``None`` uses
+            the replica's own parameter-packing time (the model-grounded
+            deploy cost).
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    slo_ttft_s: Optional[float] = None
+    control_interval_s: float = 0.25
+    queue_high_per_replica: float = 4.0
+    queue_low_per_replica: float = 1.0
+    ttft_window_s: float = 2.0
+    min_window_samples: int = 5
+    cooldown_s: float = 0.5
+    slo_margin: float = 0.8
+    warmup_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be at least 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.slo_ttft_s is not None and self.slo_ttft_s <= 0:
+            raise ValueError("slo_ttft_s must be positive")
+        if self.control_interval_s <= 0:
+            raise ValueError("control_interval_s must be positive")
+        if self.queue_low_per_replica > self.queue_high_per_replica:
+            raise ValueError(
+                "queue_low_per_replica must not exceed "
+                "queue_high_per_replica")
+        if self.ttft_window_s <= 0:
+            raise ValueError("ttft_window_s must be positive")
+        if self.min_window_samples < 1:
+            raise ValueError("min_window_samples must be at least 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        if not 0 < self.slo_margin <= 1:
+            raise ValueError("slo_margin must be within (0, 1]")
+        if self.warmup_s is not None and self.warmup_s < 0:
+            raise ValueError("warmup_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One control-tick outcome (also the autoscaler's audit trail)."""
+
+    time_s: float
+    action: str                 # "up" | "down" | "hold"
+    queue_depth: int
+    routable: int
+    provisioned: int
+    rolling_p95_ttft_s: Optional[float]   # None = too few window samples
+
+
+class Autoscaler:
+    """Evaluates the scaling policy at one control tick at a time."""
+
+    def __init__(self, config: Optional[AutoscalerConfig] = None) -> None:
+        self.config = config if config is not None else AutoscalerConfig()
+        self._last_action_s = -math.inf
+        self.decisions: list = []
+
+    def reset(self) -> None:
+        """Forget cooldown state and the audit trail (a fresh run).  The
+        cluster calls this at the top of every ``run()`` so repeated runs
+        of one cluster object replay identically."""
+        self._last_action_s = -math.inf
+        self.decisions = []
+
+    def rolling_p95(self, ttfts: Sequence[float]) -> Optional[float]:
+        """p95 of the window sample, or ``None`` below the evidence floor."""
+        if len(ttfts) < self.config.min_window_samples:
+            return None
+        return percentile(ttfts, 95.0)
+
+    def decide(self, now: float, queue_depth: int, routable: int,
+               provisioned: int, window_ttfts: Sequence[float]) -> str:
+        """One control evaluation; returns ``"up"``, ``"down"`` or
+        ``"hold"`` and records the decision.
+
+        Args:
+            now: Simulated control-tick time.
+            queue_depth: Fleet-wide admission backlog (submitted, not yet
+                admitted into any batch).
+            routable: Replicas currently taking traffic (ACTIVE).
+            provisioned: Replicas consuming capacity (ACTIVE + WARMING).
+            window_ttfts: TTFTs of requests whose first token landed in
+                the trailing window.
+        """
+        config = self.config
+        p95 = self.rolling_p95(window_ttfts)
+        queue_per_replica = queue_depth / max(1, routable)
+        cooled = now - self._last_action_s >= config.cooldown_s
+
+        action = "hold"
+        if cooled:
+            congested = queue_per_replica > config.queue_high_per_replica
+            slo_missed = (config.slo_ttft_s is not None
+                          and p95 is not None and p95 > config.slo_ttft_s)
+            slo_clear = (config.slo_ttft_s is None or p95 is None
+                         or p95 <= config.slo_margin * config.slo_ttft_s)
+            if (congested or slo_missed) \
+                    and provisioned < config.max_replicas:
+                action = "up"
+            elif queue_per_replica < config.queue_low_per_replica \
+                    and slo_clear and provisioned > config.min_replicas \
+                    and routable > 1:
+                # routable > 1: a drain must leave at least one replica
+                # taking traffic, so with only warming spares there is no
+                # admissible victim — deciding "down" anyway would burn
+                # the cooldown on an action the fleet cannot apply.
+                action = "down"
+        if action != "hold":
+            self._last_action_s = now
+        self.decisions.append(ScaleDecision(
+            time_s=now, action=action, queue_depth=queue_depth,
+            routable=routable, provisioned=provisioned,
+            rolling_p95_ttft_s=p95))
+        return action

@@ -1,0 +1,270 @@
+"""The cluster orchestration loop: replicas + router + autoscaler.
+
+A :class:`ServingCluster` runs a fleet of :class:`EngineReplica`s under one
+global simulated clock.  The loop is event-driven over three event kinds,
+processed in deterministic time order (ties: arrival, then control tick,
+then engine step; equal-time steps break on the lowest replica id):
+
+* **arrival** — the next trace request reaches the front door and the
+  :class:`~repro.serving.cluster.router.ClusterRouter` dispatches it to a
+  routable replica using live queue/KV state;
+* **control tick** — the :class:`~repro.serving.cluster.autoscaler.
+  Autoscaler` (when configured) observes fleet backlog and rolling p95
+  TTFT and may spawn a replica (which warms up before taking traffic) or
+  drain one (no new admissions, in-flight work finishes, KV released);
+* **engine step** — the replica whose next step starts earliest advances
+  one continuous-batching iteration.
+
+Replica clocks advance only through their own steps, exactly like the
+single-node engine's devices; the global ordering just decides *which*
+replica steps next, so a fixed single-replica cluster reproduces
+``ServingEngine(num_devices=1)`` decision-for-decision.  One telemetry
+nuance follows from live dispatch: the engine pre-submits a device's whole
+inbox, so its queue-depth samples count arrivals that land mid-step, while
+the cluster dispatches at arrival events — a request arriving during a
+step reaches the replica (and its samples) only after that step returns.
+Scheduling decisions are identical; per-replica queue-depth timelines can
+read slightly lower than the engine's for the same trace.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.eval.latency import FpgaPerformanceModel
+from repro.models.config import ModelConfig
+from repro.serving.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.serving.cluster.replica import EngineReplica, ReplicaState
+from repro.serving.cluster.report import (
+    ClusterReport,
+    ReplicaCountSample,
+    ReplicaLifecycle,
+    build_cluster_report,
+)
+from repro.serving.cluster.router import ClusterRouter, RoutingPolicy
+from repro.serving.kv_manager import KVCacheConfig
+from repro.serving.policies.preemption import PreemptionPolicy
+from repro.serving.request import ServingRequest, requests_from_trace
+from repro.serving.scheduler import SchedulerConfig
+from repro.serving.workload_gen import TimedRequest
+
+
+class ServingCluster:
+    """A fleet of single-device serving engines behind a router.
+
+    Args:
+        config: The model every replica serves.
+        initial_replicas: Fleet size at time zero (these replicas are warm
+            — like the engine's steady-state default, their one-time
+            packing is not charged).
+        router: Routing policy name or instance (``round_robin``,
+            ``least_queue``, ``least_kv_pressure``, ``prefix_affinity``).
+        scheduler_config: Per-replica iteration-level scheduling knobs.
+        performance_model: Analytical accelerator model shared by the fleet.
+        kv_config: Optional per-replica KV block pool.
+        preemption: Per-replica preemption policy under KV pressure.
+        autoscaler: ``AutoscalerConfig`` (or a prepared ``Autoscaler``) to
+            scale the fleet from the control loop; ``None`` keeps the
+            fleet fixed at ``initial_replicas``.
+    """
+
+    def __init__(self, config: ModelConfig,
+                 initial_replicas: int = 1,
+                 router: Union[str, RoutingPolicy] = "round_robin",
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 performance_model: Optional[FpgaPerformanceModel] = None,
+                 kv_config: Optional[KVCacheConfig] = None,
+                 preemption: Union[str, PreemptionPolicy] = "youngest",
+                 autoscaler: Union[AutoscalerConfig, Autoscaler, None] = None,
+                 ) -> None:
+        if initial_replicas < 1:
+            raise ValueError("initial_replicas must be at least 1")
+        self.config = config
+        self.initial_replicas = initial_replicas
+        self.router = ClusterRouter(router)
+        self.scheduler_config = scheduler_config
+        self.performance_model = performance_model
+        self.kv_config = kv_config
+        self.preemption = preemption
+        if isinstance(autoscaler, Autoscaler):
+            self.autoscaler: Optional[Autoscaler] = autoscaler
+        elif autoscaler is not None:
+            self.autoscaler = Autoscaler(autoscaler)
+        else:
+            self.autoscaler = None
+        if self.autoscaler is not None:
+            bounds = self.autoscaler.config
+            if not bounds.min_replicas <= initial_replicas \
+                    <= bounds.max_replicas:
+                raise ValueError(
+                    f"initial_replicas={initial_replicas} outside the "
+                    f"autoscaler bounds [{bounds.min_replicas}, "
+                    f"{bounds.max_replicas}]")
+        self.replicas: List[EngineReplica] = []
+        self._timeline: List[ReplicaCountSample] = []
+        # Rolling first-token window for the autoscaler: events consumed
+        # incrementally from each worker's ttft_samples (cursor per
+        # replica), expired entries dropped — O(window) per control tick
+        # instead of rescanning every request.
+        self._ttft_cursors: Dict[int, int] = {}
+        self._ttft_window: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # Fleet bookkeeping
+    # ------------------------------------------------------------------
+    def _spawn(self, spawned_s: float,
+               warmup_s: Optional[float]) -> EngineReplica:
+        replica = EngineReplica(
+            len(self.replicas), self.config,
+            scheduler_config=self.scheduler_config,
+            performance_model=self.performance_model,
+            kv_config=self.kv_config,
+            preemption=self.preemption,
+            spawned_s=spawned_s, warmup_s=warmup_s)
+        self.replicas.append(replica)
+        return replica
+
+    def _record(self, now: float) -> None:
+        states = [replica.state for replica in self.replicas]
+        self._timeline.append(ReplicaCountSample(
+            time_s=now,
+            active=states.count(ReplicaState.ACTIVE),
+            warming=states.count(ReplicaState.WARMING),
+            draining=states.count(ReplicaState.DRAINING)))
+
+    def _activate_due(self, now: float) -> None:
+        for replica in self.replicas:
+            if replica.activate_if_ready(now):
+                self._record(now)
+
+    def _routable(self) -> List[EngineReplica]:
+        return [replica for replica in self.replicas if replica.routable]
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _window_ttfts(self, now: float) -> List[float]:
+        """TTFTs of requests whose first token landed within the trailing
+        window.  A replica's clock can run ahead of the control tick (a
+        step is atomic), so events beyond ``now`` stay buffered for a
+        later tick rather than leaking into this one's percentile."""
+        for replica in self.replicas:
+            samples = replica.worker.ttft_samples
+            seen = self._ttft_cursors.get(replica.replica_id, 0)
+            if seen < len(samples):
+                self._ttft_window.extend(samples[seen:])
+                self._ttft_cursors[replica.replica_id] = len(samples)
+        window_start = now - self.autoscaler.config.ttft_window_s
+        self._ttft_window = [event for event in self._ttft_window
+                             if event[0] >= window_start]
+        return [ttft for landed, ttft in self._ttft_window if landed <= now]
+
+    def _control(self, now: float) -> None:
+        """One autoscaler evaluation, applying its decision to the fleet."""
+        scaler = self.autoscaler
+        self._activate_due(now)
+        routable = self._routable()
+        provisioned = [replica for replica in self.replicas
+                       if replica.state in (ReplicaState.ACTIVE,
+                                            ReplicaState.WARMING)]
+        queue_depth = sum(replica.queue_depth
+                          for replica in self.replicas
+                          if replica.state is not ReplicaState.STOPPED)
+        window_ttfts = self._window_ttfts(now)
+        action = scaler.decide(now, queue_depth, len(routable),
+                               len(provisioned), window_ttfts)
+        if action == "up":
+            self._spawn(now, scaler.config.warmup_s)
+            self._record(now)
+        elif action == "down":
+            # The autoscaler only decides "down" with >1 routable replica,
+            # so a victim always exists and arrivals always keep somewhere
+            # to go.  Drain the least-loaded active replica (ties: the
+            # youngest goes first, LIFO).
+            victim = min(routable,
+                         key=lambda r: (r.in_system, -r.replica_id))
+            victim.drain(now)
+            self._record(now)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(self, trace: Sequence[TimedRequest]) -> ClusterReport:
+        """Serve a whole trace through the fleet; returns the cluster
+        report.  Like the engine, every ``run()`` builds a fresh fleet so
+        repeated runs measure the same system."""
+        self.replicas = []
+        self._timeline = []
+        self._ttft_cursors = {}
+        self._ttft_window = []
+        self.router.policy.reset()
+        if self.autoscaler is not None:
+            self.autoscaler.reset()
+        for _ in range(self.initial_replicas):
+            self._spawn(0.0, warmup_s=0.0)
+        self._record(0.0)
+
+        requests = requests_from_trace(trace)
+        arrivals: Deque[ServingRequest] = deque(requests)
+
+        scaler = self.autoscaler
+        next_control = scaler.config.control_interval_s \
+            if scaler is not None else math.inf
+
+        while True:
+            live = [replica for replica in self.replicas
+                    if replica.state is not ReplicaState.STOPPED
+                    and replica.has_work]
+            if not arrivals and not live:
+                break
+            t_arrival = arrivals[0].arrival_s if arrivals else math.inf
+            stepper = min(live, key=lambda r: (r.next_ready_s,
+                                               r.replica_id)) \
+                if live else None
+            t_step = stepper.next_ready_s if stepper else math.inf
+            t_control = next_control if scaler is not None else math.inf
+
+            if t_arrival <= t_step and t_arrival <= t_control:
+                request = arrivals.popleft()
+                self._activate_due(request.arrival_s)
+                self.router.dispatch(request, self._routable())
+            elif t_control <= t_step:
+                self._control(t_control)
+                next_control += scaler.config.control_interval_s
+            else:
+                state_before = stepper.state
+                stepper.step()
+                if stepper.state is not state_before:
+                    # A draining replica ran dry mid-step and stopped.
+                    self._record(stepper.worker.clock)
+
+        # Last real fleet activity.  A spawned-but-never-stepped replica's
+        # clock sits at its (possibly future) ready_s — counting it would
+        # charge phantom replica-seconds to the whole fleet, so only
+        # replicas that executed work or stopped contribute their clocks.
+        end_s = 0.0
+        for replica in self.replicas:
+            end_s = max(end_s, replica.spawned_s)
+            if replica.worker.steps > 0:
+                end_s = max(end_s, replica.worker.clock)
+            if replica.stopped_s is not None:
+                end_s = max(end_s, replica.stopped_s)
+        lifecycles = [ReplicaLifecycle(replica.replica_id,
+                                       replica.spawned_s,
+                                       replica.ready_s,
+                                       replica.stopped_s)
+                      for replica in self.replicas]
+        replica_reports = [replica.report(self.config.name)
+                           for replica in self.replicas]
+        return build_cluster_report(
+            self.config.name, self.router.policy.name,
+            autoscaled=scaler is not None,
+            requests=requests,
+            replica_reports=replica_reports,
+            lifecycles=lifecycles,
+            timeline=sorted(self._timeline, key=lambda s: s.time_s),
+            end_s=end_s,
+            slo_ttft_s=scaler.config.slo_ttft_s
+            if scaler is not None else None)

@@ -1,0 +1,190 @@
+"""One fleet member: a lifecycle wrapper around a single-device engine.
+
+An :class:`EngineReplica` owns one :class:`~repro.serving.ServingEngine`
+(``num_devices=1``) together with its private KV block pool and drives the
+engine's step-granular :class:`~repro.serving.engine.DeviceWorker` directly,
+so the cluster can interleave replica steps under a global clock instead of
+running each engine to completion.
+
+On top of the worker it adds the lifecycle a fleet manager needs:
+
+``WARMING``
+    Spawned but not yet serving.  Scale-up is not free — a new replica pays
+    a warm-up cost before it can take traffic (by default the engine's own
+    one-time parameter-packing time, the natural deploy cost of the
+    simulated accelerator; an :class:`AutoscalerConfig` may override it).
+``ACTIVE``
+    Routable: the router may dispatch arrivals to it.
+``DRAINING``
+    Graceful shutdown: no new submissions are accepted, but everything
+    already submitted — queued and in-flight — runs to completion.
+``STOPPED``
+    Drained dry; the KV pool is released.  The replica keeps its counters
+    so the final per-replica report is still complete.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Union
+
+from repro.eval.latency import FpgaPerformanceModel
+from repro.models.config import ModelConfig
+from repro.serving.engine import DeviceWorker, ServingEngine
+from repro.serving.kv_manager import KVCacheConfig
+from repro.serving.metrics import ServingReport, build_report
+from repro.serving.policies.preemption import PreemptionPolicy
+from repro.serving.request import ServingRequest
+from repro.serving.scheduler import SchedulerConfig
+
+
+class ReplicaState(Enum):
+    WARMING = "warming"    # spawned, paying the warm-up cost
+    ACTIVE = "active"      # routable
+    DRAINING = "draining"  # finishing submitted work, accepts nothing new
+    STOPPED = "stopped"    # drained dry, KV pool released
+
+
+class EngineReplica:
+    """One serving engine instance inside a cluster.
+
+    Args:
+        replica_id: Fleet-unique id; doubles as the device id in the
+            replica's report, so per-replica stats stay distinguishable
+            after aggregation.
+        config: The model this replica serves.
+        scheduler_config: Per-replica iteration-level scheduling knobs.
+        performance_model: Analytical accelerator model.
+        kv_config: Optional KV block pool for this replica.
+        preemption: Preemption policy (name or instance) under KV pressure.
+        spawned_s: Simulated time the replica was brought up.
+        warmup_s: Seconds between spawn and serving readiness.  ``None``
+            charges the engine's one-time parameter-packing time — the
+            model-grounded deploy cost; ``0.0`` makes the replica ready
+            immediately (the initial fleet).
+    """
+
+    def __init__(self, replica_id: int, config: ModelConfig,
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 performance_model: Optional[FpgaPerformanceModel] = None,
+                 kv_config: Optional[KVCacheConfig] = None,
+                 preemption: Union[str, PreemptionPolicy] = "youngest",
+                 spawned_s: float = 0.0,
+                 warmup_s: Optional[float] = 0.0) -> None:
+        self.replica_id = replica_id
+        # The replica owns a real single-device ServingEngine rather than
+        # assembling session/scheduler/policies by hand: the engine's
+        # constructor is the one place the configuration is validated
+        # (fail-fast KV pool sizing, policy resolution), and the loop the
+        # replica drives below is the engine's own DeviceWorker — the same
+        # code path every engine test exercises.
+        self.engine = ServingEngine(config, num_devices=1,
+                                    scheduler_config=scheduler_config,
+                                    performance_model=performance_model,
+                                    kv_config=kv_config,
+                                    preemption=preemption)
+        self.worker = DeviceWorker(replica_id, self.engine.sessions[0],
+                                   self.engine.scheduler_config,
+                                   preemption=self.engine.preemption,
+                                   kv_config=kv_config)
+        self.spawned_s = spawned_s
+        self.warmup_s = self.worker.packing_s if warmup_s is None \
+            else warmup_s
+        if self.warmup_s < 0:
+            raise ValueError("warmup_s must be non-negative")
+        self.ready_s = spawned_s + self.warmup_s
+        # The worker's clock starts at readiness: a freshly scaled-up
+        # replica cannot execute a step before its warm-up elapsed.
+        self.worker.clock = self.ready_s
+        self.state = ReplicaState.WARMING if self.warmup_s > 0 \
+            else ReplicaState.ACTIVE
+        self.stopped_s: Optional[float] = None
+        self.requests: List[ServingRequest] = []
+
+    # ------------------------------------------------------------------
+    # Load signals (what the router and autoscaler read)
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests submitted but not yet admitted into the batch."""
+        return self.worker.queue_depth
+
+    @property
+    def num_running(self) -> int:
+        return self.worker.num_running
+
+    @property
+    def in_system(self) -> int:
+        """Outstanding requests: queued plus resident in the batch."""
+        return self.worker.queue_depth + self.worker.num_running
+
+    @property
+    def kv_utilization(self) -> float:
+        return self.worker.kv_utilization
+
+    @property
+    def has_work(self) -> bool:
+        return self.worker.has_work
+
+    @property
+    def next_ready_s(self) -> float:
+        return self.worker.next_ready_s
+
+    @property
+    def routable(self) -> bool:
+        return self.state is ReplicaState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def activate_if_ready(self, now: float) -> bool:
+        """Promote WARMING -> ACTIVE once the warm-up elapsed."""
+        if self.state is ReplicaState.WARMING and now >= self.ready_s:
+            self.state = ReplicaState.ACTIVE
+            return True
+        return False
+
+    def submit(self, request: ServingRequest) -> None:
+        if not self.routable:
+            raise RuntimeError(
+                f"replica {self.replica_id} is {self.state.value} and "
+                "cannot take new requests")
+        self.requests.append(request)
+        self.worker.submit(request)
+
+    def step(self) -> bool:
+        """Advance one engine iteration; a draining replica that ran dry
+        transitions to STOPPED and releases its KV pool."""
+        progressed = self.worker.step()
+        if self.state is ReplicaState.DRAINING and not self.worker.has_work:
+            self._stop(self.worker.clock)
+        return progressed
+
+    def drain(self, now: float) -> None:
+        """Begin graceful shutdown: accept nothing new, finish everything
+        already submitted, then release the KV pool.  An idle replica
+        stops immediately."""
+        if self.state in (ReplicaState.DRAINING, ReplicaState.STOPPED):
+            return
+        self.state = ReplicaState.DRAINING
+        self.worker.drain()
+        if not self.worker.has_work:
+            self._stop(max(now, self.worker.clock))
+
+    def _stop(self, now: float) -> None:
+        self.state = ReplicaState.STOPPED
+        self.stopped_s = now
+        self.worker.release_kv()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self, model_name: str) -> ServingReport:
+        """This replica's run folded into a standard serving report."""
+        kv_config = self.engine.kv_config
+        return build_report(
+            model_name, 1, self.requests, [self.worker.device_stats()],
+            self.worker.queue_samples, self.worker.kv_samples,
+            self.worker.preemption_events,
+            prefix_cache_enabled=kv_config is not None
+            and kv_config.enable_prefix_cache)

@@ -1,0 +1,252 @@
+"""Fleet-level aggregation of per-replica serving reports.
+
+A cluster run is judged on different axes than a single engine: aggregate
+fleet throughput, what fraction of requests met the TTFT SLO, how many
+replica-seconds of capacity the run consumed (the cost side of
+autoscaling), and how the fleet size evolved over the run.  The per-replica
+:class:`~repro.serving.metrics.ServingReport`s stay available for
+drill-down; the fleet latency distributions are recomputed over *all*
+requests so they are exact, not an average of per-replica percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.serving.metrics import LatencyStats, ServingReport, fold_requests
+from repro.serving.request import ServingRequest
+
+
+@dataclass(frozen=True)
+class ReplicaCountSample:
+    """Fleet composition at one timeline instant."""
+
+    time_s: float
+    active: int
+    warming: int
+    draining: int
+
+    @property
+    def provisioned(self) -> int:
+        """Replicas consuming capacity: serving, warming up, or draining.
+
+        Draining replicas count — they still hold their engine and KV pool
+        while finishing in-flight work — so this can briefly exceed the
+        autoscaler's ``max_replicas``, which bounds only the
+        committed-forward fleet (active + warming) a new spawn adds to.
+        """
+        return self.active + self.warming + self.draining
+
+
+@dataclass(frozen=True)
+class ReplicaLifecycle:
+    """Spawn-to-stop span of one replica (``stopped_s`` ``None`` = alive
+    at end of run)."""
+
+    replica_id: int
+    spawned_s: float
+    ready_s: float
+    stopped_s: Optional[float]
+
+    def seconds(self, end_s: float) -> float:
+        """Capacity consumed: spawn (warm-up included) to stop or run end."""
+        end = self.stopped_s if self.stopped_s is not None else end_s
+        return max(0.0, end - self.spawned_s)
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate outcome of one cluster run."""
+
+    model: str
+    router: str
+    autoscaled: bool
+    num_requests: int
+    completed: int
+    rejected: int
+    total_output_tokens: int
+    makespan_s: float
+    end_s: float                      # last fleet activity (>= makespan end)
+    ttft: LatencyStats
+    tpot: LatencyStats
+    e2e_latency: LatencyStats
+    queue_wait: LatencyStats
+    slo_ttft_s: Optional[float] = None
+    slo_attained: Optional[int] = None    # completed requests within SLO
+    replica_reports: List[ServingReport] = field(default_factory=list)
+    lifecycles: List[ReplicaLifecycle] = field(default_factory=list)
+    timeline: List[ReplicaCountSample] = field(default_factory=list)
+
+    @property
+    def fleet_tokens_per_s(self) -> float:
+        """Output tokens per wall-clock second across the whole fleet."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.makespan_s
+
+    @property
+    def slo_attainment(self) -> Optional[float]:
+        """Fraction of completed requests whose TTFT met the SLO (``None``
+        without a configured SLO; 1.0 on an empty run — nothing missed)."""
+        if self.slo_ttft_s is None or self.slo_attained is None:
+            return None
+        if self.completed <= 0:
+            return 1.0
+        return self.slo_attained / self.completed
+
+    @property
+    def replica_seconds(self) -> float:
+        """Total capacity consumed: sum of every replica's spawn-to-stop
+        span (warm-up included — scaling up is not free)."""
+        return sum(life.seconds(self.end_s) for life in self.lifecycles)
+
+    @property
+    def peak_replicas(self) -> int:
+        return max((sample.provisioned for sample in self.timeline),
+                   default=len(self.lifecycles))
+
+    @property
+    def preemptions(self) -> int:
+        return sum(report.preemptions for report in self.replica_reports)
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fleet-wide prefix hit rate (0.0 unless prefix caching ran)."""
+        prompt = sum(sum(d.prompt_tokens for d in report.devices)
+                     for report in self.replica_reports)
+        if prompt <= 0:
+            return 0.0
+        reused = sum(report.prefix_tokens_reused
+                     for report in self.replica_reports)
+        return reused / prompt
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (latencies in milliseconds)."""
+        payload = {
+            "model": self.model,
+            "router": self.router,
+            "autoscaled": self.autoscaled,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "total_output_tokens": self.total_output_tokens,
+            "makespan_s": self.makespan_s,
+            "fleet_tokens_per_s": self.fleet_tokens_per_s,
+            "replica_seconds": self.replica_seconds,
+            "peak_replicas": self.peak_replicas,
+            "preemptions": self.preemptions,
+            "ttft_ms": self.ttft.to_ms_dict(),
+            "tpot_ms": self.tpot.to_ms_dict(),
+            "e2e_latency_ms": self.e2e_latency.to_ms_dict(),
+            "queue_wait_ms": self.queue_wait.to_ms_dict(),
+            "replica_count_timeline": [
+                {"time_s": s.time_s, "active": s.active,
+                 "warming": s.warming, "draining": s.draining}
+                for s in self.timeline
+            ],
+            "replicas": [
+                {"replica_id": life.replica_id,
+                 "spawned_s": life.spawned_s,
+                 "ready_s": life.ready_s,
+                 "stopped_s": life.stopped_s,
+                 "replica_seconds": life.seconds(self.end_s),
+                 "requests_completed": report.completed,
+                 "tokens_generated": report.total_output_tokens,
+                 "preemptions": report.preemptions}
+                for life, report in zip(self.lifecycles,
+                                        self.replica_reports)
+            ],
+        }
+        if self.slo_ttft_s is not None:
+            # SLO keys only appear when an SLO was configured, mirroring
+            # the report-shape convention of the prefix-cache section.
+            payload["slo"] = {
+                "ttft_ms": self.slo_ttft_s * 1e3,
+                "attained": self.slo_attained,
+                "attainment": self.slo_attainment,
+            }
+        if any(report.prefix_cache_enabled
+               for report in self.replica_reports):
+            payload["prefix_hit_rate"] = self.prefix_hit_rate
+        return payload
+
+    def format(self) -> str:
+        scaling = "autoscaled" if self.autoscaled else "fixed fleet"
+        lines = [
+            f"cluster report: {self.model}, router {self.router} "
+            f"({scaling}, peak {self.peak_replicas} replica(s))",
+            f"  requests:      {self.completed}/{self.num_requests} completed"
+            + (f", {self.rejected} rejected" if self.rejected else ""),
+            f"  fleet output:  {self.total_output_tokens} tokens over "
+            f"{self.makespan_s:.2f} s -> "
+            f"{self.fleet_tokens_per_s:.1f} tok/s",
+            f"  capacity:      {self.replica_seconds:.1f} replica-seconds",
+        ]
+        if self.slo_ttft_s is not None:
+            lines.append(
+                f"  slo:           p95 TTFT target "
+                f"{self.slo_ttft_s * 1e3:.0f} ms, attainment "
+                f"{(self.slo_attainment or 0.0) * 100:.1f}% "
+                f"({self.slo_attained}/{self.completed} within SLO)")
+        if any(report.prefix_cache_enabled
+               for report in self.replica_reports):
+            lines.append(
+                f"  prefix cache:  fleet hit rate "
+                f"{self.prefix_hit_rate * 100:.0f}%")
+        lines += [
+            "  latency (ms):",
+            f"    ttft        {self.ttft.format_ms()}",
+            f"    tpot        {self.tpot.format_ms()}",
+            f"    e2e         {self.e2e_latency.format_ms()}",
+            f"    queue wait  {self.queue_wait.format_ms()}",
+        ]
+        for life, report in zip(self.lifecycles, self.replica_reports):
+            stopped = (f"stopped {life.stopped_s:.2f}s"
+                       if life.stopped_s is not None else "alive at end")
+            lines.append(
+                f"  replica {life.replica_id}: "
+                f"{report.completed} requests, "
+                f"{report.total_output_tokens} tokens, "
+                f"spawned {life.spawned_s:.2f}s, {stopped}, "
+                f"{life.seconds(self.end_s):.1f} replica-s")
+        return "\n".join(lines)
+
+
+def build_cluster_report(model: str, router: str, autoscaled: bool,
+                         requests: Sequence[ServingRequest],
+                         replica_reports: List[ServingReport],
+                         lifecycles: List[ReplicaLifecycle],
+                         timeline: List[ReplicaCountSample],
+                         end_s: float,
+                         slo_ttft_s: Optional[float] = None,
+                         ) -> ClusterReport:
+    """Fold per-request timestamps and replica lifecycles into the fleet
+    report.  Latency distributions are computed over all requests directly
+    (via the same :func:`~repro.serving.metrics.fold_requests` the engine
+    report uses) so fleet percentiles are exact."""
+    fold = fold_requests(requests)
+    slo_attained = None
+    if slo_ttft_s is not None:
+        slo_attained = sum(1 for r in fold.finished
+                           if r.ttft_s <= slo_ttft_s)
+    return ClusterReport(
+        model=model,
+        router=router,
+        autoscaled=autoscaled,
+        num_requests=len(requests),
+        completed=len(fold.finished),
+        rejected=len(fold.rejected),
+        total_output_tokens=fold.total_output_tokens,
+        makespan_s=fold.makespan_s,
+        end_s=end_s,
+        ttft=fold.ttft,
+        tpot=fold.tpot,
+        e2e_latency=fold.e2e_latency,
+        queue_wait=fold.queue_wait,
+        slo_ttft_s=slo_ttft_s,
+        slo_attained=slo_attained,
+        replica_reports=replica_reports,
+        lifecycles=lifecycles,
+        timeline=timeline,
+    )

@@ -1,0 +1,189 @@
+"""Routing policies: which replica an arriving request is dispatched to.
+
+The cluster front door.  Unlike the engine's *placement* policies — which
+shard a whole trace up front from a static tally — routing happens live:
+the policy sees the replicas' actual queue depths, batch occupancy and KV
+pressure at the request's arrival instant, because the cluster interleaves
+replica execution under a global clock.  Policies follow the same registry
+pattern as :mod:`repro.serving.policies` (a name -> class dict plus a
+``resolve_*`` helper accepting names or instances) and are deterministic:
+every tie breaks on the lowest replica id.
+
+``round_robin``
+    Dispatch counter modulo the routable fleet — the baseline spreader.
+``least_queue``
+    Fewest outstanding requests (queued + running) wins — classic
+    least-outstanding-requests balancing, robust to heterogeneous lengths.
+``least_kv_pressure``
+    Lowest KV block-pool occupancy wins; degrades to ``least_queue`` when
+    replicas run without a KV manager (all utilizations are then 0.0).
+``prefix_affinity``
+    Requests sharing a ``prefix_group`` stick to the replica that first
+    served the group, so the per-replica prefix caches (PR 3) keep hitting
+    instead of each replica recomputing the same shared prompt.
+    Group-less requests and first-seen groups fall back to ``least_queue``;
+    a group whose pinned replica left the fleet is re-pinned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type, Union
+
+from repro.serving.cluster.replica import EngineReplica
+from repro.serving.request import ServingRequest
+
+
+class RoutingPolicy:
+    """Selects a replica for one arriving request; deterministic."""
+
+    name: str = "abstract"
+
+    def select_replica(self, request: ServingRequest,
+                       replicas: List[EngineReplica]) -> int:
+        """Return the chosen replica's ``replica_id``.
+
+        ``replicas`` holds the currently routable fleet in ascending
+        ``replica_id`` order and is never empty.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget any dispatch state (a fresh run).  The cluster calls
+        this at the top of every ``run()`` so repeated runs of one
+        cluster object replay identically; stateless policies keep the
+        no-op default."""
+
+
+def _least_queue(replicas: List[EngineReplica]) -> int:
+    return min(replicas,
+               key=lambda r: (r.in_system, r.replica_id)).replica_id
+
+
+class RoundRobinRouting(RoutingPolicy):
+    """Dispatch counter modulo the routable fleet.
+
+    The fleet can grow and shrink between dispatches, so the counter
+    indexes the *current* routable list (ascending replica id) rather than
+    a fixed device range; with a static fleet this is exactly the engine's
+    round-robin placement.
+    """
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._placed = 0
+
+    def reset(self) -> None:
+        self._placed = 0
+
+    def select_replica(self, request: ServingRequest,
+                       replicas: List[EngineReplica]) -> int:
+        choice = replicas[self._placed % len(replicas)].replica_id
+        self._placed += 1
+        return choice
+
+
+class LeastQueueRouting(RoutingPolicy):
+    """Fewest outstanding requests wins; lowest replica id breaks ties."""
+
+    name = "least_queue"
+
+    def select_replica(self, request: ServingRequest,
+                       replicas: List[EngineReplica]) -> int:
+        return _least_queue(replicas)
+
+
+class LeastKVPressureRouting(RoutingPolicy):
+    """Lowest KV-pool occupancy wins; ties by outstanding requests, then id.
+
+    Keeps memory pressure — and therefore preemption recompute — even
+    across the fleet.  Without KV managers every utilization is 0.0 and
+    the tie-break makes this ``least_queue``.
+    """
+
+    name = "least_kv_pressure"
+
+    def select_replica(self, request: ServingRequest,
+                       replicas: List[EngineReplica]) -> int:
+        return min(replicas,
+                   key=lambda r: (r.kv_utilization, r.in_system,
+                                  r.replica_id)).replica_id
+
+
+class PrefixAffinityRouting(RoutingPolicy):
+    """Sticky routing by ``prefix_group`` so prefix caches keep hitting.
+
+    The first request of a group is balanced like ``least_queue`` and pins
+    its group to the chosen replica; every later member follows the pin.
+    A pin whose replica is no longer routable (drained away) is dropped
+    and the group re-pins on its next request.
+    """
+
+    name = "prefix_affinity"
+
+    def __init__(self) -> None:
+        self._pins: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._pins.clear()
+
+    def select_replica(self, request: ServingRequest,
+                       replicas: List[EngineReplica]) -> int:
+        if request.prefix_group is None:
+            return _least_queue(replicas)
+        available = {replica.replica_id for replica in replicas}
+        pinned = self._pins.get(request.prefix_group)
+        if pinned is not None and pinned in available:
+            return pinned
+        choice = _least_queue(replicas)
+        self._pins[request.prefix_group] = choice
+        return choice
+
+
+ROUTING_POLICIES: Dict[str, Type[RoutingPolicy]] = {
+    RoundRobinRouting.name: RoundRobinRouting,
+    LeastQueueRouting.name: LeastQueueRouting,
+    LeastKVPressureRouting.name: LeastKVPressureRouting,
+    PrefixAffinityRouting.name: PrefixAffinityRouting,
+}
+
+
+def resolve_routing_policy(policy: Union[str, RoutingPolicy]) -> RoutingPolicy:
+    """Accepts a policy name or a :class:`RoutingPolicy` instance."""
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return ROUTING_POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {policy!r}; "
+            f"choose from {sorted(ROUTING_POLICIES)}") from None
+
+
+class ClusterRouter:
+    """The cluster front door: dispatches one arrival to one replica.
+
+    A thin, policy-driven component so the orchestration loop never
+    hard-codes a balancing strategy; it also validates the policy's choice
+    the way the engine validates placement.
+    """
+
+    def __init__(self, policy: Union[str, RoutingPolicy] = "round_robin"
+                 ) -> None:
+        self.policy = resolve_routing_policy(policy)
+
+    def dispatch(self, request: ServingRequest,
+                 replicas: List[EngineReplica]) -> EngineReplica:
+        """Route ``request`` to a routable replica and submit it."""
+        if not replicas:
+            raise RuntimeError("no routable replicas to dispatch to")
+        choice = self.policy.select_replica(request, replicas)
+        by_id = {replica.replica_id: replica for replica in replicas}
+        if choice not in by_id:
+            raise ValueError(
+                f"routing policy {self.policy.name!r} chose replica "
+                f"{choice}, not one of the routable "
+                f"{sorted(by_id)}")
+        replica = by_id[choice]
+        replica.submit(request)
+        return replica

@@ -29,6 +29,17 @@ across requests of the same prefix group, and admissions skip prefill for
 positions whose KV rows are already cached (the report then carries the
 prefix hit rate and shared-block counters).
 
+The per-device loop itself lives in :class:`DeviceWorker`, a *step-driven*
+object: ``step()`` advances exactly one engine iteration and returns whether
+work remains.  ``ServingEngine`` drives each worker to completion over its
+statically placed inbox; the cluster tier
+(:mod:`repro.serving.cluster`) instead interleaves worker steps across many
+replicas under a global clock, routing arrivals and scaling the fleet
+between steps.  The worker also carries the two hooks the cluster needs:
+``queue_depth`` (admission backlog, the router/autoscaler load signal) and
+``drain()`` (finish everything already submitted, accept nothing new, then
+release the KV pool).
+
 Honesty note: the paper (conf_micro_YeC25) evaluates *single-request*
 latency/energy and its Section 2 host runtime triggers one request at a
 time; everything here — request queues, token-budget scheduling, multi-device
@@ -66,9 +77,357 @@ from repro.serving.policies.preemption import (
     PreemptionPolicy,
     resolve_preemption_policy,
 )
-from repro.serving.request import RequestState, ServingRequest
+from repro.serving.request import (
+    RequestState,
+    ServingRequest,
+    requests_from_trace,
+)
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
 from repro.serving.workload_gen import TimedRequest
+
+
+class DeviceWorker:
+    """One device's continuous-batching loop, advanced one step at a time.
+
+    Owns the waiting/running queues, the per-device scheduler instance and
+    (optionally) the KV block manager of a single simulated accelerator.
+    ``submit()`` hands it requests in arrival order; each ``step()`` runs one
+    engine iteration — admission sweep, watermark hysteresis, plan (with
+    preempt-and-replan on KV starvation), execute, record — exactly as the
+    monolithic PR 1/PR 2 loop did, so driving a worker to completion is
+    byte-for-byte the historical ``ServingEngine`` behaviour.
+
+    The step granularity is what the cluster tier builds on: a
+    :class:`~repro.serving.cluster.ServingCluster` interleaves steps across
+    replicas in global-clock order, reads ``queue_depth`` for routing and
+    autoscaling decisions, and calls ``drain()``/``release_kv()`` to retire
+    a replica gracefully.
+    """
+
+    def __init__(self, device_id: int, session: InferenceSession,
+                 scheduler_config: SchedulerConfig,
+                 preemption: PreemptionPolicy,
+                 kv_config: Optional[KVCacheConfig] = None,
+                 cold_start: bool = False,
+                 queue_samples: Optional[List[QueueSample]] = None,
+                 kv_samples: Optional[List[KVSample]] = None,
+                 preemption_events: Optional[List[PreemptionEvent]] = None,
+                 ) -> None:
+        self.device_id = device_id
+        self.session = session
+        self.kv_config = kv_config
+        self.preemption = preemption
+        self.scheduler = ContinuousBatchingScheduler(scheduler_config)
+        self.pending: Deque[ServingRequest] = deque()
+        self.waiting: Deque[ServingRequest] = deque()
+        self.running: List[ServingRequest] = []
+        self.manager: Optional[KVBlockManager] = None
+        if kv_config is not None:
+            self.manager = kv_config.manager_for(session.kv_bytes_per_token)
+        self._prefix_caching = self.manager is not None \
+            and self.manager.prefix_cache_enabled
+
+        # Sample sinks; the engine shares one list across its devices, a
+        # cluster replica keeps its own.
+        self.queue_samples = queue_samples if queue_samples is not None else []
+        self.kv_samples = kv_samples if kv_samples is not None else []
+        self.preemption_events = preemption_events \
+            if preemption_events is not None else []
+
+        # Every worker starts from a cold device so repeated runs (parameter
+        # sweeps, benchmark repetitions) measure the same system.
+        session.reset()
+        self.packing_s = session.pack_parameters()
+        self.clock = self.packing_s if cold_start else 0.0
+        self.busy_s = 0.0
+        self.steps = 0
+        self.tokens = 0
+        self.served = 0
+        self.preempt_count = 0
+        self.prompt_tokens = 0
+        self.draining = False
+        # (first-token time, TTFT) per request, in emission order — the
+        # rolling-latency feed the cluster autoscaler consumes
+        # incrementally instead of rescanning every request per tick.
+        self.ttft_samples: List[tuple] = []
+        self._kv_counters_snapshot: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Cluster-facing hooks
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests submitted but not yet admitted into the batch."""
+        return len(self.pending) + len(self.waiting)
+
+    @property
+    def num_running(self) -> int:
+        return len(self.running)
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.pending or self.waiting or self.running)
+
+    @property
+    def kv_utilization(self) -> float:
+        """Current block-pool occupancy (0.0 without a KV manager)."""
+        if self.manager is None:
+            return 0.0
+        return self.manager.utilization
+
+    @property
+    def next_ready_s(self) -> float:
+        """Earliest simulated time the next step can start.
+
+        The device's own clock when work is resident (or an already-arrived
+        submission is waiting), otherwise the arrival of its earliest
+        pending request — the moment an idle device would jump to.
+        """
+        if self.waiting or self.running:
+            return self.clock
+        if self.pending:
+            return max(self.clock, self.pending[0].arrival_s)
+        return self.clock
+
+    def submit(self, request: ServingRequest) -> None:
+        """Queue one request; callers submit in arrival order."""
+        if self.draining:
+            raise RuntimeError(
+                f"device {self.device_id} is draining and accepts no new "
+                "requests")
+        self.pending.append(request)
+
+    def drain(self) -> None:
+        """Stop accepting new submissions; already-submitted work (queued
+        and in-flight) still runs to completion."""
+        self.draining = True
+
+    def release_kv(self) -> None:
+        """Drop the KV block pool (a drained replica giving back its
+        memory).  Only legal once the worker ran dry — releasing under a
+        live batch would silently drop all block accounting mid-run.  The
+        manager's counters are snapshotted first so the final report still
+        carries peak utilization and prefix-cache totals."""
+        if self.has_work:
+            raise RuntimeError(
+                f"device {self.device_id} still has work in flight; "
+                "drain it dry before releasing the KV pool")
+        if self.manager is not None:
+            self._kv_counters_snapshot = self._kv_counters(self.manager)
+            self.manager = None
+            self._prefix_caching = False
+
+    # ------------------------------------------------------------------
+    # The engine iteration
+    # ------------------------------------------------------------------
+    def _admit_arrivals(self) -> None:
+        """Iteration-level admission: arrivals become visible at step
+        boundaries."""
+        manager = self.manager
+        while self.pending and self.pending[0].arrival_s <= self.clock:
+            request = self.pending.popleft()
+            request.device_id = self.device_id
+            # A request whose total positions outgrow the whole block pool
+            # could never finish even alone on the device; reject it up
+            # front or it would preempt-thrash forever.
+            if manager is not None and \
+                    manager.blocks_for(request.workload.total_tokens) \
+                    > manager.num_blocks:
+                request.state = RequestState.REJECTED
+                continue
+            try:
+                request.active = self.session.start_request(request.workload)
+            except ValueError:
+                request.state = RequestState.REJECTED
+                continue
+            self.waiting.append(request)
+
+    def _preempt_one(self) -> None:
+        """Evict the policy-chosen victim to free KV blocks.
+
+        Recompute-style preemption: the victim's blocks are freed instantly
+        (shared prefix references released, and the victim detaches from
+        the cache — its resume prompt is private), its emitted tokens
+        become prompt (see :meth:`ServingRequest.resume_workload`), and it
+        rejoins the *head* of the waiting queue.  Under the default
+        youngest-first policy that preserves FIFO order by arrival — the
+        victim was admitted before everything still waiting; other victim
+        policies trade that property for their own protection goal, and a
+        non-FCFS admission policy re-orders the queue anyway.
+        """
+        victim = self.preemption.select_victim(self.running, self.manager)
+        self.running.remove(victim)
+        freed = self.manager.release(victim.request_id)
+        self.manager.mark_pressure()
+        victim.detach_prefix()
+        victim.preemptions += 1
+        victim.state = RequestState.QUEUED
+        victim.active = self.session.start_request(victim.resume_workload())
+        self.waiting.appendleft(victim)
+        self.preemption_events.append(
+            PreemptionEvent(self.device_id, self.clock,
+                            victim.request_id, freed))
+        self.preempt_count += 1
+
+    def step(self) -> bool:
+        """Advance one engine iteration; returns False once all work is
+        done (nothing pending, waiting or running)."""
+        while True:
+            self._admit_arrivals()
+            if self.waiting or self.running:
+                break
+            if not self.pending:
+                return False
+            self.clock = max(self.clock, self.pending[0].arrival_s)
+
+        manager = self.manager
+        running = self.running
+        waiting = self.waiting
+
+        # Watermark hysteresis: growing strictly past the high mark frees
+        # victims down to the low mark, so the pool does not oscillate one
+        # block around the trigger point.  Strictly past — admission may
+        # fill to exactly the high mark, and evicting what was just
+        # admitted within policy would be pure thrash.
+        if manager is not None and len(running) > 1 and \
+                manager.utilization > self.kv_config.high_watermark:
+            manager.mark_pressure()
+            while len(running) > 1 and \
+                    manager.utilization > self.kv_config.low_watermark:
+                self._preempt_one()
+        if manager is not None:
+            manager.refresh_pressure()
+
+        plan = self.scheduler.plan_step(running, waiting, kv=manager)
+        # Hard exhaustion: a resident slice did not fit in free blocks.
+        # Undo this plan's tentative admissions, preempt a victim and
+        # replan until every resident is covered; a lone resident always
+        # fits because admission rejected anything whose total positions
+        # exceed the pool.  Restore-then-preempt order matters: the
+        # victim's appendleft must land last so it resumes before the
+        # requests it displaced.
+        while manager is not None and plan.starved and len(running) > 1:
+            for request in reversed(plan.admitted):
+                waiting.appendleft(request)
+            self._preempt_one()
+            manager.refresh_pressure()
+            plan = self.scheduler.plan_step(running, waiting, kv=manager)
+        assert plan.entries, "scheduler starved with work available"
+        assert not plan.starved, \
+            "resident KV demand exceeds the whole block pool"
+
+        if manager is not None:
+            # Pin every admission's reusable prefix blocks first: pinned
+            # blocks are referenced, so the on-demand reclamation a claim
+            # may trigger can never evict a block another admission of
+            # this same plan is about to reuse.
+            admitted_ids = {r.request_id for r in plan.admitted}
+            pins = {}
+            for request in plan.admitted:
+                reuse = plan.prefix.get(request.request_id)
+                if reuse is not None:
+                    pins[request.request_id] = manager.pin_prefix(request)
+                    assert pins[request.request_id] == reuse, \
+                        "prefix cache changed between plan and apply"
+            for request_id, blocks in plan.claims.items():
+                if request_id in admitted_ids:
+                    continue
+                manager.claim(request_id, blocks)
+            for request in plan.admitted:
+                claim = plan.claims.get(request.request_id, 0)
+                pin = pins.get(request.request_id)
+                if pin is not None:
+                    claim -= manager.extend_prefix(request)
+                    if pin.cached_tokens:
+                        request.active.skip_prefix(pin.cached_tokens)
+                manager.claim(request.request_id, claim)
+        for request in plan.admitted:
+            request.state = RequestState.RUNNING
+            if request.admitted_s is None:
+                request.admitted_s = self.clock
+            if self._prefix_caching:
+                self.prompt_tokens += request.active.workload.input_len
+            running.append(request)
+
+        seconds = self.session.execute_step(plan.works)
+        self.clock += seconds
+        self.busy_s += seconds
+        self.steps += 1
+
+        for request, work in plan.entries:
+            emitted = request.active.record(work, seconds)
+            self.tokens += emitted
+            request.tokens_emitted += emitted
+            if emitted and request.first_token_s is None:
+                request.first_token_s = self.clock
+                self.ttft_samples.append((self.clock, request.ttft_s))
+            if self._prefix_caching and request.shareable_prefix \
+                    and work.kind == "prefill":
+                # The positions this chunk streamed are now resident: full
+                # blocks within the shared prefix become reusable.
+                manager.mark_prefix_computed(
+                    request.prefix_group,
+                    min(request.active.prefilled_tokens,
+                        request.prefix_len))
+            if request.active.finished:
+                request.finish_s = self.clock
+                request.state = RequestState.FINISHED
+                running.remove(request)
+                self.served += 1
+                if manager is not None:
+                    manager.release(request.request_id)
+
+        # Arrivals during the step sit in `pending` until the next
+        # admission sweep but are already queued from the requests' point
+        # of view — count them, or depth under-reports congestion.
+        arrived = sum(1 for request in self.pending
+                      if request.arrival_s <= self.clock)
+        self.queue_samples.append(
+            QueueSample(self.device_id, self.clock,
+                        queued=len(waiting) + arrived,
+                        running=len(running)))
+        if manager is not None:
+            self.kv_samples.append(
+                KVSample(self.device_id, self.clock,
+                         used_blocks=manager.used_blocks,
+                         total_blocks=manager.num_blocks))
+        return True
+
+    def run_to_completion(self) -> None:
+        while self.step():
+            pass
+
+    @staticmethod
+    def _kv_counters(manager: Optional[KVBlockManager]) -> dict:
+        """The manager-owned DeviceStats fields (all 0 without a pool)."""
+        return dict(
+            kv_blocks_total=manager.num_blocks if manager else 0,
+            kv_peak_blocks=manager.peak_used_blocks if manager else 0,
+            prefix_tokens_reused=manager.prefix_tokens_reused
+            if manager else 0,
+            shared_kv_blocks_reused=manager.prefix_blocks_reused
+            if manager else 0,
+            shared_kv_blocks_created=manager.prefix_blocks_created
+            if manager else 0,
+            prefix_cow_copies=manager.prefix_cow_copies if manager else 0,
+        )
+
+    def device_stats(self) -> DeviceStats:
+        manager_fields = self._kv_counters_snapshot \
+            if self._kv_counters_snapshot is not None \
+            else self._kv_counters(self.manager)
+        return DeviceStats(
+            device_id=self.device_id,
+            engine_steps=self.steps,
+            busy_s=self.busy_s,
+            final_clock_s=self.clock,
+            tokens_generated=self.tokens,
+            requests_served=self.served,
+            packing_s=self.packing_s,
+            preemptions=self.preempt_count,
+            prompt_tokens=self.prompt_tokens,
+            **manager_fields,
+        )
 
 
 class ServingEngine:
@@ -137,12 +496,7 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def run(self, trace: Sequence[TimedRequest]) -> ServingReport:
         """Serve a whole trace; returns the aggregate report."""
-        ordered = sorted(trace, key=lambda t: (t.arrival_s, t.request_id))
-        requests = [ServingRequest(t.request_id, t.workload, t.arrival_s,
-                                   priority=t.priority,
-                                   prefix_group=t.prefix_group,
-                                   prefix_len=t.prefix_len)
-                    for t in ordered]
+        requests = requests_from_trace(trace)
 
         # Arrival-order placement: the policy sees the same running tally a
         # front-end load balancer would (every arrival counts, including
@@ -170,220 +524,19 @@ class ServingEngine:
         kv_samples: List[KVSample] = []
         preemptions: List[PreemptionEvent] = []
         for device_id, (session, inbox) in enumerate(zip(self.sessions, inboxes)):
-            stats = self._run_device(device_id, session, inbox, samples,
-                                     kv_samples, preemptions)
-            devices.append(stats)
+            worker = DeviceWorker(device_id, session, self.scheduler_config,
+                                  preemption=self.preemption,
+                                  kv_config=self.kv_config,
+                                  cold_start=self.cold_start,
+                                  queue_samples=samples,
+                                  kv_samples=kv_samples,
+                                  preemption_events=preemptions)
+            for request in inbox:
+                worker.submit(request)
+            worker.run_to_completion()
+            devices.append(worker.device_stats())
 
         return build_report(self.config.name, self.num_devices, requests,
                             devices, samples, kv_samples, preemptions,
                             prefix_cache_enabled=self.kv_config is not None
                             and self.kv_config.enable_prefix_cache)
-
-    def _preempt_one(self, session: InferenceSession,
-                     manager: KVBlockManager,
-                     running: List[ServingRequest],
-                     waiting: Deque[ServingRequest],
-                     device_id: int, clock: float,
-                     events: List[PreemptionEvent]) -> None:
-        """Evict the policy-chosen victim to free KV blocks.
-
-        Recompute-style preemption: the victim's blocks are freed instantly
-        (shared prefix references released, and the victim detaches from
-        the cache — its resume prompt is private), its emitted tokens
-        become prompt (see :meth:`ServingRequest.resume_workload`), and it
-        rejoins the *head* of the waiting queue.  Under the default
-        youngest-first policy that preserves FIFO order by arrival — the
-        victim was admitted before everything still waiting; other victim
-        policies trade that property for their own protection goal, and a
-        non-FCFS admission policy re-orders the queue anyway.
-        """
-        victim = self.preemption.select_victim(running, manager)
-        running.remove(victim)
-        freed = manager.release(victim.request_id)
-        manager.mark_pressure()
-        victim.detach_prefix()
-        victim.preemptions += 1
-        victim.state = RequestState.QUEUED
-        victim.active = session.start_request(victim.resume_workload())
-        waiting.appendleft(victim)
-        events.append(PreemptionEvent(device_id, clock,
-                                      victim.request_id, freed))
-
-    def _run_device(self, device_id: int, session: InferenceSession,
-                    inbox: List[ServingRequest],
-                    samples: List[QueueSample],
-                    kv_samples: List[KVSample],
-                    preemption_events: List[PreemptionEvent]) -> DeviceStats:
-        scheduler = ContinuousBatchingScheduler(self.scheduler_config)
-        pending: Deque[ServingRequest] = deque(inbox)
-        waiting: Deque[ServingRequest] = deque()
-        running: List[ServingRequest] = []
-        manager: Optional[KVBlockManager] = None
-        if self.kv_config is not None:
-            manager = self.kv_config.manager_for(session.kv_bytes_per_token)
-        prefix_caching = manager is not None and manager.prefix_cache_enabled
-
-        # Every run() starts from a cold device so repeated runs (parameter
-        # sweeps, benchmark repetitions) measure the same system.
-        session.reset()
-        packing_s = session.pack_parameters()
-        clock = packing_s if self.cold_start else 0.0
-        busy = 0.0
-        steps = 0
-        tokens = 0
-        served = 0
-        preempt_count = 0
-        prompt_tokens = 0
-
-        while pending or waiting or running:
-            # Iteration-level admission: arrivals become visible at step
-            # boundaries.
-            while pending and pending[0].arrival_s <= clock:
-                request = pending.popleft()
-                request.device_id = device_id
-                # A request whose total positions outgrow the whole block
-                # pool could never finish even alone on the device; reject
-                # it up front or it would preempt-thrash forever.
-                if manager is not None and \
-                        manager.blocks_for(request.workload.total_tokens) \
-                        > manager.num_blocks:
-                    request.state = RequestState.REJECTED
-                    continue
-                try:
-                    request.active = session.start_request(request.workload)
-                except ValueError:
-                    request.state = RequestState.REJECTED
-                    continue
-                waiting.append(request)
-            if not waiting and not running:
-                if not pending:
-                    break
-                clock = max(clock, pending[0].arrival_s)
-                continue
-
-            # Watermark hysteresis: growing strictly past the high mark
-            # frees victims down to the low mark, so the pool does not
-            # oscillate one block around the trigger point.  Strictly past —
-            # admission may fill to exactly the high mark, and evicting what
-            # was just admitted within policy would be pure thrash.
-            if manager is not None and len(running) > 1 and \
-                    manager.utilization > self.kv_config.high_watermark:
-                manager.mark_pressure()
-                while len(running) > 1 and \
-                        manager.utilization > self.kv_config.low_watermark:
-                    self._preempt_one(session, manager, running, waiting,
-                                      device_id, clock, preemption_events)
-                    preempt_count += 1
-            if manager is not None:
-                manager.refresh_pressure()
-
-            plan = scheduler.plan_step(running, waiting, kv=manager)
-            # Hard exhaustion: a resident slice did not fit in free blocks.
-            # Undo this plan's tentative admissions, preempt a victim and
-            # replan until every resident is covered; a lone resident
-            # always fits because admission rejected anything whose total
-            # positions exceed the pool.  Restore-then-preempt order
-            # matters: the victim's appendleft must land last so it resumes
-            # before the requests it displaced.
-            while manager is not None and plan.starved and len(running) > 1:
-                for request in reversed(plan.admitted):
-                    waiting.appendleft(request)
-                self._preempt_one(session, manager, running, waiting,
-                                  device_id, clock, preemption_events)
-                preempt_count += 1
-                manager.refresh_pressure()
-                plan = scheduler.plan_step(running, waiting, kv=manager)
-            assert plan.entries, "scheduler starved with work available"
-            assert not plan.starved, \
-                "resident KV demand exceeds the whole block pool"
-
-            if manager is not None:
-                # Pin every admission's reusable prefix blocks first:
-                # pinned blocks are referenced, so the on-demand reclamation
-                # a claim may trigger can never evict a block another
-                # admission of this same plan is about to reuse.
-                admitted_ids = {r.request_id for r in plan.admitted}
-                pins = {}
-                for request in plan.admitted:
-                    reuse = plan.prefix.get(request.request_id)
-                    if reuse is not None:
-                        pins[request.request_id] = manager.pin_prefix(request)
-                        assert pins[request.request_id] == reuse, \
-                            "prefix cache changed between plan and apply"
-                for request_id, blocks in plan.claims.items():
-                    if request_id in admitted_ids:
-                        continue
-                    manager.claim(request_id, blocks)
-                for request in plan.admitted:
-                    claim = plan.claims.get(request.request_id, 0)
-                    pin = pins.get(request.request_id)
-                    if pin is not None:
-                        claim -= manager.extend_prefix(request)
-                        if pin.cached_tokens:
-                            request.active.skip_prefix(pin.cached_tokens)
-                    manager.claim(request.request_id, claim)
-            for request in plan.admitted:
-                request.state = RequestState.RUNNING
-                if request.admitted_s is None:
-                    request.admitted_s = clock
-                if prefix_caching:
-                    prompt_tokens += request.active.workload.input_len
-                running.append(request)
-
-            seconds = session.execute_step(plan.works)
-            clock += seconds
-            busy += seconds
-            steps += 1
-
-            for request, work in plan.entries:
-                emitted = request.active.record(work, seconds)
-                tokens += emitted
-                request.tokens_emitted += emitted
-                if emitted and request.first_token_s is None:
-                    request.first_token_s = clock
-                if prefix_caching and request.shareable_prefix \
-                        and work.kind == "prefill":
-                    # The positions this chunk streamed are now resident:
-                    # full blocks within the shared prefix become reusable.
-                    manager.mark_prefix_computed(
-                        request.prefix_group,
-                        min(request.active.prefilled_tokens,
-                            request.prefix_len))
-                if request.active.finished:
-                    request.finish_s = clock
-                    request.state = RequestState.FINISHED
-                    running.remove(request)
-                    served += 1
-                    if manager is not None:
-                        manager.release(request.request_id)
-
-            # Arrivals during the step sit in `pending` until the next
-            # admission sweep but are already queued from the requests'
-            # point of view — count them, or depth under-reports congestion.
-            arrived = sum(1 for request in pending
-                          if request.arrival_s <= clock)
-            samples.append(QueueSample(device_id, clock,
-                                       queued=len(waiting) + arrived,
-                                       running=len(running)))
-            if manager is not None:
-                kv_samples.append(KVSample(device_id, clock,
-                                           used_blocks=manager.used_blocks,
-                                           total_blocks=manager.num_blocks))
-
-        return DeviceStats(
-            device_id=device_id,
-            engine_steps=steps,
-            busy_s=busy,
-            final_clock_s=clock,
-            tokens_generated=tokens,
-            requests_served=served,
-            packing_s=packing_s,
-            preemptions=preempt_count,
-            kv_blocks_total=manager.num_blocks if manager else 0,
-            kv_peak_blocks=manager.peak_used_blocks if manager else 0,
-            prompt_tokens=prompt_tokens,
-            prefix_tokens_reused=manager.prefix_tokens_reused if manager else 0,
-            shared_kv_blocks_reused=manager.prefix_blocks_reused if manager else 0,
-            shared_kv_blocks_created=manager.prefix_blocks_created if manager else 0,
-            prefix_cow_copies=manager.prefix_cow_copies if manager else 0,
-        )

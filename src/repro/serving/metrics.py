@@ -77,6 +77,13 @@ class LatencyStats:
     def is_empty(self) -> bool:
         return self.count == 0
 
+    def to_ms_dict(self) -> dict:
+        """JSON-ready summary in milliseconds — the one definition of the
+        latency-dict schema, shared by engine and cluster reports."""
+        return {"mean": self.mean * 1e3, "p50": self.p50 * 1e3,
+                "p95": self.p95 * 1e3, "p99": self.p99 * 1e3,
+                "max": self.max * 1e3, "count": self.count}
+
     def format_ms(self) -> str:
         if self.is_empty:
             return "no samples"
@@ -245,10 +252,7 @@ class ServingReport:
 
     def to_dict(self) -> dict:
         """JSON-ready summary (latencies in milliseconds)."""
-        def stats_ms(stats: LatencyStats) -> dict:
-            return {"mean": stats.mean * 1e3, "p50": stats.p50 * 1e3,
-                    "p95": stats.p95 * 1e3, "p99": stats.p99 * 1e3,
-                    "max": stats.max * 1e3, "count": stats.count}
+        stats_ms = LatencyStats.to_ms_dict
 
         payload = {
             "model": self.model,
@@ -342,6 +346,51 @@ class ServingReport:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class RequestFold:
+    """Per-request timestamps folded into aggregate statistics — the one
+    definition of completed/rejected counting, makespan, and the four
+    latency distributions, shared by the engine report and the cluster
+    report (which recomputes them over the whole fleet's requests so its
+    percentiles are exact, never averaged across replicas)."""
+
+    finished: List[ServingRequest]
+    rejected: List[ServingRequest]
+    makespan_s: float
+    ttft: LatencyStats
+    tpot: LatencyStats
+    e2e_latency: LatencyStats
+    queue_wait: LatencyStats
+
+    @property
+    def total_output_tokens(self) -> int:
+        return sum(r.tokens_emitted for r in self.finished)
+
+
+def fold_requests(requests: Sequence[ServingRequest]) -> RequestFold:
+    from repro.serving.request import RequestState
+
+    finished = [r for r in requests if r.state is RequestState.FINISHED]
+    rejected = [r for r in requests if r.state is RequestState.REJECTED]
+    if finished:
+        makespan = max(r.finish_s for r in finished) \
+            - min(r.arrival_s for r in finished)
+    else:
+        makespan = 0.0
+    return RequestFold(
+        finished=finished,
+        rejected=rejected,
+        makespan_s=makespan,
+        ttft=LatencyStats.from_values([r.ttft_s for r in finished]),
+        tpot=LatencyStats.from_values(
+            [r.tpot_s for r in finished if r.workload.output_len > 1]),
+        e2e_latency=LatencyStats.from_values(
+            [r.e2e_latency_s for r in finished]),
+        queue_wait=LatencyStats.from_values(
+            [r.queue_wait_s for r in finished]),
+    )
+
+
 def build_report(model: str, num_devices: int,
                  requests: Sequence[ServingRequest],
                  devices: List[DeviceStats],
@@ -351,30 +400,19 @@ def build_report(model: str, num_devices: int,
                  prefix_cache_enabled: bool = False,
                  ) -> ServingReport:
     """Fold per-request timestamps into the aggregate report."""
-    from repro.serving.request import RequestState
-
-    finished = [r for r in requests if r.state is RequestState.FINISHED]
-    rejected = [r for r in requests if r.state is RequestState.REJECTED]
-    total_tokens = sum(r.tokens_emitted for r in finished)
-    if finished:
-        start = min(r.arrival_s for r in finished)
-        end = max(r.finish_s for r in finished)
-        makespan = end - start
-    else:
-        makespan = 0.0
+    fold = fold_requests(requests)
     return ServingReport(
         model=model,
         num_devices=num_devices,
         num_requests=len(requests),
-        completed=len(finished),
-        rejected=len(rejected),
-        total_output_tokens=total_tokens,
-        makespan_s=makespan,
-        ttft=LatencyStats.from_values([r.ttft_s for r in finished]),
-        tpot=LatencyStats.from_values(
-            [r.tpot_s for r in finished if r.workload.output_len > 1]),
-        e2e_latency=LatencyStats.from_values([r.e2e_latency_s for r in finished]),
-        queue_wait=LatencyStats.from_values([r.queue_wait_s for r in finished]),
+        completed=len(fold.finished),
+        rejected=len(fold.rejected),
+        total_output_tokens=fold.total_output_tokens,
+        makespan_s=fold.makespan_s,
+        ttft=fold.ttft,
+        tpot=fold.tpot,
+        e2e_latency=fold.e2e_latency,
+        queue_wait=fold.queue_wait,
         devices=devices,
         queue_samples=sorted(queue_samples, key=lambda s: s.time_s),
         kv_samples=sorted(kv_samples or [], key=lambda s: s.time_s),

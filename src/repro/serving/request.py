@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.models.workload import Workload
 from repro.runtime.session import ActiveRequest
+
+if TYPE_CHECKING:
+    from repro.serving.workload_gen import TimedRequest
 
 
 class RequestState(Enum):
@@ -129,3 +132,20 @@ class ServingRequest:
         if self.finish_s is None:
             return 0.0
         return self.finish_s - self.arrival_s
+
+
+def requests_from_trace(trace: "Sequence[TimedRequest]",
+                        ) -> "List[ServingRequest]":
+    """Convert a trace into engine-ready requests, in arrival order.
+
+    The single place a ``TimedRequest`` field is threaded through to
+    ``ServingRequest`` — the engine and the cluster both build their
+    request lists here, so a new trace field cannot reach one path and
+    silently miss the other.
+    """
+    ordered = sorted(trace, key=lambda t: (t.arrival_s, t.request_id))
+    return [ServingRequest(t.request_id, t.workload, t.arrival_s,
+                           priority=t.priority,
+                           prefix_group=t.prefix_group,
+                           prefix_len=t.prefix_len)
+            for t in ordered]

@@ -1,23 +1,29 @@
-"""Synthetic serving traces: Poisson arrivals and explicit request lists.
+"""Synthetic serving traces: Poisson, diurnal, flash-crowd and explicit lists.
 
 The paper evaluates single-request latency (Tables 4/5); a serving engine
 needs *traffic*.  A trace is a list of :class:`TimedRequest` — an arrival
 time plus an [input:output] workload — and can come from a Poisson process
-(the standard open-loop load model), a fixed back-to-back batch, an explicit
+(the standard open-loop load model), a sinusoidally rate-modulated
+*diurnal* process (the daily peak/trough cycle autoscalers exist for), a
+*flash-crowd* process (steady traffic with a sudden burst window — the
+scale-up stress test), a fixed back-to-back batch, an explicit
 ``(arrival, "[in:out]")`` listing, or a shared-prefix generator for
 prefix-cache workloads (many prompts opening with the same system prompt /
 few-shot preamble).  Requests optionally carry a ``priority`` tier (for the
 ``priority``/``lowest_priority`` policies) and a ``prefix_group`` +
 ``prefix_len`` (the shared-prompt declaration the prefix-caching KV manager
 keys its blocks on).  Everything is seeded and deterministic so serving
-experiments are reproducible.
+experiments are reproducible; the time-varying generators sample by
+Lewis-Shedler thinning of a homogeneous process at the peak rate, so they
+stay exact whatever the rate profile.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.models.workload import Workload, random_workloads, workload_from_label
 
@@ -57,6 +63,8 @@ def poisson_trace(num_requests: int,
     (``None``) assigns priority 0 everywhere and leaves the random stream —
     and therefore every previously generated trace — byte-identical.
     """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
     if arrival_rate_hz <= 0:
         raise ValueError("arrival rate must be positive")
     rng = random.Random(seed)
@@ -71,6 +79,115 @@ def poisson_trace(num_requests: int,
         trace.append(TimedRequest(request_id, workload, clock,
                                   priority=priority))
     return trace
+
+
+def _thinned_trace(num_requests: int,
+                   peak_rate_hz: float,
+                   rate_at: Callable[[float], float],
+                   rng: random.Random,
+                   input_choices: Sequence[int],
+                   output_choices: Sequence[int],
+                   priority_choices: Optional[Sequence[int]],
+                   ) -> List[TimedRequest]:
+    """Sample a non-homogeneous Poisson process by Lewis-Shedler thinning.
+
+    Candidate arrivals come from a homogeneous process at ``peak_rate_hz``;
+    a candidate at time ``t`` is kept with probability
+    ``rate_at(t) / peak_rate_hz``.  Exact for any rate profile bounded by
+    the peak, and fully determined by ``rng``.
+    """
+    workloads = random_workloads(num_requests, rng, input_choices,
+                                 output_choices)
+    trace: List[TimedRequest] = []
+    clock = 0.0
+    request_id = 0
+    while request_id < num_requests:
+        clock += rng.expovariate(peak_rate_hz)
+        if rng.random() * peak_rate_hz > rate_at(clock):
+            continue
+        priority = 0
+        if priority_choices:
+            priority = rng.choice(list(priority_choices))
+        trace.append(TimedRequest(request_id, workloads[request_id], clock,
+                                  priority=priority))
+        request_id += 1
+    return trace
+
+
+def diurnal_trace(num_requests: int,
+                  base_rate_hz: float,
+                  peak_rate_hz: float,
+                  period_s: float,
+                  seed: int = 0,
+                  input_choices: Sequence[int] = (32, 64, 128),
+                  output_choices: Sequence[int] = (32, 64, 128),
+                  priority_choices: Optional[Sequence[int]] = None,
+                  ) -> List[TimedRequest]:
+    """A sinusoidally rate-modulated arrival process — the daily cycle.
+
+    The instantaneous rate swings between ``base_rate_hz`` (the trough, at
+    t = 0) and ``peak_rate_hz`` (mid-period) with period ``period_s``:
+    ``rate(t) = base + (peak - base) * (1 - cos(2*pi*t/period)) / 2``.
+    The trace ends after ``num_requests`` arrivals, however many periods
+    that spans — the workload an autoscaler should track by growing the
+    fleet into each peak and draining it through each trough.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    if base_rate_hz <= 0:
+        raise ValueError("base rate must be positive")
+    if peak_rate_hz < base_rate_hz:
+        raise ValueError("peak rate must be at least the base rate")
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+
+    def rate_at(t: float) -> float:
+        swing = (peak_rate_hz - base_rate_hz) / 2.0
+        return base_rate_hz + swing * (1.0 - math.cos(2.0 * math.pi
+                                                      * t / period_s))
+
+    return _thinned_trace(num_requests, peak_rate_hz, rate_at,
+                          random.Random(seed), input_choices,
+                          output_choices, priority_choices)
+
+
+def flash_crowd_trace(num_requests: int,
+                      base_rate_hz: float,
+                      burst_rate_hz: float,
+                      burst_start_s: float,
+                      burst_duration_s: float,
+                      seed: int = 0,
+                      input_choices: Sequence[int] = (32, 64, 128),
+                      output_choices: Sequence[int] = (32, 64, 128),
+                      priority_choices: Optional[Sequence[int]] = None,
+                      ) -> List[TimedRequest]:
+    """Steady traffic with one sudden burst window — the flash crowd.
+
+    Arrivals follow ``base_rate_hz`` everywhere except the window
+    ``[burst_start_s, burst_start_s + burst_duration_s)``, where the rate
+    jumps to ``burst_rate_hz``.  The discontinuity is the point: it
+    measures how fast a router/autoscaler absorbs load that gives no
+    advance warning, and how cleanly the fleet drains afterwards.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    if base_rate_hz <= 0:
+        raise ValueError("base rate must be positive")
+    if burst_rate_hz < base_rate_hz:
+        raise ValueError("burst rate must be at least the base rate")
+    if burst_start_s < 0:
+        raise ValueError("burst start must be non-negative")
+    if burst_duration_s <= 0:
+        raise ValueError("burst duration must be positive")
+
+    def rate_at(t: float) -> float:
+        if burst_start_s <= t < burst_start_s + burst_duration_s:
+            return burst_rate_hz
+        return base_rate_hz
+
+    return _thinned_trace(num_requests, burst_rate_hz, rate_at,
+                          random.Random(seed), input_choices,
+                          output_choices, priority_choices)
 
 
 def burst_trace(workloads: Sequence[Workload],
@@ -110,6 +227,8 @@ def shared_prefix_trace(num_requests: int,
     """
     if num_requests < 0:
         raise ValueError("num_requests must be non-negative")
+    if interval_s < 0:
+        raise ValueError("interval_s must be non-negative")
     if prefix_len < 1:
         raise ValueError("prefix_len must be at least 1")
     if unique_len < 1:

@@ -1,6 +1,7 @@
 """Edge cases and determinism for the serving sweeps in ``repro.eval``:
 ``run_capacity_sweep`` (empty/single-request traces, capacity below one
-block) and the policy-comparison ``run_policy_sweep``."""
+block), the policy-comparison ``run_policy_sweep``, and the fleet
+``run_cluster_sweep``."""
 
 import json
 
@@ -9,6 +10,7 @@ import pytest
 from repro.eval.serving import (
     PolicySpec,
     run_capacity_sweep,
+    run_cluster_sweep,
     run_policy_sweep,
 )
 from repro.models.config import GPT2
@@ -117,3 +119,51 @@ class TestPolicySweep:
         for a, b in zip(first, second):
             assert json.dumps(a.report.to_dict(), sort_keys=True) \
                 == json.dumps(b.report.to_dict(), sort_keys=True)
+
+
+class TestClusterSweep:
+    TRACE = poisson_trace(16, 40.0, seed=0)
+
+    def test_one_point_per_combination(self):
+        points = run_cluster_sweep(GPT2, self.TRACE, [1, 2],
+                                   routers=("round_robin", "least_queue"))
+        assert [(p.replicas, p.router) for p in points] == [
+            (1, "round_robin"), (1, "least_queue"),
+            (2, "round_robin"), (2, "least_queue")]
+        for point in points:
+            assert point.report.completed == 16
+            assert point.fleet_tokens_per_s > 0
+
+    def test_more_replicas_raise_fleet_throughput(self):
+        one, two = run_cluster_sweep(GPT2, self.TRACE, [1, 2])
+        assert two.fleet_tokens_per_s > 1.5 * one.fleet_tokens_per_s
+
+    def test_point_format(self):
+        point = run_cluster_sweep(GPT2, self.TRACE, [2])[0]
+        line = point.format()
+        assert "tok/s" in line and "replica-s" in line
+        assert "slo" not in line  # no autoscaler, no attainment column
+
+    def test_autoscaled_sweep_reports_attainment(self):
+        from repro.serving.cluster import AutoscalerConfig
+
+        point = run_cluster_sweep(
+            GPT2, self.TRACE, [1],
+            autoscaler=AutoscalerConfig(max_replicas=2, warmup_s=0.2,
+                                        slo_ttft_s=5.0))[0]
+        assert point.report.slo_attainment is not None
+        assert "slo" in point.format()
+
+    def test_sweep_deterministic(self):
+        first = run_cluster_sweep(GPT2, self.TRACE, [2],
+                                  routers=("least_queue",))
+        second = run_cluster_sweep(GPT2, self.TRACE, [2],
+                                   routers=("least_queue",))
+        assert json.dumps(first[0].report.to_dict(), sort_keys=True) \
+            == json.dumps(second[0].report.to_dict(), sort_keys=True)
+
+    def test_empty_trace(self):
+        points = run_cluster_sweep(GPT2, [], [1, 2])
+        for point in points:
+            assert point.report.completed == 0
+            assert point.fleet_tokens_per_s == 0.0

@@ -1,0 +1,108 @@
+"""Tests for the SLO-aware autoscaler control policy."""
+
+import pytest
+
+from repro.serving.cluster import Autoscaler, AutoscalerConfig
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        AutoscalerConfig()
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(min_replicas=0), "min_replicas"),
+        (dict(min_replicas=3, max_replicas=2), "max_replicas"),
+        (dict(slo_ttft_s=0.0), "slo_ttft_s"),
+        (dict(control_interval_s=0.0), "control_interval_s"),
+        (dict(queue_low_per_replica=5.0, queue_high_per_replica=4.0),
+         "queue_low_per_replica"),
+        (dict(ttft_window_s=0.0), "ttft_window_s"),
+        (dict(min_window_samples=0), "min_window_samples"),
+        (dict(cooldown_s=-1.0), "cooldown_s"),
+        (dict(slo_margin=0.0), "slo_margin"),
+        (dict(slo_margin=1.5), "slo_margin"),
+        (dict(warmup_s=-0.1), "warmup_s"),
+    ])
+    def test_invalid_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            AutoscalerConfig(**kwargs)
+
+
+class TestDecisions:
+    def config(self, **kwargs):
+        defaults = dict(min_replicas=1, max_replicas=4, cooldown_s=0.0,
+                        queue_high_per_replica=4.0,
+                        queue_low_per_replica=1.0, min_window_samples=3)
+        defaults.update(kwargs)
+        return AutoscalerConfig(**defaults)
+
+    def test_deep_queue_scales_up(self):
+        scaler = Autoscaler(self.config())
+        assert scaler.decide(1.0, queue_depth=10, routable=2,
+                             provisioned=2, window_ttfts=[]) == "up"
+
+    def test_queue_normalised_per_routable_replica(self):
+        scaler = Autoscaler(self.config())
+        assert scaler.decide(1.0, queue_depth=10, routable=4,
+                             provisioned=4, window_ttfts=[]) == "hold"
+
+    def test_slo_breach_scales_up(self):
+        scaler = Autoscaler(self.config(slo_ttft_s=0.5))
+        assert scaler.decide(1.0, queue_depth=0, routable=2, provisioned=2,
+                             window_ttfts=[0.9, 1.0, 1.1]) == "up"
+
+    def test_too_few_window_samples_are_neutral(self):
+        scaler = Autoscaler(self.config(slo_ttft_s=0.5))
+        assert scaler.decide(1.0, queue_depth=0, routable=2, provisioned=2,
+                             window_ttfts=[9.0]) == "down"
+
+    def test_shallow_queue_with_slo_margin_scales_down(self):
+        scaler = Autoscaler(self.config(slo_ttft_s=1.0))
+        assert scaler.decide(1.0, queue_depth=0, routable=3, provisioned=3,
+                             window_ttfts=[0.1, 0.2, 0.3]) == "down"
+
+    def test_slo_margin_blocks_scale_down(self):
+        # p95 within SLO but above the 0.8 margin: hold, don't flap.
+        scaler = Autoscaler(self.config(slo_ttft_s=1.0))
+        assert scaler.decide(1.0, queue_depth=0, routable=3, provisioned=3,
+                             window_ttfts=[0.9, 0.9, 0.95]) == "hold"
+
+    def test_no_scale_down_without_a_drainable_replica(self):
+        """One ACTIVE + one WARMING: provisioned exceeds the minimum but
+        draining the only routable replica would leave arrivals nowhere
+        to go — the decision must be hold (not a logged-but-unapplied
+        down that burns the cooldown)."""
+        scaler = Autoscaler(self.config(cooldown_s=1.0))
+        assert scaler.decide(1.0, queue_depth=0, routable=1,
+                             provisioned=2, window_ttfts=[]) == "hold"
+        # The cooldown was not consumed: a real action can fire now.
+        assert scaler.decide(1.1, queue_depth=10, routable=1,
+                             provisioned=2, window_ttfts=[]) == "up"
+
+    def test_bounds_respected(self):
+        scaler = Autoscaler(self.config(max_replicas=2))
+        assert scaler.decide(1.0, queue_depth=50, routable=2,
+                             provisioned=2, window_ttfts=[]) == "hold"
+        scaler = Autoscaler(self.config(min_replicas=2))
+        assert scaler.decide(1.0, queue_depth=0, routable=2,
+                             provisioned=2, window_ttfts=[]) == "hold"
+
+    def test_cooldown_separates_actions(self):
+        scaler = Autoscaler(self.config(cooldown_s=1.0))
+        assert scaler.decide(0.0, 10, 1, 1, []) == "up"
+        assert scaler.decide(0.5, 10, 1, 1, []) == "hold"
+        assert scaler.decide(1.0, 10, 1, 1, []) == "up"
+
+    def test_decisions_recorded(self):
+        scaler = Autoscaler(self.config())
+        scaler.decide(0.0, 10, 1, 1, [])
+        scaler.decide(0.25, 0, 2, 2, [])
+        actions = [d.action for d in scaler.decisions]
+        assert actions[0] == "up"
+        assert scaler.decisions[0].queue_depth == 10
+        assert scaler.decisions[1].rolling_p95_ttft_s is None
+
+    def test_rolling_p95_needs_evidence_floor(self):
+        scaler = Autoscaler(self.config(min_window_samples=3))
+        assert scaler.rolling_p95([1.0, 2.0]) is None
+        assert scaler.rolling_p95([1.0, 2.0, 3.0]) == pytest.approx(2.9)

@@ -1,0 +1,146 @@
+"""Tests for cluster routing policies (pure selectors over replica load)."""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import pytest
+
+from repro.serving.cluster import ROUTING_POLICIES, resolve_routing_policy
+from repro.serving.cluster.router import ClusterRouter
+from repro.serving.request import ServingRequest
+from repro.models.workload import Workload
+
+
+@dataclass
+class StubReplica:
+    """Just the load-signal surface the routing policies read."""
+
+    replica_id: int
+    in_system: int = 0
+    kv_utilization: float = 0.0
+    submitted: list = field(default_factory=list)
+
+    def submit(self, request):
+        self.submitted.append(request)
+
+
+def make_request(request_id=0, prefix_group: Optional[str] = None):
+    return ServingRequest(request_id, Workload(16, 8), 0.0,
+                          prefix_group=prefix_group,
+                          prefix_len=8 if prefix_group else 0)
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        assert sorted(ROUTING_POLICIES) == [
+            "least_kv_pressure", "least_queue", "prefix_affinity",
+            "round_robin"]
+
+    def test_resolve_by_name_and_instance(self):
+        policy = resolve_routing_policy("least_queue")
+        assert policy.name == "least_queue"
+        assert resolve_routing_policy(policy) is policy
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            resolve_routing_policy("random")
+
+
+class TestRoundRobin:
+    def test_cycles_over_fleet(self):
+        policy = resolve_routing_policy("round_robin")
+        replicas = [StubReplica(i) for i in range(3)]
+        picks = [policy.select_replica(make_request(i), replicas)
+                 for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_counter_survives_fleet_growth(self):
+        policy = resolve_routing_policy("round_robin")
+        replicas = [StubReplica(0), StubReplica(1)]
+        assert policy.select_replica(make_request(0), replicas) == 0
+        replicas.append(StubReplica(2))
+        assert policy.select_replica(make_request(1), replicas) == 1
+        assert policy.select_replica(make_request(2), replicas) == 2
+
+
+class TestLeastQueue:
+    def test_fewest_outstanding_wins(self):
+        policy = resolve_routing_policy("least_queue")
+        replicas = [StubReplica(0, in_system=3), StubReplica(1, in_system=1),
+                    StubReplica(2, in_system=2)]
+        assert policy.select_replica(make_request(), replicas) == 1
+
+    def test_tie_breaks_on_lowest_id(self):
+        policy = resolve_routing_policy("least_queue")
+        replicas = [StubReplica(0, in_system=2), StubReplica(1, in_system=2)]
+        assert policy.select_replica(make_request(), replicas) == 0
+
+
+class TestLeastKVPressure:
+    def test_lowest_utilization_wins(self):
+        policy = resolve_routing_policy("least_kv_pressure")
+        replicas = [StubReplica(0, kv_utilization=0.8),
+                    StubReplica(1, kv_utilization=0.2),
+                    StubReplica(2, kv_utilization=0.5)]
+        assert policy.select_replica(make_request(), replicas) == 1
+
+    def test_degrades_to_least_queue_without_kv(self):
+        policy = resolve_routing_policy("least_kv_pressure")
+        replicas = [StubReplica(0, in_system=4), StubReplica(1, in_system=1)]
+        assert policy.select_replica(make_request(), replicas) == 1
+
+
+class TestPrefixAffinity:
+    def test_group_sticks_to_first_choice(self):
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0, in_system=5), StubReplica(1, in_system=0)]
+        first = policy.select_replica(make_request(0, "sys-a"), replicas)
+        assert first == 1  # least-queue pick for a fresh group
+        replicas[1].in_system = 99  # later load must not break the pin
+        assert policy.select_replica(make_request(1, "sys-a"), replicas) == 1
+
+    def test_groupless_requests_balance_by_queue(self):
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0, in_system=5), StubReplica(1, in_system=0)]
+        assert policy.select_replica(make_request(0), replicas) == 1
+
+    def test_departed_pin_is_reassigned(self):
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0, in_system=1), StubReplica(1, in_system=0)]
+        assert policy.select_replica(make_request(0, "sys-a"), replicas) == 1
+        survivors = [StubReplica(0, in_system=1)]  # replica 1 drained away
+        assert policy.select_replica(make_request(1, "sys-a"),
+                                     survivors) == 0
+
+    def test_distinct_groups_spread(self):
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0), StubReplica(1)]
+        first = policy.select_replica(make_request(0, "sys-a"), replicas)
+        replicas[first].in_system += 1
+        second = policy.select_replica(make_request(1, "sys-b"), replicas)
+        assert {first, second} == {0, 1}
+
+
+class TestClusterRouter:
+    def test_dispatch_submits_to_chosen_replica(self):
+        router = ClusterRouter("least_queue")
+        replicas = [StubReplica(0, in_system=2), StubReplica(1)]
+        request = make_request()
+        chosen = router.dispatch(request, replicas)
+        assert chosen.replica_id == 1
+        assert replicas[1].submitted == [request]
+
+    def test_dispatch_requires_routable_replicas(self):
+        with pytest.raises(RuntimeError, match="no routable replicas"):
+            ClusterRouter().dispatch(make_request(), [])
+
+    def test_policy_choice_validated(self):
+        class BadPolicy(ROUTING_POLICIES["least_queue"]):
+            name = "bad"
+
+            def select_replica(self, request, replicas):
+                return 99
+
+        router = ClusterRouter(BadPolicy())
+        with pytest.raises(ValueError, match="chose replica 99"):
+            router.dispatch(make_request(), [StubReplica(0)])

@@ -79,3 +79,47 @@ class TestEngineDeterminism:
         assert first.preemptions >= 1, "regime check: pressure expected"
         assert json.dumps(first.to_dict(), sort_keys=True) \
             == json.dumps(second.to_dict(), sort_keys=True)
+
+
+class TestCliSeedPlumbing:
+    """The single --seed flag must make whole CLI reports a pure function
+    of their arguments — every trace generator draws from it, none from a
+    private default."""
+
+    def serve_sim_report(self, tmp_path, seed, name):
+        from repro.cli import main
+
+        path = tmp_path / name
+        assert main(["serve-sim", "--requests", "8", "--arrival-rate", "30",
+                     "--seed", str(seed), "--no-baseline",
+                     "--json", str(path)]) == 0
+        return path.read_bytes()
+
+    def serve_cluster_report(self, tmp_path, seed, name, trace="poisson"):
+        from repro.cli import main
+
+        path = tmp_path / name
+        assert main(["serve-cluster", "--requests", "12", "--replicas", "2",
+                     "--trace", trace, "--arrival-rate", "20",
+                     "--seed", str(seed), "--json", str(path)]) == 0
+        return path.read_bytes()
+
+    def test_serve_sim_seed_identical_reports(self, tmp_path):
+        first = self.serve_sim_report(tmp_path, 7, "a.json")
+        second = self.serve_sim_report(tmp_path, 7, "b.json")
+        assert first == second
+        assert first != self.serve_sim_report(tmp_path, 8, "c.json")
+
+    def test_serve_cluster_seed_identical_reports(self, tmp_path):
+        first = self.serve_cluster_report(tmp_path, 7, "a.json")
+        second = self.serve_cluster_report(tmp_path, 7, "b.json")
+        assert first == second
+        assert first != self.serve_cluster_report(tmp_path, 8, "c.json")
+
+    def test_serve_cluster_seed_reaches_every_generator(self, tmp_path):
+        for trace in ("diurnal", "flash_crowd"):
+            first = self.serve_cluster_report(tmp_path, 3, "a.json", trace)
+            second = self.serve_cluster_report(tmp_path, 3, "b.json", trace)
+            assert first == second
+            assert first != self.serve_cluster_report(tmp_path, 4, "c.json",
+                                                      trace)

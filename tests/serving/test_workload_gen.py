@@ -5,7 +5,10 @@ import pytest
 from repro.models.workload import Workload, random_workloads
 from repro.serving.workload_gen import (
     burst_trace,
+    diurnal_trace,
+    flash_crowd_trace,
     poisson_trace,
+    shared_prefix_trace,
     trace_from_specs,
 )
 
@@ -29,6 +32,15 @@ class TestPoissonTrace:
     def test_invalid_rate_rejected(self):
         with pytest.raises(ValueError, match="arrival rate"):
             poisson_trace(4, 0.0)
+        with pytest.raises(ValueError, match="arrival rate"):
+            poisson_trace(4, -2.0)
+
+    def test_negative_request_count_rejected(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            poisson_trace(-1, 5.0)
+
+    def test_zero_requests_yield_empty_trace(self):
+        assert poisson_trace(0, 5.0) == []
 
     def test_lengths_drawn_from_choices(self):
         trace = poisson_trace(64, 5.0, seed=0,
@@ -51,6 +63,86 @@ class TestOtherTraces:
     def test_trace_from_specs_rejects_bad_label(self):
         with pytest.raises(ValueError, match="malformed"):
             trace_from_specs([(0.0, "oops")])
+
+
+class TestDiurnalTrace:
+    def test_deterministic_per_seed(self):
+        kwargs = dict(base_rate_hz=2.0, peak_rate_hz=20.0, period_s=10.0)
+        assert diurnal_trace(64, seed=1, **kwargs) \
+            == diurnal_trace(64, seed=1, **kwargs)
+        assert diurnal_trace(64, seed=1, **kwargs) \
+            != diurnal_trace(64, seed=2, **kwargs)
+
+    def test_arrivals_sorted_and_count_exact(self):
+        trace = diurnal_trace(100, 2.0, 20.0, period_s=10.0, seed=0)
+        arrivals = [t.arrival_s for t in trace]
+        assert arrivals == sorted(arrivals)
+        assert len(trace) == 100
+        assert [t.request_id for t in trace] == list(range(100))
+
+    def test_rate_peaks_mid_period(self):
+        """Arrivals concentrate around the mid-period crest of the cycle."""
+        trace = diurnal_trace(400, 1.0, 40.0, period_s=10.0, seed=0)
+        in_period = [t.arrival_s % 10.0 for t in trace]
+        crest = sum(1 for t in in_period if 2.5 <= t < 7.5)
+        trough = len(in_period) - crest
+        assert crest > 2 * trough
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            diurnal_trace(-1, 1.0, 2.0, period_s=1.0)
+        with pytest.raises(ValueError, match="base rate"):
+            diurnal_trace(4, 0.0, 2.0, period_s=1.0)
+        with pytest.raises(ValueError, match="peak rate"):
+            diurnal_trace(4, 2.0, 1.0, period_s=1.0)
+        with pytest.raises(ValueError, match="period"):
+            diurnal_trace(4, 1.0, 2.0, period_s=0.0)
+
+    def test_zero_requests_yield_empty_trace(self):
+        assert diurnal_trace(0, 1.0, 2.0, period_s=1.0) == []
+
+
+class TestFlashCrowdTrace:
+    def test_deterministic_per_seed(self):
+        kwargs = dict(base_rate_hz=2.0, burst_rate_hz=30.0,
+                      burst_start_s=2.0, burst_duration_s=1.0)
+        assert flash_crowd_trace(64, seed=3, **kwargs) \
+            == flash_crowd_trace(64, seed=3, **kwargs)
+        assert flash_crowd_trace(64, seed=3, **kwargs) \
+            != flash_crowd_trace(64, seed=4, **kwargs)
+
+    def test_burst_window_concentrates_arrivals(self):
+        trace = flash_crowd_trace(200, 2.0, 40.0, burst_start_s=3.0,
+                                  burst_duration_s=2.0, seed=0)
+        in_burst = sum(1 for t in trace if 3.0 <= t.arrival_s < 5.0)
+        span = trace[-1].arrival_s
+        assert span > 5.0            # traffic continues past the burst
+        assert in_burst > len(trace) / 2
+
+    def test_arrivals_sorted_and_count_exact(self):
+        trace = flash_crowd_trace(50, 2.0, 30.0, burst_start_s=1.0,
+                                  burst_duration_s=1.0, seed=0)
+        arrivals = [t.arrival_s for t in trace]
+        assert arrivals == sorted(arrivals)
+        assert len(trace) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            flash_crowd_trace(-1, 1.0, 2.0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="base rate"):
+            flash_crowd_trace(4, -1.0, 2.0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="burst rate"):
+            flash_crowd_trace(4, 2.0, 1.0, 0.0, 1.0)
+        with pytest.raises(ValueError, match="burst start"):
+            flash_crowd_trace(4, 1.0, 2.0, -1.0, 1.0)
+        with pytest.raises(ValueError, match="burst duration"):
+            flash_crowd_trace(4, 1.0, 2.0, 0.0, 0.0)
+
+
+class TestSharedPrefixValidation:
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            shared_prefix_trace(4, prefix_len=8, interval_s=-0.1)
 
 
 class TestRandomWorkloads:

@@ -135,6 +135,151 @@ class TestServeSimCommand:
             assert flag in help_text, f"{flag} missing from --help"
 
 
+class TestServeClusterCommand:
+    def test_serves_fixed_fleet(self, capsys):
+        exit_code = main(["serve-cluster", "--model", "gpt2", "--replicas",
+                          "2", "--requests", "8", "--arrival-rate", "20"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "cluster report: gpt2" in out
+        assert "8/8 completed" in out
+        assert "replica-seconds" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        report_path = tmp_path / "cluster.json"
+        exit_code = main(["serve-cluster", "--requests", "6", "--replicas",
+                          "2", "--arrival-rate", "20",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 6
+        assert payload["fleet_tokens_per_s"] > 0
+        assert len(payload["replicas"]) == 2
+        assert payload["replica_count_timeline"]
+
+    def test_router_choices_accepted(self, capsys):
+        for router in ["round_robin", "least_queue", "least_kv_pressure",
+                       "prefix_affinity"]:
+            exit_code = main(["serve-cluster", "--requests", "4",
+                              "--router", router, "--arrival-rate", "20"])
+            assert exit_code == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_trace_shapes_accepted(self, capsys):
+        for trace in ["poisson", "diurnal", "flash_crowd"]:
+            exit_code = main(["serve-cluster", "--requests", "6",
+                              "--trace", trace, "--arrival-rate", "10"])
+            assert exit_code == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_autoscale_reports_slo_attainment(self, tmp_path, capsys):
+        report_path = tmp_path / "auto.json"
+        exit_code = main(["serve-cluster", "--requests", "16",
+                          "--replicas", "1", "--arrival-rate", "40",
+                          "--autoscale", "--slo-ttft-ms", "500",
+                          "--warmup-s", "0.2", "--max-replicas", "3",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "autoscaled" in out
+        assert "slo:" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["autoscaled"] is True
+        assert payload["slo"]["ttft_ms"] == 500.0
+
+    def test_prefix_cache_requires_kv_capacity(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--prefix-cache"])
+        assert exit_code == 2
+        assert "--kv-capacity-mb" in capsys.readouterr().err
+
+    def test_slo_requires_autoscale(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--slo-ttft-ms", "500"])
+        assert exit_code == 2
+        assert "--autoscale" in capsys.readouterr().err
+
+    def test_block_size_requires_kv_capacity(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--block-size", "32"])
+        assert exit_code == 2
+        assert "--kv-capacity-mb" in capsys.readouterr().err
+
+    def test_autoscaler_flags_require_autoscale(self, capsys):
+        """--warmup-s etc. must not be silently dropped without
+        --autoscale."""
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--warmup-s", "5"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--warmup-s" in err and "--autoscale" in err
+
+    def test_trace_shape_flags_require_matching_trace(self, capsys):
+        """--burst-rate on a diurnal trace (etc.) must not be silently
+        dropped."""
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--trace", "diurnal", "--burst-rate", "50"])
+        assert exit_code == 2
+        assert "--burst-rate" in capsys.readouterr().err
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--peak-rate", "40"])
+        assert exit_code == 2
+        assert "--peak-rate" in capsys.readouterr().err
+
+    def test_priority_levels_reach_the_trace(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "8",
+                          "--arrival-rate", "40", "--policy", "priority",
+                          "--preemption", "lowest_priority",
+                          "--priority-levels", "3"])
+        assert exit_code == 0
+        assert "8/8 completed" in capsys.readouterr().out
+
+    def test_invalid_autoscale_bounds_rejected(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4", "--autoscale",
+                          "--min-replicas", "3", "--max-replicas", "2"])
+        assert exit_code == 2
+        assert "max_replicas" in capsys.readouterr().err
+
+    def test_prefix_cache_with_affinity_router(self, tmp_path, capsys):
+        report_path = tmp_path / "affinity.json"
+        exit_code = main(["serve-cluster", "--requests", "8", "--replicas",
+                          "2", "--arrival-rate", "40", "--router",
+                          "prefix_affinity", "--kv-capacity-mb", "256",
+                          "--prefix-cache", "--shared-prefix", "64",
+                          "--prefix-groups", "4",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 8
+        assert payload["prefix_hit_rate"] > 0
+        # Several groups spread across the fleet: both replicas serve.
+        assert all(r["requests_completed"] > 0
+                   for r in payload["replicas"])
+
+    def test_prefix_groups_requires_shared_prefix(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--prefix-groups", "2"])
+        assert exit_code == 2
+        assert "--shared-prefix" in capsys.readouterr().err
+
+    def test_help_documents_every_serve_cluster_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-cluster", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        for flag in ["--model", "--replicas", "--router", "--requests",
+                     "--trace", "--arrival-rate", "--peak-rate", "--period",
+                     "--burst-rate", "--burst-start", "--burst-duration",
+                     "--seed", "--autoscale", "--slo-ttft-ms",
+                     "--min-replicas", "--max-replicas", "--warmup-s",
+                     "--control-interval", "--max-batch", "--token-budget",
+                     "--policy", "--preemption", "--priority-levels",
+                     "--kv-capacity-mb",
+                     "--block-size", "--prefix-cache", "--shared-prefix",
+                     "--prefix-groups", "--json"]:
+            assert flag in help_text, f"{flag} missing from --help"
+
+
 class TestEvaluateCommand:
     def test_single_experiment(self, capsys):
         exit_code = main(["evaluate", "--experiment", "figure10a"])
