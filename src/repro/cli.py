@@ -25,7 +25,11 @@ Three subcommands cover the common workflows:
   rate-modulated traffic, ``--autoscale`` (with ``--slo-ttft-ms``,
   ``--min-replicas``/``--max-replicas``) lets the SLO-aware control loop
   grow and drain the fleet, and the report adds fleet throughput, SLO
-  attainment, replica-seconds and the replica-count timeline.  A single
+  attainment, replica-seconds and the replica-count timeline.
+  ``--disaggregate`` (with ``--prefill-replicas``/``--decode-replicas``
+  and ``--kv-transfer-gbs``) splits the fleet into dedicated prefill and
+  decode pools with a KV hand-off between them — protecting TTFT from
+  decode interference at a TPOT cost the report itemises.  A single
   ``--seed`` feeds every trace generator, so reports are reproducible
   byte-for-byte.
 """
@@ -174,15 +178,41 @@ def _build_parser() -> argparse.ArgumentParser:
              "with routing and optional SLO-aware autoscaling (simulation)")
     cluster_parser.add_argument("--model", choices=sorted(MODEL_CONFIGS),
                                 default="gpt2")
-    cluster_parser.add_argument("--replicas", type=int, default=2,
+    cluster_parser.add_argument("--replicas", type=int, default=None,
                                 help="initial fleet size (single-device "
-                                     "engine replicas)")
+                                     "engine replicas; default 2; with "
+                                     "--disaggregate the fleet is sized "
+                                     "by --prefill-replicas + "
+                                     "--decode-replicas instead)")
     cluster_parser.add_argument("--router", default="round_robin",
                                 choices=["round_robin", "least_queue",
                                          "least_kv_pressure",
-                                         "prefix_affinity"],
+                                         "prefix_affinity",
+                                         "kv_transfer_aware"],
                                 help="routing policy dispatching arrivals "
-                                     "across replicas")
+                                     "across replicas (the prefill pool "
+                                     "under --disaggregate)")
+    cluster_parser.add_argument("--disaggregate", action="store_true",
+                                help="split the fleet into dedicated "
+                                     "prefill and decode pools: arrivals "
+                                     "prefill on one pool, then migrate "
+                                     "(KV hand-off charged at "
+                                     "--kv-transfer-gbs) to the other "
+                                     "for decode")
+    cluster_parser.add_argument("--prefill-replicas", type=int, default=None,
+                                help="initial prefill-pool size (default "
+                                     "1; requires --disaggregate)")
+    cluster_parser.add_argument("--decode-replicas", type=int, default=None,
+                                help="initial decode-pool size (default "
+                                     "1; requires --disaggregate)")
+    cluster_parser.add_argument("--kv-transfer-gbs", type=float,
+                                default=None,
+                                help="interconnect bandwidth in GB/s "
+                                     "charged to each hand-off's KV "
+                                     "payload (default: the platform "
+                                     "model's achieved HBM streaming "
+                                     "bandwidth; requires "
+                                     "--disaggregate)")
     cluster_parser.add_argument("--requests", type=int, default=128,
                                 help="number of requests in the trace")
     cluster_parser.add_argument("--trace", default="poisson",
@@ -224,6 +254,18 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--slo-ttft-ms", type=float, default=None,
                                 help="rolling-p95 TTFT target in ms for the "
                                      "autoscaler (requires --autoscale)")
+    cluster_parser.add_argument("--slo-tpot-ms", type=float, default=None,
+                                help="rolling-p95 TPOT target in ms — the "
+                                     "decode pool's latency signal "
+                                     "(requires --autoscale and "
+                                     "--disaggregate)")
+    cluster_parser.add_argument("--kv-pressure-high", type=float,
+                                default=None,
+                                help="mean KV-pool occupancy fraction "
+                                     "that scales the decode pool up — "
+                                     "its memory signal (requires "
+                                     "--autoscale, --disaggregate and "
+                                     "--kv-capacity-mb)")
     cluster_parser.add_argument("--min-replicas", type=int, default=None,
                                 help="autoscaler floor (default 1; "
                                      "requires --autoscale)")
@@ -498,6 +540,7 @@ def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
 def _run_serve_cluster(args: argparse.Namespace) -> int:
     from repro.serving import (
         AutoscalerConfig,
+        DisaggregationConfig,
         KVCacheConfig,
         SchedulerConfig,
         ServingCluster,
@@ -517,9 +560,31 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
                     "with --shared-prefix")
             if args.prefix_groups < 1:
                 raise ValueError("--prefix-groups must be at least 1")
+        if args.kv_pressure_high is not None and args.kv_capacity_mb is None:
+            raise ValueError(
+                "--kv-pressure-high watches the KV block pool; pair with "
+                "--kv-capacity-mb")
+        if not args.disaggregate:
+            ignored = [flag for flag, value in
+                       (("--prefill-replicas", args.prefill_replicas),
+                        ("--decode-replicas", args.decode_replicas),
+                        ("--kv-transfer-gbs", args.kv_transfer_gbs),
+                        ("--slo-tpot-ms", args.slo_tpot_ms),
+                        ("--kv-pressure-high", args.kv_pressure_high))
+                       if value is not None]
+            if ignored:
+                raise ValueError(
+                    f"{', '.join(ignored)} only shape(s) a disaggregated "
+                    "fleet; pair with --disaggregate")
+        elif args.replicas is not None:
+            raise ValueError(
+                "--replicas sizes a unified fleet; with --disaggregate "
+                "use --prefill-replicas and --decode-replicas")
         if not args.autoscale:
             ignored = [flag for flag, value in
                        (("--slo-ttft-ms", args.slo_ttft_ms),
+                        ("--slo-tpot-ms", args.slo_tpot_ms),
+                        ("--kv-pressure-high", args.kv_pressure_high),
                         ("--min-replicas", args.min_replicas),
                         ("--max-replicas", args.max_replicas),
                         ("--warmup-s", args.warmup_s),
@@ -548,14 +613,27 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
                 else defaults.max_replicas,
                 slo_ttft_s=args.slo_ttft_ms / 1e3
                 if args.slo_ttft_ms is not None else None,
+                slo_tpot_s=args.slo_tpot_ms / 1e3
+                if args.slo_tpot_ms is not None else None,
+                kv_pressure_high=args.kv_pressure_high,
                 control_interval_s=args.control_interval
                 if args.control_interval is not None
                 else defaults.control_interval_s,
                 warmup_s=args.warmup_s)
+        disaggregation = None
+        if args.disaggregate:
+            disaggregation = DisaggregationConfig(
+                prefill_replicas=args.prefill_replicas
+                if args.prefill_replicas is not None else 1,
+                decode_replicas=args.decode_replicas
+                if args.decode_replicas is not None else 1,
+                kv_transfer_gbs=args.kv_transfer_gbs)
         trace = _build_cluster_trace(args)
         cluster = ServingCluster(
             config,
-            initial_replicas=args.replicas,
+            initial_replicas=args.replicas
+            if args.replicas is not None else (1 if args.disaggregate
+                                               else 2),
             router=args.router,
             scheduler_config=SchedulerConfig(
                 max_batch_size=args.max_batch,
@@ -565,6 +643,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             kv_config=kv_config,
             preemption=args.preemption,
             autoscaler=autoscaler,
+            disaggregation=disaggregation,
         )
     except ValueError as error:
         print(f"serve-cluster: {error}", file=sys.stderr)

@@ -14,7 +14,7 @@ systems just wait for arrivals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
     from repro.eval.latency import FpgaPerformanceModel
@@ -299,6 +299,103 @@ def run_cluster_sweep(config: ModelConfig,
                 autoscaler=autoscaler)
             points.append(ClusterPoint(replicas, router,
                                        cluster.run(trace)))
+    return points
+
+
+@dataclass(frozen=True)
+class DisaggregationPoint:
+    """One fleet split's outcome on a fixed trace.
+
+    ``prefill_replicas == 0`` marks the unified reference (all
+    ``decode_replicas`` replicas serve both phases) — every sweep should
+    include one so the TTFT win and TPOT cost of each split are measured
+    against the same total capacity.
+    """
+
+    prefill_replicas: int      # 0 = unified reference fleet
+    decode_replicas: int       # decode pool (or the whole unified fleet)
+    report: "ClusterReport"
+
+    @property
+    def unified(self) -> bool:
+        return self.prefill_replicas == 0
+
+    @property
+    def total_replicas(self) -> int:
+        return self.prefill_replicas + self.decode_replicas
+
+    @property
+    def p95_ttft_s(self) -> float:
+        return self.report.ttft.p95
+
+    @property
+    def mean_tpot_s(self) -> float:
+        return self.report.tpot.mean
+
+    @property
+    def fleet_tokens_per_s(self) -> float:
+        return self.report.fleet_tokens_per_s
+
+    def format(self) -> str:
+        label = (f"unified x{self.decode_replicas}" if self.unified
+                 else f"{self.prefill_replicas}p + "
+                      f"{self.decode_replicas}d")
+        line = (f"{label:>12}: p95 ttft {self.p95_ttft_s * 1e3:8.1f} ms, "
+                f"tpot mean {self.mean_tpot_s * 1e3:6.2f} ms, "
+                f"{self.fleet_tokens_per_s:8.1f} tok/s, "
+                f"{self.report.completed}/{self.report.num_requests} done")
+        if not self.unified:
+            line += (f", {self.report.kv_migrations} migration(s), "
+                     f"{self.report.kv_bytes_transferred / 1e6:.1f} MB "
+                     f"moved")
+        return line
+
+
+def run_disaggregation_sweep(config: ModelConfig,
+                             trace: Sequence[TimedRequest],
+                             splits: Sequence[Tuple[int, int]],
+                             kv_transfer_gbs: Optional[float] = None,
+                             router: str = "round_robin",
+                             decode_router: str = "kv_transfer_aware",
+                             scheduler_config: Optional[SchedulerConfig] = None,
+                             kv_config: Optional["KVCacheConfig"] = None,
+                             performance_model: Optional[FpgaPerformanceModel] = None,
+                             ) -> List[DisaggregationPoint]:
+    """Serve the same trace under a sweep of prefill/decode fleet splits.
+
+    Each split is ``(prefill_replicas, decode_replicas)``;
+    ``(0, n)`` runs the *unified* n-replica fleet — the equal-capacity
+    reference every disaggregated split is judged against.  One fixed
+    trace, one row per split, so the TTFT-vs-TPOT trade (and the KV bytes
+    that bought it) is attributable to the fleet shape alone.
+    """
+    from repro.serving.cluster import DisaggregationConfig, ServingCluster
+
+    # Validate every split up front: a bad one at the tail must not
+    # discard the (expensive) simulations of the splits before it.
+    for prefill, decode in splits:
+        if prefill < 0 or decode < 1:
+            raise ValueError(
+                f"split ({prefill}, {decode}) invalid: prefill_replicas "
+                "must be >= 0 (0 = unified) and decode_replicas >= 1")
+    points: List[DisaggregationPoint] = []
+    for prefill, decode in splits:
+        disaggregation = None
+        if prefill > 0:
+            disaggregation = DisaggregationConfig(
+                prefill_replicas=prefill, decode_replicas=decode,
+                kv_transfer_gbs=kv_transfer_gbs,
+                decode_router=decode_router)
+        cluster = ServingCluster(
+            config,
+            initial_replicas=decode if prefill == 0 else 1,
+            router=router,
+            scheduler_config=scheduler_config,
+            performance_model=performance_model,
+            kv_config=kv_config,
+            disaggregation=disaggregation)
+        points.append(DisaggregationPoint(prefill, decode,
+                                          cluster.run(trace)))
     return points
 
 

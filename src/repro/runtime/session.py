@@ -133,6 +133,28 @@ class ActiveRequest:
         self.prefix_cached_tokens = skipped
         return skipped
 
+    def assume_resident(self, tokens: int) -> int:
+        """Mark the first ``tokens`` prompt positions as already resident
+        without computing them — KV rows that arrived from *outside* this
+        device (a disaggregated prefill replica's hand-off, imported over
+        the interconnect) rather than from a local cache.
+
+        Unlike :meth:`skip_prefix` the whole prompt may be covered: the
+        sending replica already computed the final prompt position's hidden
+        state and emitted the first token, so a fully-resident cursor goes
+        straight to decode.  Only valid on a fresh cursor, before any slice
+        is recorded.  Returns the positions marked resident.
+        """
+        if self.steps or self._prefilled or self._generated:
+            raise RuntimeError(
+                f"request {self.workload.label} already started; imported "
+                "KV is only valid before the first recorded slice")
+        if tokens < 0:
+            raise ValueError("cannot import a negative KV prefix")
+        resident = min(tokens, self.workload.input_len)
+        self._prefilled = resident
+        return resident
+
     def next_work(self, token_budget: Optional[int] = None,
                   assume_prefilled: Optional[int] = None) -> StepWork:
         """The slice this request needs in the next engine step.

@@ -31,11 +31,12 @@ or from the command line: ``python -m repro serve-sim --model gpt2
 --devices 2 --requests 64``.
 """
 
-from repro.serving.engine import DeviceWorker, ServingEngine
+from repro.serving.engine import DeviceWorker, HandoffEvent, ServingEngine
 from repro.serving.kv_manager import (
     KVBlockManager,
     KVCacheConfig,
     KVCacheExhausted,
+    KVExport,
     PrefixReuse,
 )
 from repro.serving.policies import (
@@ -78,7 +79,9 @@ from repro.serving.cluster import (  # noqa: E402
     AutoscalerConfig,
     ClusterReport,
     ClusterRouter,
+    DisaggregationConfig,
     EngineReplica,
+    ReplicaRole,
     ReplicaState,
     RoutingPolicy,
     ServingCluster,
@@ -89,7 +92,9 @@ __all__ = [
     "AutoscalerConfig",
     "ClusterReport",
     "ClusterRouter",
+    "DisaggregationConfig",
     "EngineReplica",
+    "ReplicaRole",
     "ReplicaState",
     "RoutingPolicy",
     "ServingCluster",
@@ -98,9 +103,11 @@ __all__ = [
     "ContinuousBatchingScheduler",
     "DeviceStats",
     "DeviceWorker",
+    "HandoffEvent",
     "KVBlockManager",
     "KVCacheConfig",
     "KVCacheExhausted",
+    "KVExport",
     "KVSample",
     "LatencyStats",
     "PLACEMENT_POLICIES",

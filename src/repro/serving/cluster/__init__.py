@@ -47,8 +47,13 @@ from repro.serving.cluster.autoscaler import (
     AutoscalerConfig,
     ScaleDecision,
 )
-from repro.serving.cluster.cluster import ServingCluster
-from repro.serving.cluster.replica import EngineReplica, ReplicaState
+from repro.serving.cluster.cluster import DisaggregationConfig, ServingCluster
+from repro.serving.cluster.replica import (
+    EngineReplica,
+    ReplicaRole,
+    ReplicaState,
+    resolve_replica_role,
+)
 from repro.serving.cluster.report import (
     ClusterReport,
     ReplicaCountSample,
@@ -67,14 +72,17 @@ __all__ = [
     "AutoscalerConfig",
     "ClusterReport",
     "ClusterRouter",
+    "DisaggregationConfig",
     "EngineReplica",
     "ROUTING_POLICIES",
     "ReplicaCountSample",
     "ReplicaLifecycle",
+    "ReplicaRole",
     "ReplicaState",
     "RoutingPolicy",
     "ScaleDecision",
     "ServingCluster",
     "build_cluster_report",
+    "resolve_replica_role",
     "resolve_routing_policy",
 ]

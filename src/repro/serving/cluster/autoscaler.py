@@ -25,6 +25,14 @@ one congested window cannot flap the fleet.
 
 Everything is deterministic: thresholds are pure arithmetic over the
 observed state and ties never depend on iteration order.
+
+A disaggregated fleet (see :class:`~repro.serving.cluster.cluster.
+DisaggregationConfig`) runs one instance of this loop per role pool.  The
+prefill pool uses the classic signals above; the decode pool swaps the
+latency signal for rolling p95 **TPOT** (against ``slo_tpot_s``) and adds
+a memory signal — mean KV-pool occupancy against ``kv_pressure_high`` —
+because decode congestion shows up as imported KV piling up and token
+cadence stretching, not as first-token latency.
 """
 
 from __future__ import annotations
@@ -66,6 +74,15 @@ class AutoscalerConfig:
         warmup_s: Warm-up charged to each scaled-up replica; ``None`` uses
             the replica's own parameter-packing time (the model-grounded
             deploy cost).
+        slo_tpot_s: Rolling-p95 TPOT target in seconds — the latency
+            signal of a disaggregated fleet's *decode* pool (a prefill
+            pool keeps watching TTFT).  ``None`` (the default) disables
+            the signal.
+        kv_pressure_high: Mean KV-pool utilisation across the observed
+            pool above this fraction triggers a scale-up — the decode
+            pool's memory signal (imported KV piling up faster than
+            decodes retire it).  ``None`` (the default) disables it;
+            down-scaling then also ignores KV occupancy.
     """
 
     min_replicas: int = 1
@@ -79,6 +96,8 @@ class AutoscalerConfig:
     cooldown_s: float = 0.5
     slo_margin: float = 0.8
     warmup_s: Optional[float] = None
+    slo_tpot_s: Optional[float] = None
+    kv_pressure_high: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -103,6 +122,11 @@ class AutoscalerConfig:
             raise ValueError("slo_margin must be within (0, 1]")
         if self.warmup_s is not None and self.warmup_s < 0:
             raise ValueError("warmup_s must be non-negative")
+        if self.slo_tpot_s is not None and self.slo_tpot_s <= 0:
+            raise ValueError("slo_tpot_s must be positive")
+        if self.kv_pressure_high is not None \
+                and not 0 < self.kv_pressure_high <= 1:
+            raise ValueError("kv_pressure_high must be within (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -115,6 +139,10 @@ class ScaleDecision:
     routable: int
     provisioned: int
     rolling_p95_ttft_s: Optional[float]   # None = too few window samples
+    # Decode-pool signals of a disaggregated fleet (None on the classic
+    # TTFT/queue loop).
+    rolling_p95_tpot_s: Optional[float] = None
+    kv_utilization: Optional[float] = None
 
 
 class Autoscaler:
@@ -139,7 +167,9 @@ class Autoscaler:
         return percentile(ttfts, 95.0)
 
     def decide(self, now: float, queue_depth: int, routable: int,
-               provisioned: int, window_ttfts: Sequence[float]) -> str:
+               provisioned: int, window_ttfts: Sequence[float],
+               window_tpots: Sequence[float] = (),
+               kv_utilization: Optional[float] = None) -> str:
         """One control evaluation; returns ``"up"``, ``"down"`` or
         ``"hold"`` and records the decision.
 
@@ -151,20 +181,39 @@ class Autoscaler:
             provisioned: Replicas consuming capacity (ACTIVE + WARMING).
             window_ttfts: TTFTs of requests whose first token landed in
                 the trailing window.
+            window_tpots: TPOTs of requests that completed within the
+                trailing window — the decode-pool latency signal, judged
+                against ``slo_tpot_s`` (pass nothing to disable).
+            kv_utilization: Mean KV-pool occupancy of the observed pool,
+                judged against ``kv_pressure_high`` (``None`` disables).
         """
         config = self.config
         p95 = self.rolling_p95(window_ttfts)
+        p95_tpot = self.rolling_p95(window_tpots)
         queue_per_replica = queue_depth / max(1, routable)
         cooled = now - self._last_action_s >= config.cooldown_s
 
         action = "hold"
         if cooled:
             congested = queue_per_replica > config.queue_high_per_replica
-            slo_missed = (config.slo_ttft_s is not None
-                          and p95 is not None and p95 > config.slo_ttft_s)
-            slo_clear = (config.slo_ttft_s is None or p95 is None
-                         or p95 <= config.slo_margin * config.slo_ttft_s)
-            if (congested or slo_missed) \
+            kv_pressured = (config.kv_pressure_high is not None
+                            and kv_utilization is not None
+                            and kv_utilization > config.kv_pressure_high)
+            slo_missed = (
+                (config.slo_ttft_s is not None and p95 is not None
+                 and p95 > config.slo_ttft_s)
+                or (config.slo_tpot_s is not None and p95_tpot is not None
+                    and p95_tpot > config.slo_tpot_s))
+            slo_clear = (
+                (config.slo_ttft_s is None or p95 is None
+                 or p95 <= config.slo_margin * config.slo_ttft_s)
+                and (config.slo_tpot_s is None or p95_tpot is None
+                     or p95_tpot <= config.slo_margin * config.slo_tpot_s)
+                and (config.kv_pressure_high is None
+                     or kv_utilization is None
+                     or kv_utilization <= config.slo_margin
+                     * config.kv_pressure_high))
+            if (congested or slo_missed or kv_pressured) \
                     and provisioned < config.max_replicas:
                 action = "up"
             elif queue_per_replica < config.queue_low_per_replica \
@@ -180,5 +229,6 @@ class Autoscaler:
         self.decisions.append(ScaleDecision(
             time_s=now, action=action, queue_depth=queue_depth,
             routable=routable, provisioned=provisioned,
-            rolling_p95_ttft_s=p95))
+            rolling_p95_ttft_s=p95, rolling_p95_tpot_s=p95_tpot,
+            kv_utilization=kv_utilization))
         return action

@@ -1,17 +1,25 @@
 """The cluster orchestration loop: replicas + router + autoscaler.
 
 A :class:`ServingCluster` runs a fleet of :class:`EngineReplica`s under one
-global simulated clock.  The loop is event-driven over three event kinds,
-processed in deterministic time order (ties: arrival, then control tick,
-then engine step; equal-time steps break on the lowest replica id):
+global simulated clock.  The loop is event-driven over four event kinds,
+processed in deterministic time order (ties: arrival, then KV-migration
+landing, then control tick, then engine step; equal-time steps break on
+the lowest replica id):
 
 * **arrival** — the next trace request reaches the front door and the
   :class:`~repro.serving.cluster.router.ClusterRouter` dispatches it to a
-  routable replica using live queue/KV state;
+  routable replica using live queue/KV state (in a disaggregated fleet:
+  to a *prefill* replica);
+* **migration landing** (disaggregated fleets only) — a completed
+  prefill's KV transfer finishes and the decode-stage router dispatches
+  the request to a decode replica;
 * **control tick** — the :class:`~repro.serving.cluster.autoscaler.
   Autoscaler` (when configured) observes fleet backlog and rolling p95
   TTFT and may spawn a replica (which warms up before taking traffic) or
-  drain one (no new admissions, in-flight work finishes, KV released);
+  drain one (no new admissions, in-flight work finishes, KV released).
+  A disaggregated fleet runs one control loop per role pool: prefill
+  scales on its queue and TTFT, decode on migration backlog, rolling
+  TPOT and KV pressure;
 * **engine step** — the replica whose next step starts earliest advances
   one continuous-batching iteration.
 
@@ -25,18 +33,34 @@ the cluster dispatches at arrival events — a request arriving during a
 step reaches the replica (and its samples) only after that step returns.
 Scheduling decisions are identical; per-replica queue-depth timelines can
 read slightly lower than the engine's for the same trace.
+
+**Disaggregation** (:class:`DisaggregationConfig`) splits the fleet into
+dedicated prefill and decode pools so the two phases stop interfering:
+new arrivals only ever queue behind other prefills (TTFT is protected
+from long decode batches), and decode replicas run pure token-generation
+batches.  The price is the hand-off: each migrated request's resident KV
+(prompt + first token) crosses the interconnect at ``kv_transfer_gbs``,
+delaying its decode start and occupying the decode replica's pool on
+admission.  With ``disaggregation=None`` — the default — none of this
+machinery runs and the cluster is the PR 4 unified tier byte-for-byte.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.eval.latency import FpgaPerformanceModel
 from repro.models.config import ModelConfig
 from repro.serving.cluster.autoscaler import Autoscaler, AutoscalerConfig
-from repro.serving.cluster.replica import EngineReplica, ReplicaState
+from repro.serving.cluster.replica import (
+    EngineReplica,
+    ReplicaRole,
+    ReplicaState,
+)
 from repro.serving.cluster.report import (
     ClusterReport,
     ReplicaCountSample,
@@ -44,11 +68,52 @@ from repro.serving.cluster.report import (
     build_cluster_report,
 )
 from repro.serving.cluster.router import ClusterRouter, RoutingPolicy
+from repro.serving.engine import HandoffEvent
 from repro.serving.kv_manager import KVCacheConfig
 from repro.serving.policies.preemption import PreemptionPolicy
 from repro.serving.request import ServingRequest, requests_from_trace
 from repro.serving.scheduler import SchedulerConfig
 from repro.serving.workload_gen import TimedRequest
+
+
+@dataclass(frozen=True)
+class DisaggregationConfig:
+    """Shape of a disaggregated prefill/decode fleet.
+
+    Attributes:
+        prefill_replicas: Initial replicas dedicated to prefill (arrivals
+            route here; each request is served through its prefill phase
+            and first token, then handed off).
+        decode_replicas: Initial replicas dedicated to decode (migrated
+            requests finish their token generation here).
+        kv_transfer_gbs: Interconnect bandwidth (GB/s) charged to each
+            hand-off's KV payload.  ``None`` derives the default from the
+            platform performance model's achieved HBM streaming bandwidth
+            (``FpgaPerformanceModel.weight_stream_gbs``) — the same
+            calibrated figure the engine-step cost uses, standing in for
+            a device-to-device link of the same class.
+        decode_router: Routing policy for the migration stage (name or
+            instance); ``kv_transfer_aware`` by default, ranking decode
+            replicas by their room for the imported KV.
+    """
+
+    prefill_replicas: int = 1
+    decode_replicas: int = 1
+    kv_transfer_gbs: Optional[float] = None
+    decode_router: Union[str, RoutingPolicy] = "kv_transfer_aware"
+
+    def __post_init__(self) -> None:
+        if self.prefill_replicas < 1:
+            raise ValueError("prefill_replicas must be at least 1")
+        if self.decode_replicas < 1:
+            raise ValueError("decode_replicas must be at least 1")
+        if self.kv_transfer_gbs is not None and self.kv_transfer_gbs <= 0:
+            raise ValueError("kv_transfer_gbs must be positive")
+
+    @property
+    def total_replicas(self) -> int:
+        """Initial fleet size (both pools together)."""
+        return self.prefill_replicas + self.decode_replicas
 
 
 class ServingCluster:
@@ -67,7 +132,15 @@ class ServingCluster:
         preemption: Per-replica preemption policy under KV pressure.
         autoscaler: ``AutoscalerConfig`` (or a prepared ``Autoscaler``) to
             scale the fleet from the control loop; ``None`` keeps the
-            fleet fixed at ``initial_replicas``.
+            fleet fixed at ``initial_replicas``.  With disaggregation the
+            same config drives one control loop per role pool (bounds
+            apply per pool).
+        disaggregation: ``DisaggregationConfig`` splitting the fleet into
+            prefill and decode pools with a two-stage request flow.
+            ``None`` — the default — is the PR 4 unified tier exactly;
+            when set, the fleet size comes from the config
+            (``prefill_replicas + decode_replicas``) and
+            ``initial_replicas`` must be left at its default.
     """
 
     def __init__(self, config: ModelConfig,
@@ -78,12 +151,30 @@ class ServingCluster:
                  kv_config: Optional[KVCacheConfig] = None,
                  preemption: Union[str, PreemptionPolicy] = "youngest",
                  autoscaler: Union[AutoscalerConfig, Autoscaler, None] = None,
+                 disaggregation: Optional[DisaggregationConfig] = None,
                  ) -> None:
         if initial_replicas < 1:
             raise ValueError("initial_replicas must be at least 1")
         self.config = config
+        self.disaggregation = disaggregation
+        if disaggregation is not None:
+            if initial_replicas not in (1, disaggregation.total_replicas):
+                raise ValueError(
+                    "a disaggregated fleet is sized by its "
+                    "DisaggregationConfig (prefill_replicas + "
+                    "decode_replicas); leave initial_replicas at its "
+                    "default")
+            initial_replicas = disaggregation.total_replicas
         self.initial_replicas = initial_replicas
         self.router = ClusterRouter(router)
+        self.decode_router: Optional[ClusterRouter] = None
+        self.kv_transfer_gbs: Optional[float] = None
+        if disaggregation is not None:
+            self.decode_router = ClusterRouter(disaggregation.decode_router)
+            self.kv_transfer_gbs = disaggregation.kv_transfer_gbs \
+                if disaggregation.kv_transfer_gbs is not None \
+                else (performance_model
+                      or FpgaPerformanceModel()).weight_stream_gbs
         self.scheduler_config = scheduler_config
         self.performance_model = performance_model
         self.kv_config = kv_config
@@ -94,14 +185,25 @@ class ServingCluster:
             self.autoscaler = Autoscaler(autoscaler)
         else:
             self.autoscaler = None
+        # The decode pool of a disaggregated fleet runs its own control
+        # loop (own cooldown clock and audit trail) over the same config.
+        self.decode_autoscaler: Optional[Autoscaler] = None
+        if self.autoscaler is not None and disaggregation is not None:
+            self.decode_autoscaler = Autoscaler(self.autoscaler.config)
         if self.autoscaler is not None:
             bounds = self.autoscaler.config
-            if not bounds.min_replicas <= initial_replicas \
-                    <= bounds.max_replicas:
-                raise ValueError(
-                    f"initial_replicas={initial_replicas} outside the "
-                    f"autoscaler bounds [{bounds.min_replicas}, "
-                    f"{bounds.max_replicas}]")
+            pools = [("initial_replicas", initial_replicas)]
+            if disaggregation is not None:
+                # Bounds apply per role pool, not to the whole fleet.
+                pools = [("prefill_replicas",
+                          disaggregation.prefill_replicas),
+                         ("decode_replicas",
+                          disaggregation.decode_replicas)]
+            for label, count in pools:
+                if not bounds.min_replicas <= count <= bounds.max_replicas:
+                    raise ValueError(
+                        f"{label}={count} outside the autoscaler bounds "
+                        f"[{bounds.min_replicas}, {bounds.max_replicas}]")
         self.replicas: List[EngineReplica] = []
         self._timeline: List[ReplicaCountSample] = []
         # Rolling first-token window for the autoscaler: events consumed
@@ -110,29 +212,51 @@ class ServingCluster:
         # instead of rescanning every request.
         self._ttft_cursors: Dict[int, int] = {}
         self._ttft_window: List[Tuple[float, float]] = []
+        # The decode pool's rolling completion window (TPOT), same idiom.
+        self._tpot_cursors: Dict[int, int] = {}
+        self._tpot_window: List[Tuple[float, float]] = []
+        # In-flight KV migrations: (ready_s, seq, HandoffEvent) heap.
+        self._migrations: List[Tuple[float, int, HandoffEvent]] = []
+        self._migration_seq = 0
+        self.kv_migrations = 0
+        self.kv_bytes_transferred = 0.0
+        self.kv_transfer_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Fleet bookkeeping
     # ------------------------------------------------------------------
-    def _spawn(self, spawned_s: float,
-               warmup_s: Optional[float]) -> EngineReplica:
+    def _spawn(self, spawned_s: float, warmup_s: Optional[float],
+               role: ReplicaRole = ReplicaRole.UNIFIED) -> EngineReplica:
         replica = EngineReplica(
             len(self.replicas), self.config,
             scheduler_config=self.scheduler_config,
             performance_model=self.performance_model,
             kv_config=self.kv_config,
             preemption=self.preemption,
-            spawned_s=spawned_s, warmup_s=warmup_s)
+            spawned_s=spawned_s, warmup_s=warmup_s,
+            role=role)
         self.replicas.append(replica)
         return replica
 
     def _record(self, now: float) -> None:
-        states = [replica.state for replica in self.replicas]
-        self._timeline.append(ReplicaCountSample(
+        """Append a fleet-composition sample at ``now``.  Several state
+        changes can land at one instant (a control tick promoting a
+        warming replica and then scaling, a drain emptying at the same
+        time); only the *final* composition at each time is kept, so the
+        timeline records the post-control-loop count — at t=0 and at
+        every later tick — never a transient intermediate."""
+        sample = ReplicaCountSample(
             time_s=now,
-            active=states.count(ReplicaState.ACTIVE),
-            warming=states.count(ReplicaState.WARMING),
-            draining=states.count(ReplicaState.DRAINING)))
+            active=sum(r.state is ReplicaState.ACTIVE
+                       for r in self.replicas),
+            warming=sum(r.state is ReplicaState.WARMING
+                        for r in self.replicas),
+            draining=sum(r.state is ReplicaState.DRAINING
+                         for r in self.replicas))
+        if self._timeline and self._timeline[-1].time_s == now:
+            self._timeline[-1] = sample
+        else:
+            self._timeline.append(sample)
 
     def _activate_due(self, now: float) -> None:
         for replica in self.replicas:
@@ -142,55 +266,149 @@ class ServingCluster:
     def _routable(self) -> List[EngineReplica]:
         return [replica for replica in self.replicas if replica.routable]
 
+    def _pool(self, replicas: Sequence[EngineReplica],
+              role: Optional[ReplicaRole]) -> List[EngineReplica]:
+        """Filter ``replicas`` down to one role pool (``None`` = all)."""
+        if role is None:
+            return list(replicas)
+        return [replica for replica in replicas if replica.role is role]
+
     # ------------------------------------------------------------------
     # Control loop
     # ------------------------------------------------------------------
+    @staticmethod
+    def _roll_window(replicas: Sequence[EngineReplica], now: float,
+                     window_s: float, cursors: Dict[int, int],
+                     window: List[Tuple[float, float]],
+                     feed: str) -> List[Tuple[float, float]]:
+        """Advance one rolling latency window over the workers' sample
+        feeds (``ttft_samples`` or ``tpot_samples``).  A replica's clock
+        can run ahead of the control tick (a step is atomic), so events
+        beyond ``now`` stay buffered for a later tick rather than leaking
+        into this one's percentile."""
+        for replica in replicas:
+            samples = getattr(replica.worker, feed)
+            seen = cursors.get(replica.replica_id, 0)
+            if seen < len(samples):
+                window.extend(samples[seen:])
+                cursors[replica.replica_id] = len(samples)
+        window_start = now - window_s
+        window[:] = [event for event in window if event[0] >= window_start]
+        return window
+
     def _window_ttfts(self, now: float) -> List[float]:
         """TTFTs of requests whose first token landed within the trailing
-        window.  A replica's clock can run ahead of the control tick (a
-        step is atomic), so events beyond ``now`` stay buffered for a
-        later tick rather than leaking into this one's percentile."""
-        for replica in self.replicas:
-            samples = replica.worker.ttft_samples
-            seen = self._ttft_cursors.get(replica.replica_id, 0)
-            if seen < len(samples):
-                self._ttft_window.extend(samples[seen:])
-                self._ttft_cursors[replica.replica_id] = len(samples)
-        window_start = now - self.autoscaler.config.ttft_window_s
-        self._ttft_window = [event for event in self._ttft_window
-                             if event[0] >= window_start]
-        return [ttft for landed, ttft in self._ttft_window if landed <= now]
+        window (in a disaggregated fleet these all come from the prefill
+        pool — first tokens are emitted there)."""
+        window = self._roll_window(
+            self.replicas, now, self.autoscaler.config.ttft_window_s,
+            self._ttft_cursors, self._ttft_window, "ttft_samples")
+        return [ttft for landed, ttft in window if landed <= now]
 
-    def _control(self, now: float) -> None:
-        """One autoscaler evaluation, applying its decision to the fleet."""
-        scaler = self.autoscaler
-        self._activate_due(now)
-        routable = self._routable()
-        provisioned = [replica for replica in self.replicas
-                       if replica.state in (ReplicaState.ACTIVE,
-                                            ReplicaState.WARMING)]
-        queue_depth = sum(replica.queue_depth
-                          for replica in self.replicas
-                          if replica.state is not ReplicaState.STOPPED)
-        window_ttfts = self._window_ttfts(now)
-        action = scaler.decide(now, queue_depth, len(routable),
-                               len(provisioned), window_ttfts)
+    def _window_tpots(self, now: float) -> List[float]:
+        """TPOTs of requests that completed within the trailing window on
+        the decode pool — the decode autoscaler's latency signal."""
+        window = self._roll_window(
+            self._pool(self.replicas, ReplicaRole.DECODE), now,
+            self.autoscaler.config.ttft_window_s,
+            self._tpot_cursors, self._tpot_window, "tpot_samples")
+        return [tpot for landed, tpot in window if landed <= now]
+
+    def _apply_decision(self, scaler: Autoscaler, now: float, action: str,
+                        routable: List[EngineReplica],
+                        role: ReplicaRole) -> None:
+        """Apply one pool's scale decision to the fleet."""
         if action == "up":
-            self._spawn(now, scaler.config.warmup_s)
+            self._spawn(now, scaler.config.warmup_s, role=role)
             self._record(now)
         elif action == "down":
-            # The autoscaler only decides "down" with >1 routable replica,
-            # so a victim always exists and arrivals always keep somewhere
-            # to go.  Drain the least-loaded active replica (ties: the
-            # youngest goes first, LIFO).
+            # The autoscaler only decides "down" with >1 routable replica
+            # in the pool, so a victim always exists and the pool's
+            # traffic always keeps somewhere to go.  Drain the
+            # least-loaded active replica (ties: the youngest goes first,
+            # LIFO).
             victim = min(routable,
                          key=lambda r: (r.in_system, -r.replica_id))
             victim.drain(now)
             self._record(now)
 
+    def _pool_counts(self, role: Optional[ReplicaRole],
+                     ) -> Tuple[List[EngineReplica], int, int]:
+        """One pool's (routable replicas, provisioned count, queue depth)."""
+        routable = self._pool(self._routable(), role)
+        provisioned = [replica
+                       for replica in self._pool(self.replicas, role)
+                       if replica.state in (ReplicaState.ACTIVE,
+                                            ReplicaState.WARMING)]
+        queue_depth = sum(replica.queue_depth
+                          for replica in self._pool(self.replicas, role)
+                          if replica.state is not ReplicaState.STOPPED)
+        return routable, len(provisioned), queue_depth
+
+    def _control(self, now: float) -> None:
+        """One autoscaler evaluation, applying its decision to the fleet.
+
+        A unified fleet runs the classic queue/TTFT loop over every
+        replica; a disaggregated fleet evaluates two independent loops —
+        the prefill pool on its own queue and the fleet TTFT window, the
+        decode pool on migration backlog (in-flight transfers included),
+        the rolling TPOT window and mean KV occupancy.
+        """
+        scaler = self.autoscaler
+        self._activate_due(now)
+        if self.disaggregation is None:
+            routable, provisioned, queue_depth = self._pool_counts(None)
+            action = scaler.decide(now, queue_depth, len(routable),
+                                   provisioned, self._window_ttfts(now))
+            self._apply_decision(scaler, now, action, routable,
+                                 ReplicaRole.UNIFIED)
+            return
+
+        # Prefill pool: congestion shows up as prefill backlog and TTFT.
+        routable, provisioned, queue_depth = self._pool_counts(
+            ReplicaRole.PREFILL)
+        action = scaler.decide(now, queue_depth, len(routable),
+                               provisioned, self._window_ttfts(now))
+        self._apply_decision(scaler, now, action, routable,
+                             ReplicaRole.PREFILL)
+
+        # Decode pool: backlog is everything migrating towards it (KV
+        # still in flight counts — it is committed demand) plus whatever
+        # sits queued at decode replicas; latency is TPOT; memory is the
+        # pool-mean KV occupancy.
+        decode_scaler = self.decode_autoscaler
+        routable, provisioned, queue_depth = self._pool_counts(
+            ReplicaRole.DECODE)
+        queue_depth += len(self._migrations)
+        kv_utilization = None
+        if routable and self.kv_config is not None:
+            kv_utilization = sum(r.kv_utilization for r in routable) \
+                / len(routable)
+        action = decode_scaler.decide(
+            now, queue_depth, len(routable), provisioned,
+            window_ttfts=[], window_tpots=self._window_tpots(now),
+            kv_utilization=kv_utilization)
+        self._apply_decision(decode_scaler, now, action, routable,
+                             ReplicaRole.DECODE)
+
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
+    def _schedule_migrations(self, replica: EngineReplica) -> None:
+        """Price and enqueue the KV transfers of a prefill replica's
+        fresh hand-offs.  Each migrated request becomes routable to the
+        decode pool once its KV payload has crossed the interconnect."""
+        for handoff in replica.take_handoffs():
+            transfer_s = handoff.kv_bytes / (self.kv_transfer_gbs * 1e9)
+            handoff.request.migration_ready_s = handoff.time_s + transfer_s
+            self.kv_migrations += 1
+            self.kv_bytes_transferred += handoff.kv_bytes
+            self.kv_transfer_seconds += transfer_s
+            self._migration_seq += 1
+            heapq.heappush(self._migrations,
+                           (handoff.request.migration_ready_s,
+                            self._migration_seq, handoff))
+
     def run(self, trace: Sequence[TimedRequest]) -> ClusterReport:
         """Serve a whole trace through the fleet; returns the cluster
         report.  Like the engine, every ``run()`` builds a fresh fleet so
@@ -199,43 +417,84 @@ class ServingCluster:
         self._timeline = []
         self._ttft_cursors = {}
         self._ttft_window = []
+        self._tpot_cursors = {}
+        self._tpot_window = []
+        self._migrations = []
+        self._migration_seq = 0
+        self.kv_migrations = 0
+        self.kv_bytes_transferred = 0.0
+        self.kv_transfer_seconds = 0.0
         self.router.policy.reset()
+        if self.decode_router is not None:
+            self.decode_router.policy.reset()
         if self.autoscaler is not None:
             self.autoscaler.reset()
-        for _ in range(self.initial_replicas):
-            self._spawn(0.0, warmup_s=0.0)
+        if self.decode_autoscaler is not None:
+            self.decode_autoscaler.reset()
+        disaggregation = self.disaggregation
+        if disaggregation is None:
+            for _ in range(self.initial_replicas):
+                self._spawn(0.0, warmup_s=0.0)
+        else:
+            for _ in range(disaggregation.prefill_replicas):
+                self._spawn(0.0, warmup_s=0.0, role=ReplicaRole.PREFILL)
+            for _ in range(disaggregation.decode_replicas):
+                self._spawn(0.0, warmup_s=0.0, role=ReplicaRole.DECODE)
         self._record(0.0)
 
         requests = requests_from_trace(trace)
         arrivals: Deque[ServingRequest] = deque(requests)
 
         scaler = self.autoscaler
-        next_control = scaler.config.control_interval_s \
-            if scaler is not None else math.inf
+        # Control ticks start at t=0 (not one interval in), so a warm-up
+        # triggered by instant overload (a burst trace's arrivals at t=0)
+        # starts immediately and the timeline's t=0 sample records the
+        # post-control fleet.  Ticks before the first dispatch are
+        # skipped, not evaluated: with no demand observed yet there is no
+        # evidence to act on, and a zero-evidence scale-down would burn
+        # the cooldown right before the opening traffic.
+        next_control = 0.0 if scaler is not None else math.inf
+        dispatched = False
 
         while True:
             live = [replica for replica in self.replicas
                     if replica.state is not ReplicaState.STOPPED
                     and replica.has_work]
-            if not arrivals and not live:
+            if not arrivals and not live and not self._migrations:
                 break
             t_arrival = arrivals[0].arrival_s if arrivals else math.inf
+            t_migration = self._migrations[0][0] if self._migrations \
+                else math.inf
             stepper = min(live, key=lambda r: (r.next_ready_s,
                                                r.replica_id)) \
                 if live else None
             t_step = stepper.next_ready_s if stepper else math.inf
             t_control = next_control if scaler is not None else math.inf
 
-            if t_arrival <= t_step and t_arrival <= t_control:
+            if t_arrival <= t_migration and t_arrival <= t_step \
+                    and t_arrival <= t_control:
                 request = arrivals.popleft()
                 self._activate_due(request.arrival_s)
-                self.router.dispatch(request, self._routable())
+                pool = self._routable() if disaggregation is None \
+                    else self._pool(self._routable(), ReplicaRole.PREFILL)
+                self.router.dispatch(request, pool)
+                dispatched = True
+            elif t_migration <= t_step and t_migration <= t_control:
+                ready, _, handoff = heapq.heappop(self._migrations)
+                self._activate_due(ready)
+                self.decode_router.dispatch(
+                    handoff.request,
+                    self._pool(self._routable(), ReplicaRole.DECODE))
             elif t_control <= t_step:
-                self._control(t_control)
+                if dispatched:
+                    self._control(t_control)
                 next_control += scaler.config.control_interval_s
             else:
                 state_before = stepper.state
                 stepper.step()
+                if disaggregation is not None \
+                        and stepper.role is ReplicaRole.PREFILL:
+                    self._schedule_migrations(stepper)
                 if stepper.state is not state_before:
                     # A draining replica ran dry mid-step and stopped.
                     self._record(stepper.worker.clock)
@@ -254,7 +513,8 @@ class ServingCluster:
         lifecycles = [ReplicaLifecycle(replica.replica_id,
                                        replica.spawned_s,
                                        replica.ready_s,
-                                       replica.stopped_s)
+                                       replica.stopped_s,
+                                       role=replica.role.value)
                       for replica in self.replicas]
         replica_reports = [replica.report(self.config.name)
                            for replica in self.replicas]
@@ -267,4 +527,8 @@ class ServingCluster:
             timeline=sorted(self._timeline, key=lambda s: s.time_s),
             end_s=end_s,
             slo_ttft_s=scaler.config.slo_ttft_s
-            if scaler is not None else None)
+            if scaler is not None else None,
+            disaggregated=disaggregation is not None,
+            kv_migrations=self.kv_migrations,
+            kv_bytes_transferred=self.kv_bytes_transferred,
+            kv_transfer_seconds=self.kv_transfer_seconds)

@@ -39,10 +39,39 @@ from repro.serving.scheduler import SchedulerConfig
 
 
 class ReplicaState(Enum):
+    """Lifecycle stage of one fleet member (see the module docstring)."""
+
     WARMING = "warming"    # spawned, paying the warm-up cost
     ACTIVE = "active"      # routable
     DRAINING = "draining"  # finishing submitted work, accepts nothing new
     STOPPED = "stopped"    # drained dry, KV pool released
+
+
+class ReplicaRole(Enum):
+    """What traffic a replica serves in a (possibly disaggregated) fleet.
+
+    ``UNIFIED`` replicas — the PR 4 default — run every request end to
+    end.  Under prefill/decode disaggregation a ``PREFILL`` replica serves
+    requests only through their prefill phase (handing each one off, KV
+    and first token included, the moment prefill completes) and a
+    ``DECODE`` replica serves only migrated requests' decode phases.
+    """
+
+    UNIFIED = "unified"
+    PREFILL = "prefill"
+    DECODE = "decode"
+
+
+def resolve_replica_role(role: Union[str, ReplicaRole]) -> ReplicaRole:
+    """Accepts a role name (``unified``/``prefill``/``decode``) or enum."""
+    if isinstance(role, ReplicaRole):
+        return role
+    try:
+        return ReplicaRole(role)
+    except ValueError:
+        raise ValueError(
+            f"unknown replica role {role!r}; choose from "
+            f"{sorted(r.value for r in ReplicaRole)}") from None
 
 
 class EngineReplica:
@@ -62,6 +91,10 @@ class EngineReplica:
             charges the engine's one-time parameter-packing time — the
             model-grounded deploy cost; ``0.0`` makes the replica ready
             immediately (the initial fleet).
+        role: The replica's traffic role (:class:`ReplicaRole`, or its
+            name).  ``unified`` — the default — is the PR 4 replica
+            exactly; ``prefill``/``decode`` are the two halves of a
+            disaggregated fleet.
     """
 
     def __init__(self, replica_id: int, config: ModelConfig,
@@ -70,8 +103,10 @@ class EngineReplica:
                  kv_config: Optional[KVCacheConfig] = None,
                  preemption: Union[str, PreemptionPolicy] = "youngest",
                  spawned_s: float = 0.0,
-                 warmup_s: Optional[float] = 0.0) -> None:
+                 warmup_s: Optional[float] = 0.0,
+                 role: Union[str, ReplicaRole] = ReplicaRole.UNIFIED) -> None:
         self.replica_id = replica_id
+        self.role = resolve_replica_role(role)
         # The replica owns a real single-device ServingEngine rather than
         # assembling session/scheduler/policies by hand: the engine's
         # constructor is the one place the configuration is validated
@@ -86,7 +121,9 @@ class EngineReplica:
         self.worker = DeviceWorker(replica_id, self.engine.sessions[0],
                                    self.engine.scheduler_config,
                                    preemption=self.engine.preemption,
-                                   kv_config=kv_config)
+                                   kv_config=kv_config,
+                                   prefill_only=self.role
+                                   is ReplicaRole.PREFILL)
         self.spawned_s = spawned_s
         self.warmup_s = self.worker.packing_s if warmup_s is None \
             else warmup_s
@@ -111,6 +148,7 @@ class EngineReplica:
 
     @property
     def num_running(self) -> int:
+        """Requests resident in this replica's continuous batch."""
         return self.worker.num_running
 
     @property
@@ -120,18 +158,35 @@ class EngineReplica:
 
     @property
     def kv_utilization(self) -> float:
+        """Current block-pool occupancy (0.0 without a KV manager)."""
         return self.worker.kv_utilization
+
+    def kv_shortfall_blocks(self, tokens: int) -> int:
+        """Blocks an import of ``tokens`` KV rows would overdraw this
+        replica's pool by right now (0 = the import fits in free plus
+        reclaimable blocks, and always 0 without a KV manager) — the
+        fit signal ``kv_transfer_aware`` routing ranks decode replicas
+        by."""
+        manager = self.worker.manager
+        if manager is None or tokens <= 0:
+            return 0
+        needed = manager.blocks_for(tokens)
+        available = manager.free_blocks + manager.reclaimable_blocks
+        return max(0, needed - available)
 
     @property
     def has_work(self) -> bool:
+        """Whether the replica still holds queued or in-flight requests."""
         return self.worker.has_work
 
     @property
     def next_ready_s(self) -> float:
+        """Earliest simulated time this replica's next step can start."""
         return self.worker.next_ready_s
 
     @property
     def routable(self) -> bool:
+        """Whether the router may dispatch new arrivals here (ACTIVE)."""
         return self.state is ReplicaState.ACTIVE
 
     # ------------------------------------------------------------------
@@ -145,6 +200,7 @@ class EngineReplica:
         return False
 
     def submit(self, request: ServingRequest) -> None:
+        """Hand one routed request to this replica's worker queue."""
         if not self.routable:
             raise RuntimeError(
                 f"replica {self.replica_id} is {self.state.value} and "
@@ -159,6 +215,12 @@ class EngineReplica:
         if self.state is ReplicaState.DRAINING and not self.worker.has_work:
             self._stop(self.worker.clock)
         return progressed
+
+    def take_handoffs(self):
+        """Drain the completed-prefill hand-offs the last step produced
+        (see :meth:`DeviceWorker.take_handoffs`; empty unless this is a
+        prefill-role replica)."""
+        return self.worker.take_handoffs()
 
     def drain(self, now: float) -> None:
         """Begin graceful shutdown: accept nothing new, finish everything

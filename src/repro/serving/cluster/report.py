@@ -42,12 +42,14 @@ class ReplicaCountSample:
 @dataclass(frozen=True)
 class ReplicaLifecycle:
     """Spawn-to-stop span of one replica (``stopped_s`` ``None`` = alive
-    at end of run)."""
+    at end of run).  ``role`` is the replica's traffic role —
+    ``unified`` everywhere outside a disaggregated fleet."""
 
     replica_id: int
     spawned_s: float
     ready_s: float
     stopped_s: Optional[float]
+    role: str = "unified"
 
     def seconds(self, end_s: float) -> float:
         """Capacity consumed: spawn (warm-up included) to stop or run end."""
@@ -77,6 +79,12 @@ class ClusterReport:
     replica_reports: List[ServingReport] = field(default_factory=list)
     lifecycles: List[ReplicaLifecycle] = field(default_factory=list)
     timeline: List[ReplicaCountSample] = field(default_factory=list)
+    # Disaggregation accounting (defaults = the unified tier; the JSON
+    # payload only grows a section when the mode actually ran).
+    disaggregated: bool = False
+    kv_migrations: int = 0
+    kv_bytes_transferred: float = 0.0
+    kv_transfer_seconds: float = 0.0
 
     @property
     def fleet_tokens_per_s(self) -> float:
@@ -103,12 +111,34 @@ class ClusterReport:
 
     @property
     def peak_replicas(self) -> int:
+        """Most replicas provisioned at any timeline instant."""
         return max((sample.provisioned for sample in self.timeline),
                    default=len(self.lifecycles))
 
     @property
     def preemptions(self) -> int:
+        """Fleet-wide memory-pressure preemptions across all replicas."""
         return sum(report.preemptions for report in self.replica_reports)
+
+    def role_replica_ids(self, role: str) -> List[int]:
+        """Replica ids that served the given role (``prefill``/``decode``/
+        ``unified``), in id order."""
+        return [life.replica_id for life in self.lifecycles
+                if life.role == role]
+
+    @staticmethod
+    def _served(report: ServingReport) -> int:
+        """Requests that *finished on* the replica (device counter, equal
+        to the fold's ``completed`` for unified replicas)."""
+        return sum(d.requests_served for d in report.devices) \
+            if report.devices else report.completed
+
+    @staticmethod
+    def _generated(report: ServingReport) -> int:
+        """Tokens the replica's device actually emitted (equal to the
+        fold's output-token total for unified replicas)."""
+        return sum(d.tokens_generated for d in report.devices) \
+            if report.devices else report.total_output_tokens
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -146,18 +176,35 @@ class ClusterReport:
                 for s in self.timeline
             ],
             "replicas": [
+                # Tokens/requests come from the replica's *device*
+                # counters — what it actually produced — not the request
+                # fold: a migrated request's object is shared between its
+                # prefill and decode replicas, and folding it would
+                # credit each with the other's work.  (For a unified
+                # replica the two tallies are identical.)
                 {"replica_id": life.replica_id,
                  "spawned_s": life.spawned_s,
                  "ready_s": life.ready_s,
                  "stopped_s": life.stopped_s,
                  "replica_seconds": life.seconds(self.end_s),
-                 "requests_completed": report.completed,
-                 "tokens_generated": report.total_output_tokens,
-                 "preemptions": report.preemptions}
+                 "requests_completed": self._served(report),
+                 "tokens_generated": self._generated(report),
+                 "preemptions": report.preemptions,
+                 # Role key only in disaggregated payloads, keeping
+                 # unified reports byte-identical to the PR 4 shape.
+                 **({"role": life.role} if self.disaggregated else {})}
                 for life, report in zip(self.lifecycles,
                                         self.replica_reports)
             ],
         }
+        if self.disaggregated:
+            payload["disaggregation"] = {
+                "prefill_replicas": len(self.role_replica_ids("prefill")),
+                "decode_replicas": len(self.role_replica_ids("decode")),
+                "kv_migrations": self.kv_migrations,
+                "kv_bytes_transferred": self.kv_bytes_transferred,
+                "kv_transfer_seconds": self.kv_transfer_seconds,
+            }
         if self.slo_ttft_s is not None:
             # SLO keys only appear when an SLO was configured, mirroring
             # the report-shape convention of the prefix-cache section.
@@ -172,7 +219,10 @@ class ClusterReport:
         return payload
 
     def format(self) -> str:
+        """Human-readable multi-line summary of the run."""
         scaling = "autoscaled" if self.autoscaled else "fixed fleet"
+        if self.disaggregated:
+            scaling += ", disaggregated"
         lines = [
             f"cluster report: {self.model}, router {self.router} "
             f"({scaling}, peak {self.peak_replicas} replica(s))",
@@ -183,6 +233,13 @@ class ClusterReport:
             f"{self.fleet_tokens_per_s:.1f} tok/s",
             f"  capacity:      {self.replica_seconds:.1f} replica-seconds",
         ]
+        if self.disaggregated:
+            lines.append(
+                f"  kv hand-off:   {self.kv_migrations} migration(s), "
+                f"{self.kv_bytes_transferred / 1e6:.1f} MB moved, "
+                f"{self.kv_transfer_seconds * 1e3:.1f} ms on the wire "
+                f"({len(self.role_replica_ids('prefill'))} prefill / "
+                f"{len(self.role_replica_ids('decode'))} decode)")
         if self.slo_ttft_s is not None:
             lines.append(
                 f"  slo:           p95 TTFT target "
@@ -204,10 +261,11 @@ class ClusterReport:
         for life, report in zip(self.lifecycles, self.replica_reports):
             stopped = (f"stopped {life.stopped_s:.2f}s"
                        if life.stopped_s is not None else "alive at end")
+            role = f" [{life.role}]" if self.disaggregated else ""
             lines.append(
-                f"  replica {life.replica_id}: "
-                f"{report.completed} requests, "
-                f"{report.total_output_tokens} tokens, "
+                f"  replica {life.replica_id}{role}: "
+                f"{self._served(report)} requests, "
+                f"{self._generated(report)} tokens, "
                 f"spawned {life.spawned_s:.2f}s, {stopped}, "
                 f"{life.seconds(self.end_s):.1f} replica-s")
         return "\n".join(lines)
@@ -220,11 +278,21 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
                          timeline: List[ReplicaCountSample],
                          end_s: float,
                          slo_ttft_s: Optional[float] = None,
+                         disaggregated: bool = False,
+                         kv_migrations: int = 0,
+                         kv_bytes_transferred: float = 0.0,
+                         kv_transfer_seconds: float = 0.0,
                          ) -> ClusterReport:
     """Fold per-request timestamps and replica lifecycles into the fleet
     report.  Latency distributions are computed over all requests directly
     (via the same :func:`~repro.serving.metrics.fold_requests` the engine
-    report uses) so fleet percentiles are exact."""
+    report uses) so fleet percentiles are exact.  Note a disaggregated
+    nuance in the per-replica drill-down: a migrated request appears in
+    both its prefill and its decode replica's ``ServingReport`` (each
+    replica really served part of it), so those folded reports overlap;
+    fleet-level counts and the payload's per-replica tokens/requests use
+    the deduplicated ``requests`` and the device counters respectively,
+    and never double-count."""
     fold = fold_requests(requests)
     slo_attained = None
     if slo_ttft_s is not None:
@@ -249,4 +317,8 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
         replica_reports=replica_reports,
         lifecycles=lifecycles,
         timeline=timeline,
+        disaggregated=disaggregated,
+        kv_migrations=kv_migrations,
+        kv_bytes_transferred=kv_bytes_transferred,
+        kv_transfer_seconds=kv_transfer_seconds,
     )

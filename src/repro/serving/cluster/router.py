@@ -23,6 +23,12 @@ every tie breaks on the lowest replica id.
     instead of each replica recomputing the same shared prompt.
     Group-less requests and first-seen groups fall back to ``least_queue``;
     a group whose pinned replica left the fleet is re-pinned.
+``kv_transfer_aware``
+    The decode-stage policy of a disaggregated fleet: a migrated request
+    carries ``migrated_kv_tokens`` of KV state, so replicas whose pool can
+    absorb the import without overdrawing rank first, then lowest KV
+    occupancy, then fewest outstanding requests.  Degrades to
+    ``least_queue`` for KV-less fleets and non-migrated requests.
 """
 
 from __future__ import annotations
@@ -140,11 +146,36 @@ class PrefixAffinityRouting(RoutingPolicy):
         return choice
 
 
+class KVTransferAwareRouting(RoutingPolicy):
+    """Route a migrated request to the decode replica best placed to host
+    its imported KV.
+
+    Ranking: smallest block *shortfall* for the import first (0 means the
+    replica's free + reclaimable blocks cover the migrated KV — importing
+    there causes no immediate preemption pressure), then lowest KV-pool
+    occupancy, then fewest outstanding requests, then lowest replica id.
+    Without KV managers every shortfall and occupancy is 0 and the policy
+    is exactly ``least_queue``; the same holds for fresh (non-migrated)
+    requests, so the policy is also usable as a general router.
+    """
+
+    name = "kv_transfer_aware"
+
+    def select_replica(self, request: ServingRequest,
+                       replicas: List[EngineReplica]) -> int:
+        tokens = request.migrated_kv_tokens
+        return min(replicas,
+                   key=lambda r: (r.kv_shortfall_blocks(tokens),
+                                  r.kv_utilization, r.in_system,
+                                  r.replica_id)).replica_id
+
+
 ROUTING_POLICIES: Dict[str, Type[RoutingPolicy]] = {
     RoundRobinRouting.name: RoundRobinRouting,
     LeastQueueRouting.name: LeastQueueRouting,
     LeastKVPressureRouting.name: LeastKVPressureRouting,
     PrefixAffinityRouting.name: PrefixAffinityRouting,
+    KVTransferAwareRouting.name: KVTransferAwareRouting,
 }
 
 

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Union
 
 from repro.compiler.pipeline import CompilationResult
@@ -86,6 +87,23 @@ from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
 from repro.serving.workload_gen import TimedRequest
 
 
+@dataclass(frozen=True)
+class HandoffEvent:
+    """One completed prefill leaving a prefill-only worker.
+
+    Produced by a :class:`DeviceWorker` running with ``prefill_only`` the
+    moment a request's last prefill chunk lands (first token emitted, KV
+    fully resident): the worker drops the request and its blocks, and the
+    cluster moves ``kv_bytes`` of KV state to a decode replica, charging
+    the transfer against the configured interconnect bandwidth.
+    """
+
+    request: ServingRequest
+    time_s: float          # worker clock when the prefill completed
+    kv_tokens: int         # resident KV rows travelling with the request
+    kv_bytes: float        # their size at the platform's KV quantisation
+
+
 class DeviceWorker:
     """One device's continuous-batching loop, advanced one step at a time.
 
@@ -112,11 +130,16 @@ class DeviceWorker:
                  queue_samples: Optional[List[QueueSample]] = None,
                  kv_samples: Optional[List[KVSample]] = None,
                  preemption_events: Optional[List[PreemptionEvent]] = None,
+                 prefill_only: bool = False,
                  ) -> None:
         self.device_id = device_id
         self.session = session
         self.kv_config = kv_config
         self.preemption = preemption
+        # Disaggregated prefill role: the worker serves requests only
+        # through their prefill phase and hands each one off (KV exported,
+        # first token already emitted) the moment its prefill completes.
+        self.prefill_only = prefill_only
         self.scheduler = ContinuousBatchingScheduler(scheduler_config)
         self.pending: Deque[ServingRequest] = deque()
         self.waiting: Deque[ServingRequest] = deque()
@@ -150,6 +173,13 @@ class DeviceWorker:
         # rolling-latency feed the cluster autoscaler consumes
         # incrementally instead of rescanning every request per tick.
         self.ttft_samples: List[tuple] = []
+        # (finish time, TPOT) per completed request — the decode-pool
+        # latency feed of the disaggregated autoscaler, same cursor idiom.
+        self.tpot_samples: List[tuple] = []
+        # Hand-off bookkeeping (stays empty unless prefill_only).
+        self.handoffs: List[HandoffEvent] = []
+        self.handoff_count = 0
+        self.migrated_in = 0
         self._kv_counters_snapshot: Optional[dict] = None
 
     # ------------------------------------------------------------------
@@ -162,10 +192,12 @@ class DeviceWorker:
 
     @property
     def num_running(self) -> int:
+        """Requests resident in the continuous batch."""
         return len(self.running)
 
     @property
     def has_work(self) -> bool:
+        """Whether anything is pending, waiting or running."""
         return bool(self.pending or self.waiting or self.running)
 
     @property
@@ -186,7 +218,7 @@ class DeviceWorker:
         if self.waiting or self.running:
             return self.clock
         if self.pending:
-            return max(self.clock, self.pending[0].arrival_s)
+            return max(self.clock, self.pending[0].enqueue_s)
         return self.clock
 
     def submit(self, request: ServingRequest) -> None:
@@ -201,6 +233,12 @@ class DeviceWorker:
         """Stop accepting new submissions; already-submitted work (queued
         and in-flight) still runs to completion."""
         self.draining = True
+
+    def take_handoffs(self) -> List[HandoffEvent]:
+        """Drain the completed-prefill hand-offs accumulated since the last
+        call (the cluster collects them after every prefill-replica step)."""
+        events, self.handoffs = self.handoffs, []
+        return events
 
     def release_kv(self) -> None:
         """Drop the KV block pool (a drained replica giving back its
@@ -222,9 +260,9 @@ class DeviceWorker:
     # ------------------------------------------------------------------
     def _admit_arrivals(self) -> None:
         """Iteration-level admission: arrivals become visible at step
-        boundaries."""
+        boundaries (for a migrated request, once its KV transfer landed)."""
         manager = self.manager
-        while self.pending and self.pending[0].arrival_s <= self.clock:
+        while self.pending and self.pending[0].enqueue_s <= self.clock:
             request = self.pending.popleft()
             request.device_id = self.device_id
             # A request whose total positions outgrow the whole block pool
@@ -236,7 +274,16 @@ class DeviceWorker:
                 request.state = RequestState.REJECTED
                 continue
             try:
-                request.active = self.session.start_request(request.workload)
+                if request.migrated_kv_tokens:
+                    # A hand-off: the prompt's KV rows arrived with the
+                    # request, so the fresh cursor starts fully resident
+                    # and the scheduler plans decode slices immediately.
+                    request.active = self.session.start_request(
+                        request.migration_workload())
+                    request.active.assume_resident(request.migrated_kv_tokens)
+                else:
+                    request.active = self.session.start_request(
+                        request.workload)
             except ValueError:
                 request.state = RequestState.REJECTED
                 continue
@@ -260,6 +307,10 @@ class DeviceWorker:
         freed = self.manager.release(victim.request_id)
         self.manager.mark_pressure()
         victim.detach_prefix()
+        # A preempted hand-off loses its imported KV with its blocks: the
+        # re-admission below recomputes the whole (resume) prompt locally,
+        # like any other victim.
+        victim.migrated_kv_tokens = 0
         victim.preemptions += 1
         victim.state = RequestState.QUEUED
         victim.active = self.session.start_request(victim.resume_workload())
@@ -278,7 +329,7 @@ class DeviceWorker:
                 break
             if not self.pending:
                 return False
-            self.clock = max(self.clock, self.pending[0].arrival_s)
+            self.clock = max(self.clock, self.pending[0].enqueue_s)
 
         manager = self.manager
         running = self.running
@@ -340,11 +391,20 @@ class DeviceWorker:
                     claim -= manager.extend_prefix(request)
                     if pin.cached_tokens:
                         request.active.skip_prefix(pin.cached_tokens)
-                manager.claim(request.request_id, claim)
+                if request.migrated_kv_tokens:
+                    # The admission claim of a hand-off is the imported KV
+                    # landing in this pool (rounded up to the blocks the
+                    # first decode row needs) — tally it as migration
+                    # traffic, not locally computed state.
+                    manager.import_kv(request.request_id, claim)
+                else:
+                    manager.claim(request.request_id, claim)
         for request in plan.admitted:
             request.state = RequestState.RUNNING
             if request.admitted_s is None:
                 request.admitted_s = self.clock
+            if request.migrated_kv_tokens:
+                self.migrated_in += 1
             if self._prefix_caching:
                 self.prompt_tokens += request.active.workload.input_len
             running.append(request)
@@ -374,14 +434,21 @@ class DeviceWorker:
                 request.state = RequestState.FINISHED
                 running.remove(request)
                 self.served += 1
+                self.tpot_samples.append((self.clock, request.tpot_s))
                 if manager is not None:
                     manager.release(request.request_id)
+            elif self.prefill_only and not request.active.in_prefill:
+                # Disaggregated hand-off: prefill just completed (the
+                # emitting chunk above set the first token), so the
+                # request leaves this worker with its KV for a decode
+                # replica to continue.
+                self._hand_off(request)
 
         # Arrivals during the step sit in `pending` until the next
         # admission sweep but are already queued from the requests' point
         # of view — count them, or depth under-reports congestion.
         arrived = sum(1 for request in self.pending
-                      if request.arrival_s <= self.clock)
+                      if request.enqueue_s <= self.clock)
         self.queue_samples.append(
             QueueSample(self.device_id, self.clock,
                         queued=len(waiting) + arrived,
@@ -393,7 +460,31 @@ class DeviceWorker:
                          total_blocks=manager.num_blocks))
         return True
 
+    def _hand_off(self, request: ServingRequest) -> None:
+        """Retire a completed prefill for migration to a decode replica.
+
+        The request's resident KV (prompt plus the first token's row) is
+        exported from this worker's pool and recorded as a
+        :class:`HandoffEvent`; the cluster prices the transfer and routes
+        the request on.  The request detaches from any prefix group — the
+        transfer moves its whole KV, shared rows included, so the decode
+        side never rebuilds it from a cache.
+        """
+        self.running.remove(request)
+        kv_tokens = request.active.kv_tokens
+        if self.manager is not None:
+            self.manager.export(request.request_id, kv_tokens)
+        request.detach_prefix()
+        request.migrated_kv_tokens = kv_tokens
+        request.migrations += 1
+        request.state = RequestState.QUEUED
+        self.handoffs.append(HandoffEvent(
+            request=request, time_s=self.clock, kv_tokens=kv_tokens,
+            kv_bytes=kv_tokens * self.session.kv_bytes_per_token))
+        self.handoff_count += 1
+
     def run_to_completion(self) -> None:
+        """Step until nothing is pending, waiting or running."""
         while self.step():
             pass
 
@@ -413,6 +504,7 @@ class DeviceWorker:
         )
 
     def device_stats(self) -> DeviceStats:
+        """This worker's run folded into the per-device report record."""
         manager_fields = self._kv_counters_snapshot \
             if self._kv_counters_snapshot is not None \
             else self._kv_counters(self.manager)

@@ -108,6 +108,7 @@ class KVCacheConfig:
 
     @property
     def capacity_mb(self) -> float:
+        """The byte capacity as megabytes (the CLI-facing unit)."""
         return self.capacity_bytes / 1e6
 
     @classmethod
@@ -185,6 +186,22 @@ class _Holding:
 
 
 @dataclass(frozen=True)
+class KVExport:
+    """A request's KV state leaving one device's pool for another.
+
+    The receipt of a disaggregated hand-off: ``kv_tokens`` rows were
+    resident when the request left (the payload the interconnect must move;
+    the cluster prices it at ``kv_tokens * bytes_per_token`` over the
+    configured transfer bandwidth) and ``blocks_freed`` blocks stopped
+    being charged to the request on the source pool.
+    """
+
+    request_id: int
+    kv_tokens: int
+    blocks_freed: int
+
+
+@dataclass(frozen=True)
 class PrefixReuse:
     """What the cache can do for one request's admission right now.
 
@@ -234,12 +251,18 @@ class KVBlockManager:
         self.prefix_blocks_reused = 0
         self.prefix_tokens_reused = 0
         self.prefix_cow_copies = 0
+        # Disaggregation hand-off counters (all 0 on a unified engine).
+        self.kv_exports = 0
+        self.kv_imports = 0
+        self.blocks_exported = 0
+        self.blocks_imported = 0
 
     # ------------------------------------------------------------------
     # Queries (used by the scheduler while planning)
     # ------------------------------------------------------------------
     @property
     def prefix_cache_enabled(self) -> bool:
+        """Whether shared prefix-block reuse is configured on this pool."""
         return self.config.enable_prefix_cache
 
     def blocks_for(self, tokens: int) -> int:
@@ -249,6 +272,7 @@ class KVBlockManager:
         return math.ceil(tokens / self.config.block_size)
 
     def blocks_held(self, request_id: int) -> int:
+        """Blocks currently charged to the request (shared ones included)."""
         holding = self._held.get(request_id)
         return holding.total if holding is not None else 0
 
@@ -491,6 +515,39 @@ class KVBlockManager:
                 del self._groups[holding.group]
         return freed
 
+    # ------------------------------------------------------------------
+    # Disaggregation hand-off (export on the prefill pool, import on the
+    # decode pool)
+    # ------------------------------------------------------------------
+    def export(self, request_id: int, kv_tokens: int) -> KVExport:
+        """Release a request's blocks because its KV state is *leaving*
+        this device — a disaggregated hand-off, not a completion.
+
+        Block-accounting-wise this is :meth:`release` (shared prefix
+        references are decref'd the same way); the distinct entry point
+        records the migration traffic and returns the :class:`KVExport`
+        receipt the cluster prices the transfer from.
+        """
+        if kv_tokens < 0:
+            raise ValueError("cannot export a negative KV row count")
+        freed = self.release(request_id)
+        self.kv_exports += 1
+        self.blocks_exported += freed
+        return KVExport(request_id=request_id, kv_tokens=kv_tokens,
+                        blocks_freed=freed)
+
+    def import_kv(self, request_id: int, blocks: int) -> None:
+        """Charge ``blocks`` to ``request_id`` for KV rows that arrived
+        from another device (the receiving half of a hand-off).
+
+        The blocks come out of this pool exactly like a :meth:`claim` —
+        imported KV occupies real capacity — but are tallied as migration
+        traffic instead of locally computed state.
+        """
+        self.claim(request_id, blocks)
+        self.kv_imports += 1
+        self.blocks_imported += blocks
+
     def reset(self) -> None:
         """Forget all ownership and cache state (a fresh run on the same
         device)."""
@@ -505,3 +562,7 @@ class KVBlockManager:
         self.prefix_blocks_reused = 0
         self.prefix_tokens_reused = 0
         self.prefix_cow_copies = 0
+        self.kv_exports = 0
+        self.kv_imports = 0
+        self.blocks_exported = 0
+        self.blocks_imported = 0

@@ -62,6 +62,7 @@ class LatencyStats:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "LatencyStats":
+        """Summarise a latency sample; the empty sentinel on no values."""
         if not values:
             return cls.empty()
         return cls(
@@ -75,6 +76,7 @@ class LatencyStats:
 
     @property
     def is_empty(self) -> bool:
+        """Whether this is the no-samples sentinel."""
         return self.count == 0
 
     def to_ms_dict(self) -> dict:
@@ -85,6 +87,7 @@ class LatencyStats:
                 "max": self.max * 1e3, "count": self.count}
 
     def format_ms(self) -> str:
+        """One-line human-readable summary in milliseconds."""
         if self.is_empty:
             return "no samples"
         return (f"mean {self.mean * 1e3:8.1f}  p50 {self.p50 * 1e3:8.1f}  "
@@ -113,6 +116,7 @@ class KVSample:
 
     @property
     def utilization(self) -> float:
+        """Block-pool occupancy fraction at this sample (0.0 if unsized)."""
         if self.total_blocks <= 0:
             return 0.0
         return self.used_blocks / self.total_blocks
@@ -151,12 +155,14 @@ class DeviceStats:
 
     @property
     def utilization(self) -> float:
+        """Fraction of the device's clock spent executing steps."""
         if self.final_clock_s <= 0:
             return 0.0
         return self.busy_s / self.final_clock_s
 
     @property
     def peak_kv_utilization(self) -> float:
+        """Highest block-pool occupancy the device reached (0 unmanaged)."""
         if self.kv_blocks_total <= 0:
             return 0.0
         return self.kv_peak_blocks / self.kv_blocks_total
@@ -192,10 +198,12 @@ class ServingReport:
 
     @property
     def peak_queue_depth(self) -> int:
+        """Deepest post-step admission backlog any device sampled."""
         return max((sample.queued for sample in self.queue_samples), default=0)
 
     @property
     def mean_queue_depth(self) -> float:
+        """Mean post-step admission backlog over the sampled timeline."""
         if not self.queue_samples:
             return 0.0
         return sum(sample.queued for sample in self.queue_samples) \
@@ -206,6 +214,7 @@ class ServingReport:
     # ------------------------------------------------------------------
     @property
     def preemptions(self) -> int:
+        """Memory-pressure preemptions across all devices."""
         return sum(device.preemptions for device in self.devices)
 
     @property
@@ -227,6 +236,7 @@ class ServingReport:
     # ------------------------------------------------------------------
     @property
     def prefix_tokens_reused(self) -> int:
+        """Prompt tokens served from shared prefix blocks, fleet-wide."""
         return sum(d.prefix_tokens_reused for d in self.devices)
 
     @property
@@ -240,14 +250,17 @@ class ServingReport:
 
     @property
     def shared_kv_blocks_reused(self) -> int:
+        """Shared prefix-block references taken without allocation."""
         return sum(d.shared_kv_blocks_reused for d in self.devices)
 
     @property
     def shared_kv_blocks_created(self) -> int:
+        """Shared prefix blocks allocated by group-leading prefills."""
         return sum(d.shared_kv_blocks_created for d in self.devices)
 
     @property
     def prefix_cow_copies(self) -> int:
+        """Reuses that diverged mid-block (private copy of a partial tail)."""
         return sum(d.prefix_cow_copies for d in self.devices)
 
     def to_dict(self) -> dict:
@@ -302,6 +315,7 @@ class ServingReport:
         return payload
 
     def format(self) -> str:
+        """Human-readable multi-line summary of the run."""
         lines = [
             f"serving report: {self.model} on {self.num_devices} device(s)",
             f"  requests:      {self.completed}/{self.num_requests} completed"
@@ -364,10 +378,12 @@ class RequestFold:
 
     @property
     def total_output_tokens(self) -> int:
+        """Tokens emitted by finished requests (the throughput numerator)."""
         return sum(r.tokens_emitted for r in self.finished)
 
 
 def fold_requests(requests: Sequence[ServingRequest]) -> RequestFold:
+    """Fold per-request timestamps into a :class:`RequestFold` summary."""
     from repro.serving.request import RequestState
 
     finished = [r for r in requests if r.state is RequestState.FINISHED]

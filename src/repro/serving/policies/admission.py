@@ -34,6 +34,17 @@ class AdmissionPolicy:
     reorders: bool = True
 
     def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+        """Return ``waiting`` in the order admission should consider it.
+
+        Args:
+            waiting: The current waiting queue, in arrival order.
+
+        Returns:
+            A new list holding every element of ``waiting`` exactly once;
+            the scheduler rewrites the queue with it (a total,
+            deterministic order — ties must break on arrival time then
+            request id).
+        """
         raise NotImplementedError
 
 

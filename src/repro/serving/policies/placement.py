@@ -52,6 +52,18 @@ class PlacementPolicy:
 
     def select_device(self, request: ServingRequest,
                       loads: List[DeviceLoad]) -> int:
+        """Return the ``device_id`` the arriving request is sharded to.
+
+        Args:
+            request: The arriving request (not yet counted in any tally).
+            loads: One :class:`DeviceLoad` per device, in device-id order;
+                never empty.  The engine updates the tallies after the
+                choice.
+
+        Returns:
+            A device id within ``range(len(loads))`` (the engine
+            validates and raises on an out-of-range choice).
+        """
         raise NotImplementedError
 
 

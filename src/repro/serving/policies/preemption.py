@@ -34,6 +34,18 @@ class PreemptionPolicy:
 
     def select_victim(self, running: Sequence[ServingRequest],
                       manager: Optional[KVBlockManager]) -> ServingRequest:
+        """Return the resident request to evict.
+
+        Args:
+            running: Resident requests in admission order; never empty.
+            manager: The device's KV block manager (``None`` when the
+                engine runs capacity-oblivious), for footprint-based
+                rankings.
+
+        Returns:
+            One element of ``running`` (the engine removes it, frees its
+            blocks and requeues it for recompute).
+        """
         raise NotImplementedError
 
 

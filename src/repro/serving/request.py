@@ -21,6 +21,10 @@ if TYPE_CHECKING:
 
 
 class RequestState(Enum):
+    """Serving lifecycle of one request (preemption cycles back to QUEUED,
+    as does a disaggregated hand-off while the request awaits a decode
+    slot)."""
+
     QUEUED = "queued"        # waiting for a batch slot (also after preemption)
     RUNNING = "running"      # admitted into the continuous batch
     FINISHED = "finished"    # all output tokens emitted
@@ -54,6 +58,14 @@ class ServingRequest:
     priority: int = 0
     prefix_group: Optional[str] = None
     prefix_len: int = 0
+    # Disaggregation hand-off state (all defaults on a unified engine):
+    # ``migrated_kv_tokens`` is the resident KV rows that travel with the
+    # request when a prefill replica hands it to a decode replica, and
+    # ``migration_ready_s`` is when the KV transfer lands there — the
+    # moment the decode replica's admission may first see the request.
+    migrated_kv_tokens: int = 0
+    migration_ready_s: Optional[float] = None
+    migrations: int = 0
 
     def __post_init__(self) -> None:
         if self.prefix_group is not None:
@@ -64,6 +76,15 @@ class ServingRequest:
                     f"prompt length {self.workload.input_len}")
         elif self.prefix_len:
             raise ValueError("prefix_len requires a prefix_group")
+
+    @property
+    def enqueue_s(self) -> float:
+        """When this request becomes visible to its current device's
+        admission sweep: the trace arrival for a fresh request, the KV
+        transfer's completion for one migrated to a decode replica."""
+        if self.migration_ready_s is not None:
+            return self.migration_ready_s
+        return self.arrival_s
 
     @property
     def shareable_prefix(self) -> bool:
@@ -97,6 +118,17 @@ class ServingRequest:
             return self.workload
         return Workload(self.workload.input_len + self.tokens_emitted,
                         self.workload.output_len - self.tokens_emitted)
+
+    def migration_workload(self) -> Workload:
+        """The workload a decode replica continues with after a hand-off.
+
+        Same shape arithmetic as :meth:`resume_workload` — the tokens the
+        prefill replica emitted fold into the prompt — but nothing is
+        recomputed: the prompt's KV rows (``migrated_kv_tokens`` of them)
+        arrive with the request over the interconnect, so the new cursor is
+        marked fully resident and goes straight to decode.
+        """
+        return self.resume_workload()
 
     # ------------------------------------------------------------------
     # Derived per-request metrics (valid once the request finished)

@@ -95,14 +95,17 @@ class StepPlan:
 
     @property
     def works(self) -> List[StepWork]:
+        """The slices alone, in entry order — what ``execute_step`` takes."""
         return [work for _, work in self.entries]
 
     @property
     def scheduled_tokens(self) -> int:
+        """Tokens this step will process (the budget actually used)."""
         return sum(work.tokens for _, work in self.entries)
 
     @property
     def claimed_blocks(self) -> int:
+        """KV blocks the engine must claim before executing the step."""
         return sum(self.claims.values())
 
 

@@ -11,6 +11,7 @@ from repro.eval.serving import (
     PolicySpec,
     run_capacity_sweep,
     run_cluster_sweep,
+    run_disaggregation_sweep,
     run_policy_sweep,
 )
 from repro.models.config import GPT2
@@ -167,3 +168,52 @@ class TestClusterSweep:
         for point in points:
             assert point.report.completed == 0
             assert point.fleet_tokens_per_s == 0.0
+
+
+class TestDisaggregationSweep:
+    def trace(self, num=16):
+        return poisson_trace(num, 30.0, seed=0, input_choices=(32, 64),
+                             output_choices=(96, 128))
+
+    def test_unified_and_split_points(self):
+        points = run_disaggregation_sweep(GPT2, self.trace(),
+                                          splits=[(0, 2), (1, 1)])
+        unified, split = points
+        assert unified.unified and not split.unified
+        assert unified.total_replicas == split.total_replicas == 2
+        assert not unified.report.disaggregated
+        assert split.report.disaggregated
+        assert unified.report.completed == split.report.completed == 16
+        assert split.report.kv_migrations == 16
+        assert "unified" in unified.format()
+        assert "1p + 1d" in split.format()
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(ValueError, match="split"):
+            run_disaggregation_sweep(GPT2, self.trace(4), splits=[(1, 0)])
+        with pytest.raises(ValueError, match="split"):
+            run_disaggregation_sweep(GPT2, self.trace(4), splits=[(-1, 2)])
+
+    def test_transfer_bandwidth_reaches_the_cluster(self):
+        fast, = run_disaggregation_sweep(GPT2, self.trace(),
+                                         splits=[(1, 1)],
+                                         kv_transfer_gbs=1000.0)
+        slow, = run_disaggregation_sweep(GPT2, self.trace(),
+                                         splits=[(1, 1)],
+                                         kv_transfer_gbs=0.1)
+        assert slow.report.kv_transfer_seconds \
+            > 100 * fast.report.kv_transfer_seconds
+
+    def test_sweep_deterministic(self):
+        trace = self.trace()
+        def run():
+            return [json.dumps(p.report.to_dict(), sort_keys=True)
+                    for p in run_disaggregation_sweep(
+                        GPT2, trace, splits=[(0, 2), (1, 1)])]
+        assert run() == run()
+
+    def test_empty_trace(self):
+        points = run_disaggregation_sweep(GPT2, [], splits=[(0, 2), (1, 1)])
+        for point in points:
+            assert point.report.num_requests == 0
+            assert point.report.kv_migrations == 0

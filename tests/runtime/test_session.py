@@ -217,3 +217,35 @@ class TestStepGranularApi:
         assert batched < sequential / 2
         # ... but a batch is never cheaper than its slowest member alone.
         assert batched >= max(session.execute_step([w]) for w in works)
+
+
+class TestAssumeResident:
+    """Imported-KV cursors (the decode half of a disaggregated hand-off)."""
+
+    def test_full_prompt_resident_goes_straight_to_decode(self):
+        session = InferenceSession(GPT2)
+        active = session.start_request(Workload(16, 4))
+        assert active.assume_resident(16) == 16
+        assert not active.in_prefill
+        assert active.kv_tokens == 16
+        work = active.next_work()
+        assert work == StepWork("decode", 1, 16)
+        assert active.record(work, 0.01) == 1
+
+    def test_resident_tokens_capped_at_prompt(self):
+        session = InferenceSession(GPT2)
+        active = session.start_request(Workload(16, 4))
+        assert active.assume_resident(99) == 16
+
+    def test_rejected_after_start(self):
+        session = InferenceSession(GPT2)
+        active = session.start_request(Workload(16, 4))
+        active.record(active.next_work(), 0.1)
+        with pytest.raises(RuntimeError, match="already started"):
+            active.assume_resident(16)
+
+    def test_negative_rejected(self):
+        session = InferenceSession(GPT2)
+        active = session.start_request(Workload(16, 4))
+        with pytest.raises(ValueError, match="negative"):
+            active.assume_resident(-1)

@@ -106,3 +106,69 @@ class TestDecisions:
         scaler = Autoscaler(self.config(min_window_samples=3))
         assert scaler.rolling_p95([1.0, 2.0]) is None
         assert scaler.rolling_p95([1.0, 2.0, 3.0]) == pytest.approx(2.9)
+
+
+class TestDecodePoolSignals:
+    """The disaggregated decode pool's extra decide() inputs: rolling
+    TPOT against slo_tpot_s and mean KV occupancy against
+    kv_pressure_high."""
+
+    def config(self, **kwargs):
+        defaults = dict(min_replicas=1, max_replicas=4, cooldown_s=0.0,
+                        queue_high_per_replica=4.0,
+                        queue_low_per_replica=1.0, min_window_samples=3)
+        defaults.update(kwargs)
+        return AutoscalerConfig(**defaults)
+
+    def test_new_knobs_validated(self):
+        with pytest.raises(ValueError, match="slo_tpot_s"):
+            AutoscalerConfig(slo_tpot_s=0.0)
+        with pytest.raises(ValueError, match="kv_pressure_high"):
+            AutoscalerConfig(kv_pressure_high=1.5)
+
+    def test_tpot_breach_scales_up(self):
+        scaler = Autoscaler(self.config(slo_tpot_s=0.01))
+        assert scaler.decide(1.0, queue_depth=0, routable=2, provisioned=2,
+                             window_ttfts=[],
+                             window_tpots=[0.02, 0.03, 0.04]) == "up"
+
+    def test_tpot_margin_blocks_scale_down(self):
+        scaler = Autoscaler(self.config(slo_tpot_s=0.01))
+        assert scaler.decide(1.0, queue_depth=0, routable=3, provisioned=3,
+                             window_ttfts=[],
+                             window_tpots=[0.009, 0.009, 0.0095]) == "hold"
+
+    def test_tpot_with_margin_scales_down(self):
+        scaler = Autoscaler(self.config(slo_tpot_s=0.01))
+        assert scaler.decide(1.0, queue_depth=0, routable=3, provisioned=3,
+                             window_ttfts=[],
+                             window_tpots=[0.001, 0.002, 0.003]) == "down"
+
+    def test_kv_pressure_scales_up(self):
+        scaler = Autoscaler(self.config(kv_pressure_high=0.8))
+        assert scaler.decide(1.0, queue_depth=0, routable=2, provisioned=2,
+                             window_ttfts=[], kv_utilization=0.9) == "up"
+
+    def test_kv_pressure_margin_blocks_scale_down(self):
+        scaler = Autoscaler(self.config(kv_pressure_high=0.8))
+        assert scaler.decide(1.0, queue_depth=0, routable=2, provisioned=2,
+                             window_ttfts=[], kv_utilization=0.7) == "hold"
+
+    def test_signals_neutral_when_unconfigured(self):
+        """TPOT samples and KV occupancy must not move the classic loop
+        unless their thresholds are configured."""
+        scaler = Autoscaler(self.config())
+        assert scaler.decide(1.0, queue_depth=0, routable=2, provisioned=2,
+                             window_ttfts=[],
+                             window_tpots=[9.0, 9.0, 9.0],
+                             kv_utilization=1.0) == "down"
+
+    def test_decision_records_decode_signals(self):
+        scaler = Autoscaler(self.config(slo_tpot_s=0.01,
+                                        kv_pressure_high=0.8))
+        scaler.decide(1.0, 0, 2, 2, window_ttfts=[],
+                      window_tpots=[0.02, 0.02, 0.02], kv_utilization=0.5)
+        decision = scaler.decisions[0]
+        assert decision.rolling_p95_tpot_s == pytest.approx(0.02)
+        assert decision.kv_utilization == 0.5
+        assert decision.rolling_p95_ttft_s is None

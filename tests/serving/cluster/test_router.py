@@ -33,8 +33,8 @@ def make_request(request_id=0, prefix_group: Optional[str] = None):
 class TestRegistry:
     def test_known_policies(self):
         assert sorted(ROUTING_POLICIES) == [
-            "least_kv_pressure", "least_queue", "prefix_affinity",
-            "round_robin"]
+            "kv_transfer_aware", "least_kv_pressure", "least_queue",
+            "prefix_affinity", "round_robin"]
 
     def test_resolve_by_name_and_instance(self):
         policy = resolve_routing_policy("least_queue")
@@ -144,3 +144,80 @@ class TestClusterRouter:
         router = ClusterRouter(BadPolicy())
         with pytest.raises(ValueError, match="chose replica 99"):
             router.dispatch(make_request(), [StubReplica(0)])
+
+
+class StubKVReplica(StubReplica):
+    """StubReplica plus the import-fit signal kv_transfer_aware reads."""
+
+    def __init__(self, replica_id, in_system=0, kv_utilization=0.0,
+                 shortfall=0):
+        super().__init__(replica_id, in_system=in_system,
+                         kv_utilization=kv_utilization)
+        self._shortfall = shortfall
+
+    def kv_shortfall_blocks(self, tokens):
+        return self._shortfall if tokens > 0 else 0
+
+
+def make_migrated_request(request_id=0, kv_tokens=64):
+    request = make_request(request_id)
+    request.migrated_kv_tokens = kv_tokens
+    return request
+
+
+class TestKVTransferAware:
+    def test_fitting_replica_beats_overdrawn_one(self):
+        policy = resolve_routing_policy("kv_transfer_aware")
+        replicas = [StubKVReplica(0, kv_utilization=0.1, shortfall=4),
+                    StubKVReplica(1, kv_utilization=0.9, shortfall=0)]
+        assert policy.select_replica(make_migrated_request(), replicas) == 1
+
+    def test_lowest_occupancy_wins_among_fitting(self):
+        policy = resolve_routing_policy("kv_transfer_aware")
+        replicas = [StubKVReplica(0, kv_utilization=0.6),
+                    StubKVReplica(1, kv_utilization=0.2)]
+        assert policy.select_replica(make_migrated_request(), replicas) == 1
+
+    def test_degrades_to_least_queue_without_kv(self):
+        policy = resolve_routing_policy("kv_transfer_aware")
+        replicas = [StubKVReplica(0, in_system=4), StubKVReplica(1)]
+        assert policy.select_replica(make_migrated_request(), replicas) == 1
+        # A fresh (non-migrated) request behaves the same way.
+        assert policy.select_replica(make_request(), replicas) == 1
+
+
+class TestTieBreakDeterminism:
+    """Under perfectly equal load every policy must resolve ties on the
+    lowest replica id, so a fleet of equals is routed identically on
+    every run (no dict-order or float incidentals)."""
+
+    def equal_fleet(self):
+        return [StubReplica(0), StubReplica(1), StubReplica(2)]
+
+    def test_all_stateless_policies_pick_lowest_id_on_full_tie(self):
+        for name in ["least_queue", "least_kv_pressure", "prefix_affinity"]:
+            policy = resolve_routing_policy(name)
+            assert policy.select_replica(make_request(), self.equal_fleet()) \
+                == 0, name
+        kv_policy = resolve_routing_policy("kv_transfer_aware")
+        fleet = [StubKVReplica(0), StubKVReplica(1), StubKVReplica(2)]
+        assert kv_policy.select_replica(make_migrated_request(), fleet) == 0
+
+    def test_equal_load_choices_replay_identically(self):
+        for name in ["round_robin", "least_queue", "least_kv_pressure"]:
+            def choices():
+                policy = resolve_routing_policy(name)
+                return [policy.select_replica(make_request(i),
+                                              self.equal_fleet())
+                        for i in range(9)]
+            assert choices() == choices(), name
+
+    def test_round_robin_reset_restarts_cycle(self):
+        policy = resolve_routing_policy("round_robin")
+        fleet = self.equal_fleet()
+        first = [policy.select_replica(make_request(i), fleet)
+                 for i in range(4)]
+        policy.reset()
+        second = [policy.select_replica(make_request(i), fleet)
+                  for i in range(4)]
+        assert first[:3] == second[:3] == [0, 1, 2]

@@ -200,3 +200,54 @@ class TestWatermarkHysteresis:
         manager.refresh_pressure()                # recovered: episode over
         manager.claim(2, 4)
         assert not manager.admission_blocked      # stays open at 0.9
+
+
+class TestExportImport:
+    """The disaggregation hand-off surface: blocks leave the prefill pool
+    and land in the decode pool, tallied as migration traffic."""
+
+    def test_export_releases_and_receipts(self):
+        manager = make_manager()
+        manager.claim(7, 3)
+        receipt = manager.export(7, kv_tokens=33)
+        assert receipt.request_id == 7
+        assert receipt.kv_tokens == 33
+        assert receipt.blocks_freed == 3
+        assert manager.used_blocks == 0
+        assert manager.kv_exports == 1
+        assert manager.blocks_exported == 3
+
+    def test_export_of_unknown_request_frees_nothing(self):
+        manager = make_manager()
+        receipt = manager.export(99, kv_tokens=0)
+        assert receipt.blocks_freed == 0
+        assert manager.kv_exports == 1
+
+    def test_export_rejects_negative_tokens(self):
+        manager = make_manager()
+        with pytest.raises(ValueError, match="negative"):
+            manager.export(1, kv_tokens=-1)
+
+    def test_import_claims_and_counts(self):
+        manager = make_manager()
+        manager.import_kv(3, 4)
+        assert manager.blocks_held(3) == 4
+        assert manager.used_blocks == 4
+        assert manager.kv_imports == 1
+        assert manager.blocks_imported == 4
+
+    def test_import_respects_capacity(self):
+        manager = make_manager(num_blocks=4)
+        with pytest.raises(KVCacheExhausted):
+            manager.import_kv(1, 5)
+
+    def test_reset_clears_handoff_counters(self):
+        manager = make_manager()
+        manager.claim(1, 2)
+        manager.export(1, kv_tokens=32)
+        manager.import_kv(2, 1)
+        manager.reset()
+        assert manager.kv_exports == 0
+        assert manager.kv_imports == 0
+        assert manager.blocks_exported == 0
+        assert manager.blocks_imported == 0

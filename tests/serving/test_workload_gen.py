@@ -157,3 +157,65 @@ class TestRandomWorkloads:
         for workload in random_workloads(32, 0, (32, 64), (16,)):
             assert workload.input_len in (32, 64)
             assert workload.output_len == 16
+
+
+class TestEdgeCases:
+    """Degenerate trace shapes the cluster/autoscaler sweeps can produce."""
+
+    def test_flat_diurnal_equals_peak_rate_poisson_thinning(self):
+        """base == peak degenerates to a homogeneous process: thinning
+        accepts every candidate, so the count is exact and arrivals are
+        strictly increasing."""
+        trace = diurnal_trace(50, 5.0, 5.0, period_s=10.0, seed=0)
+        arrivals = [t.arrival_s for t in trace]
+        assert len(trace) == 50
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_zero_rate_diurnal_trough_rejected(self):
+        """A zero base rate would make the trough a dead zone the thinning
+        loop can never exit deterministically — rejected up front."""
+        with pytest.raises(ValueError, match="base rate"):
+            diurnal_trace(4, 0.0, 10.0, period_s=5.0)
+
+    def test_single_request_flash_crowd(self):
+        trace = flash_crowd_trace(1, 2.0, 40.0, burst_start_s=1.0,
+                                  burst_duration_s=1.0, seed=0)
+        assert len(trace) == 1
+        assert trace[0].request_id == 0
+        assert trace[0].arrival_s > 0
+
+    def test_single_request_diurnal(self):
+        trace = diurnal_trace(1, 1.0, 10.0, period_s=5.0, seed=0)
+        assert len(trace) == 1
+        assert trace[0].request_id == 0
+
+    def test_requested_count_always_matches_generated(self):
+        """num_requests is a contract, not a target: every generator must
+        produce exactly that many requests with dense ids, whatever the
+        rate profile does."""
+        cases = [
+            poisson_trace(17, 3.0, seed=2),
+            diurnal_trace(17, 1.0, 30.0, period_s=2.0, seed=2),
+            flash_crowd_trace(17, 1.0, 50.0, burst_start_s=0.5,
+                              burst_duration_s=0.25, seed=2),
+            shared_prefix_trace(17, prefix_len=32),
+        ]
+        for trace in cases:
+            assert len(trace) == 17
+            assert [t.request_id for t in trace] == list(range(17))
+
+    def test_zero_requests_everywhere(self):
+        assert flash_crowd_trace(0, 1.0, 2.0, 0.0, 1.0) == []
+        assert shared_prefix_trace(0, prefix_len=8) == []
+
+    def test_priority_tiered_traces_deterministic_per_seed(self):
+        """Priority draws share the trace's seeded stream, so a tiered
+        trace is still a pure function of its seed (and the sampled
+        priorities stay within the declared choices)."""
+        kwargs = dict(base_rate_hz=2.0, peak_rate_hz=20.0, period_s=5.0,
+                      priority_choices=(0, 1, 2))
+        first = diurnal_trace(20, seed=4, **kwargs)
+        second = diurnal_trace(20, seed=4, **kwargs)
+        assert first == second
+        assert any(t.priority for t in first)
+        assert all(t.priority in (0, 1, 2) for t in first)

@@ -262,6 +262,79 @@ class TestServeClusterCommand:
         assert exit_code == 2
         assert "--shared-prefix" in capsys.readouterr().err
 
+    def test_disaggregated_fleet_reports_handoff(self, tmp_path, capsys):
+        report_path = tmp_path / "disagg.json"
+        exit_code = main(["serve-cluster", "--requests", "16",
+                          "--arrival-rate", "30", "--disaggregate",
+                          "--prefill-replicas", "1", "--decode-replicas",
+                          "2", "--kv-transfer-gbs", "16",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "disaggregated" in out
+        assert "kv hand-off" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["completed"] == 16
+        section = payload["disaggregation"]
+        assert section["prefill_replicas"] == 1
+        assert section["decode_replicas"] == 2
+        assert section["kv_migrations"] > 0
+
+    def test_disaggregate_flags_require_disaggregate(self, capsys):
+        for flag, value in [("--prefill-replicas", "2"),
+                            ("--decode-replicas", "2"),
+                            ("--kv-transfer-gbs", "8")]:
+            exit_code = main(["serve-cluster", "--requests", "4",
+                              flag, value])
+            assert exit_code == 2
+            err = capsys.readouterr().err
+            assert flag in err and "--disaggregate" in err
+
+    def test_replicas_conflicts_with_disaggregate(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--disaggregate", "--replicas", "3"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--prefill-replicas" in err
+
+    def test_slo_tpot_requires_autoscale_and_disaggregate(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--disaggregate", "--slo-tpot-ms", "15"])
+        assert exit_code == 2
+        assert "--autoscale" in capsys.readouterr().err
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--autoscale", "--slo-tpot-ms", "15"])
+        assert exit_code == 2
+        assert "--disaggregate" in capsys.readouterr().err
+
+    def test_disaggregated_autoscaled_run(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "24",
+                          "--arrival-rate", "40", "--disaggregate",
+                          "--prefill-replicas", "1", "--decode-replicas",
+                          "1", "--autoscale", "--max-replicas", "3",
+                          "--warmup-s", "0.2", "--slo-tpot-ms", "15"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "autoscaled, disaggregated" in out
+        assert "24/24 completed" in out
+
+    def test_kv_pressure_high_reaches_the_decode_autoscaler(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "24",
+                          "--arrival-rate", "40", "--disaggregate",
+                          "--prefill-replicas", "1", "--decode-replicas",
+                          "1", "--autoscale", "--max-replicas", "3",
+                          "--warmup-s", "0.2", "--kv-capacity-mb", "24",
+                          "--kv-pressure-high", "0.5"])
+        assert exit_code == 0
+        assert "24/24 completed" in capsys.readouterr().out
+
+    def test_kv_pressure_high_requires_kv_capacity(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--disaggregate", "--autoscale",
+                          "--kv-pressure-high", "0.8"])
+        assert exit_code == 2
+        assert "--kv-capacity-mb" in capsys.readouterr().err
+
     def test_help_documents_every_serve_cluster_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["serve-cluster", "--help"])
@@ -271,12 +344,16 @@ class TestServeClusterCommand:
                      "--trace", "--arrival-rate", "--peak-rate", "--period",
                      "--burst-rate", "--burst-start", "--burst-duration",
                      "--seed", "--autoscale", "--slo-ttft-ms",
-                     "--min-replicas", "--max-replicas", "--warmup-s",
+                     "--slo-tpot-ms", "--kv-pressure-high",
+                     "--min-replicas", "--max-replicas",
+                     "--warmup-s",
                      "--control-interval", "--max-batch", "--token-budget",
                      "--policy", "--preemption", "--priority-levels",
                      "--kv-capacity-mb",
                      "--block-size", "--prefix-cache", "--shared-prefix",
-                     "--prefix-groups", "--json"]:
+                     "--prefix-groups", "--disaggregate",
+                     "--prefill-replicas", "--decode-replicas",
+                     "--kv-transfer-gbs", "--json"]:
             assert flag in help_text, f"{flag} missing from --help"
 
 

@@ -1,0 +1,89 @@
+"""Doc-sync guard: the README flag tables must track the CLI exactly.
+
+``repro serve-sim`` and ``repro serve-cluster`` document their flags in
+README.md tables.  Tables rot silently — a new argparse flag lands, the
+table is forgotten, and the docs claim a smaller CLI than ships.  These
+tests parse the *real* argparse parsers and the README markdown and assert
+both directions:
+
+* every flag the parser accepts appears in the command's README section;
+* every ``--flag`` token the section mentions is one the parser accepts
+  (no documented-but-removed ghosts).
+
+Runs in the tier-1 suite, so CI fails the moment either side drifts.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _build_parser
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+# Flags argparse adds on its own; never documented in the tables.
+IGNORED = {"-h", "--help"}
+
+
+def parser_flags(command: str) -> set:
+    """The option strings one subcommand accepts, from the live parser."""
+    import argparse
+
+    parser = _build_parser()
+    subparsers = next(action for action in parser._actions
+                      if isinstance(action, argparse._SubParsersAction))
+    sub = subparsers.choices[command]
+    flags = set()
+    for action in sub._actions:
+        flags.update(action.option_strings)
+    return {flag for flag in flags
+            if flag.startswith("--") and flag not in IGNORED}
+
+
+def readme_section(command: str) -> str:
+    """The README slice from the command's flag-table heading to the next
+    table's end — the region its flags must be documented in."""
+    text = README.read_text()
+    start = text.index(f"`{command}` flags:")
+    # The section ends at the first blank-line-then-non-table paragraph
+    # after the table starts.
+    tail = text[start:]
+    lines = tail.splitlines()
+    section = [lines[0]]
+    in_table = False
+    for line in lines[1:]:
+        if line.startswith("|"):
+            in_table = True
+        elif in_table:
+            break
+        section.append(line)
+    return "\n".join(section)
+
+
+def readme_flags(command: str) -> set:
+    """Every ``--flag`` token the command's README section mentions."""
+    return set(re.findall(r"--[a-z][a-z0-9-]*",
+                          readme_section(command)))
+
+
+@pytest.mark.parametrize("command", ["serve-sim", "serve-cluster"])
+class TestFlagTablesInSync:
+    def test_every_cli_flag_documented(self, command):
+        missing = parser_flags(command) - readme_flags(command)
+        assert not missing, (
+            f"README.md's `{command}` flag table is missing "
+            f"{sorted(missing)} — document new flags where users look "
+            "for them")
+
+    def test_no_ghost_flags_documented(self, command):
+        ghosts = readme_flags(command) - parser_flags(command)
+        assert not ghosts, (
+            f"README.md's `{command}` section documents {sorted(ghosts)} "
+            "which the CLI no longer accepts — prune the table")
+
+    def test_parser_and_readme_nonempty(self, command):
+        """Regime check: an empty set would make the sync tests pass
+        vacuously."""
+        assert len(parser_flags(command)) > 10
+        assert len(readme_flags(command)) > 10
