@@ -322,6 +322,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "requires --shared-prefix; use "
                                      "several so --router prefix_affinity "
                                      "can spread groups across replicas)")
+    cluster_parser.add_argument("--kernel", default="event",
+                                choices=["event", "step"],
+                                help="simulation core ordering the "
+                                     "cluster's events: the heap-based "
+                                     "discrete-event kernel (default) or "
+                                     "the legacy per-iteration rescan "
+                                     "loop; both produce identical "
+                                     "reports")
     cluster_parser.add_argument("--json", type=Path, default=None,
                                 help="also write the cluster report as "
                                      "JSON")
@@ -644,6 +652,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             preemption=args.preemption,
             autoscaler=autoscaler,
             disaggregation=disaggregation,
+            kernel=args.kernel,
         )
     except ValueError as error:
         print(f"serve-cluster: {error}", file=sys.stderr)

@@ -276,6 +276,7 @@ def run_cluster_sweep(config: ModelConfig,
                       kv_config: Optional["KVCacheConfig"] = None,
                       autoscaler: Optional["AutoscalerConfig"] = None,
                       performance_model: Optional[FpgaPerformanceModel] = None,
+                      kernel: str = "event",
                       ) -> List[ClusterPoint]:
     """Serve the same trace under every (fleet size, router) combination.
 
@@ -285,6 +286,8 @@ def run_cluster_sweep(config: ModelConfig,
     ``autoscaler`` config, ``replica_counts`` are the *initial* sizes and
     the control loop takes over from there — sweeping initial sizes then
     shows how much of the outcome the controller recovers on its own.
+    ``kernel`` picks the simulation core (both produce identical reports;
+    see :class:`~repro.serving.cluster.ServingCluster`).
     """
     from repro.serving.cluster import ServingCluster
 
@@ -296,7 +299,8 @@ def run_cluster_sweep(config: ModelConfig,
                 scheduler_config=scheduler_config,
                 performance_model=performance_model,
                 kv_config=kv_config,
-                autoscaler=autoscaler)
+                autoscaler=autoscaler,
+                kernel=kernel)
             points.append(ClusterPoint(replicas, router,
                                        cluster.run(trace)))
     return points
@@ -360,6 +364,7 @@ def run_disaggregation_sweep(config: ModelConfig,
                              scheduler_config: Optional[SchedulerConfig] = None,
                              kv_config: Optional["KVCacheConfig"] = None,
                              performance_model: Optional[FpgaPerformanceModel] = None,
+                             kernel: str = "event",
                              ) -> List[DisaggregationPoint]:
     """Serve the same trace under a sweep of prefill/decode fleet splits.
 
@@ -393,7 +398,8 @@ def run_disaggregation_sweep(config: ModelConfig,
             scheduler_config=scheduler_config,
             performance_model=performance_model,
             kv_config=kv_config,
-            disaggregation=disaggregation)
+            disaggregation=disaggregation,
+            kernel=kernel)
         points.append(DisaggregationPoint(prefill, decode,
                                           cluster.run(trace)))
     return points

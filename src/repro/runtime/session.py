@@ -197,7 +197,7 @@ class ActiveRequest:
         ))
         if work.kind == "prefill":
             self._prefilled += work.tokens
-            if not self.in_prefill:
+            if self._prefilled >= self.workload.input_len:  # == in_prefill
                 self._generated = 1
                 return 1
             return 0

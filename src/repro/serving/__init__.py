@@ -53,6 +53,7 @@ from repro.serving.metrics import (
     LatencyStats,
     PreemptionEvent,
     QueueSample,
+    SampleBuffer,
     ServingReport,
     percentile,
 )
@@ -118,6 +119,7 @@ __all__ = [
     "PrefixReuse",
     "QueueSample",
     "RequestState",
+    "SampleBuffer",
     "SchedulerConfig",
     "ServingEngine",
     "ServingReport",

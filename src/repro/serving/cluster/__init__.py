@@ -16,8 +16,11 @@ without disturbing it:
 * :class:`Autoscaler` — an SLO-aware control loop over queue depth and
   rolling p95 TTFT, with warm-up cost on scale-up and graceful drain on
   scale-down;
-* :class:`ServingCluster` — the deterministic event loop tying them
-  together under a global clock;
+* :class:`ServingCluster` — the deterministic simulation tying them
+  together under a global clock, driven by the discrete-event kernel in
+  :mod:`.events` (an :class:`EventQueue` of typed :class:`EventKind`
+  events; the legacy rescan loop stays behind ``kernel="step"`` as the
+  differential-testing reference);
 * :class:`ClusterReport` — fleet throughput, SLO attainment,
   replica-seconds and the replica-count timeline, with per-replica
   :class:`~repro.serving.metrics.ServingReport`s for drill-down.
@@ -48,6 +51,7 @@ from repro.serving.cluster.autoscaler import (
     ScaleDecision,
 )
 from repro.serving.cluster.cluster import DisaggregationConfig, ServingCluster
+from repro.serving.cluster.events import Event, EventKind, EventQueue
 from repro.serving.cluster.replica import (
     EngineReplica,
     ReplicaRole,
@@ -74,6 +78,9 @@ __all__ = [
     "ClusterRouter",
     "DisaggregationConfig",
     "EngineReplica",
+    "Event",
+    "EventKind",
+    "EventQueue",
     "ROUTING_POLICIES",
     "ReplicaCountSample",
     "ReplicaLifecycle",

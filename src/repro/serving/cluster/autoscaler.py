@@ -161,10 +161,16 @@ class Autoscaler:
         self.decisions = []
 
     def rolling_p95(self, ttfts: Sequence[float]) -> Optional[float]:
-        """p95 of the window sample, or ``None`` below the evidence floor."""
+        """p95 of the window sample, or ``None`` below the evidence floor.
+
+        Deliberately the pure-python :func:`percentile` over a small
+        window, not the vectorized report-time path: window entries may
+        arrive as numpy scalars (the workers' columnar sample feeds), so
+        the result is pinned back to a plain float to keep the audit
+        trail (:class:`ScaleDecision`) JSON-clean."""
         if len(ttfts) < self.config.min_window_samples:
             return None
-        return percentile(ttfts, 95.0)
+        return float(percentile(ttfts, 95.0))
 
     def decide(self, now: float, queue_depth: int, routable: int,
                provisioned: int, window_ttfts: Sequence[float],

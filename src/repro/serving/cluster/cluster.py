@@ -1,10 +1,10 @@
 """The cluster orchestration loop: replicas + router + autoscaler.
 
 A :class:`ServingCluster` runs a fleet of :class:`EngineReplica`s under one
-global simulated clock.  The loop is event-driven over four event kinds,
-processed in deterministic time order (ties: arrival, then KV-migration
-landing, then control tick, then engine step; equal-time steps break on
-the lowest replica id):
+global simulated clock.  The simulation is event-driven over four event
+kinds, processed in deterministic time order (ties: arrival, then
+KV-migration landing, then control tick, then engine step; equal-time
+steps break on the lowest replica id):
 
 * **arrival** — the next trace request reaches the front door and the
   :class:`~repro.serving.cluster.router.ClusterRouter` dispatches it to a
@@ -22,6 +22,19 @@ the lowest replica id):
   TPOT and KV pressure;
 * **engine step** — the replica whose next step starts earliest advances
   one continuous-batching iteration.
+
+Two interchangeable kernels drive that ordering.  The default
+``kernel="event"`` is a discrete-event core (:mod:`.events`): every
+future event sits in one ``heapq`` keyed ``(time, kind, tie, seq)``,
+replicas register their ``next_ready_s`` into the heap instead of being
+polled, and readiness changes are handled by lazy invalidation — O(log
+events) per event, so million-request traces over 50-replica fleets run
+in seconds.  ``kernel="step"`` is the legacy loop that rescans the live
+replicas per iteration — O(replicas) per event — kept for one release as
+the differential-testing reference: both kernels make byte-for-byte
+identical decisions on the same trace (``tests/serving/cluster/
+test_kernel_differential.py`` asserts the reports are equal), the event
+kernel just finds each decision without the scan.
 
 Replica clocks advance only through their own steps, exactly like the
 single-node engine's devices; the global ordering just decides *which*
@@ -56,6 +69,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 from repro.eval.latency import FpgaPerformanceModel
 from repro.models.config import ModelConfig
 from repro.serving.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.serving.cluster.events import EventKind, EventQueue
 from repro.serving.cluster.replica import (
     EngineReplica,
     ReplicaRole,
@@ -141,7 +155,14 @@ class ServingCluster:
             when set, the fleet size comes from the config
             (``prefill_replicas + decode_replicas``) and
             ``initial_replicas`` must be left at its default.
+        kernel: Which simulation core orders the events.  ``"event"`` —
+            the default — is the heap-based discrete-event kernel;
+            ``"step"`` is the legacy rescan loop, kept for one release
+            as the differential-testing reference.  Both produce
+            identical reports on identical traces.
     """
+
+    KERNELS = ("event", "step")
 
     def __init__(self, config: ModelConfig,
                  initial_replicas: int = 1,
@@ -152,9 +173,14 @@ class ServingCluster:
                  preemption: Union[str, PreemptionPolicy] = "youngest",
                  autoscaler: Union[AutoscalerConfig, Autoscaler, None] = None,
                  disaggregation: Optional[DisaggregationConfig] = None,
+                 kernel: str = "event",
                  ) -> None:
         if initial_replicas < 1:
             raise ValueError("initial_replicas must be at least 1")
+        if kernel not in self.KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose from {self.KERNELS}")
+        self.kernel = kernel
         self.config = config
         self.disaggregation = disaggregation
         if disaggregation is not None:
@@ -205,6 +231,19 @@ class ServingCluster:
                         f"{label}={count} outside the autoscaler bounds "
                         f"[{bounds.min_replicas}, {bounds.max_replicas}]")
         self.replicas: List[EngineReplica] = []
+        # Replicas still paying their warm-up (the only ones a time
+        # advance can activate): _activate_due scans this short list, not
+        # the fleet, so a steady-state arrival costs O(1) here.
+        self._warming: List[EngineReplica] = []
+        # Routable-pool cache, keyed by role (None = the whole routable
+        # fleet).  Rebuilding these lists per arrival was a measured
+        # O(replicas)-per-event cost in *both* kernels; lifecycle
+        # transitions are rare, so the pools are cached and invalidated
+        # only at the three sites where routability changes (spawn,
+        # warm-up activation, drain).  Callers must treat the returned
+        # lists as read-only.
+        self._pool_cache: Dict[Optional[ReplicaRole],
+                               List[EngineReplica]] = {}
         self._timeline: List[ReplicaCountSample] = []
         # Rolling first-token window for the autoscaler: events consumed
         # incrementally from each worker's ttft_samples (cursor per
@@ -215,12 +254,27 @@ class ServingCluster:
         # The decode pool's rolling completion window (TPOT), same idiom.
         self._tpot_cursors: Dict[int, int] = {}
         self._tpot_window: List[Tuple[float, float]] = []
-        # In-flight KV migrations: (ready_s, seq, HandoffEvent) heap.
+        # In-flight KV migrations.  The step kernel holds them in a
+        # (ready_s, seq, HandoffEvent) heap; the event kernel schedules
+        # them as TRANSFER_LANDED events and only counts them here (the
+        # decode autoscaler's backlog signal, see _migration_backlog).
         self._migrations: List[Tuple[float, int, HandoffEvent]] = []
+        self._inflight_migrations = 0
         self._migration_seq = 0
         self.kv_migrations = 0
         self.kv_bytes_transferred = 0.0
         self.kv_transfer_seconds = 0.0
+        # Event-kernel instrumentation: the live EventQueue during a run
+        # (None under the step kernel), processed-event tallies, and —
+        # when record_events is set before run() — the popped-event log
+        # the invariant tests inspect.
+        self._event_queue: Optional[EventQueue] = None
+        self.record_events = False
+        self.last_event_log = None
+        self.events_processed = 0
+        self.event_counts: Dict[str, int] = {}
+        # Step-kernel instrumentation: loop iterations (one event each).
+        self.iterations = 0
 
     # ------------------------------------------------------------------
     # Fleet bookkeeping
@@ -236,6 +290,9 @@ class ServingCluster:
             spawned_s=spawned_s, warmup_s=warmup_s,
             role=role)
         self.replicas.append(replica)
+        if replica.state is ReplicaState.WARMING:
+            self._warming.append(replica)
+        self._pool_cache.clear()
         return replica
 
     def _record(self, now: float) -> None:
@@ -259,12 +316,38 @@ class ServingCluster:
             self._timeline.append(sample)
 
     def _activate_due(self, now: float) -> None:
-        for replica in self.replicas:
-            if replica.activate_if_ready(now):
-                self._record(now)
+        """Promote every warming replica whose warm-up elapsed.  Replicas
+        leave WARMING *only* through this promotion (drain victims are
+        picked from the routable pool), so the short ``_warming`` list is
+        exhaustive and the common case — nothing warming — is O(1)."""
+        warming = self._warming
+        if not warming:
+            return
+        still_warming = [replica for replica in warming
+                        if not replica.activate_if_ready(now)]
+        if len(still_warming) != len(warming):
+            self._warming = still_warming
+            self._pool_cache.clear()
+            self._record(now)
 
     def _routable(self) -> List[EngineReplica]:
-        return [replica for replica in self.replicas if replica.routable]
+        """The routable fleet in ascending replica-id order (cached; see
+        ``_pool_cache`` — treat as read-only)."""
+        pool = self._pool_cache.get(None)
+        if pool is None:
+            pool = [replica for replica in self.replicas
+                    if replica.routable]
+            self._pool_cache[None] = pool
+        return pool
+
+    def _routable_pool(self, role: ReplicaRole) -> List[EngineReplica]:
+        """One role's routable replicas (cached; treat as read-only)."""
+        pool = self._pool_cache.get(role)
+        if pool is None:
+            pool = [replica for replica in self._routable()
+                    if replica.role is role]
+            self._pool_cache[role] = pool
+        return pool
 
     def _pool(self, replicas: Sequence[EngineReplica],
               role: Optional[ReplicaRole]) -> List[EngineReplica]:
@@ -330,12 +413,14 @@ class ServingCluster:
             victim = min(routable,
                          key=lambda r: (r.in_system, -r.replica_id))
             victim.drain(now)
+            self._pool_cache.clear()
             self._record(now)
 
     def _pool_counts(self, role: Optional[ReplicaRole],
                      ) -> Tuple[List[EngineReplica], int, int]:
         """One pool's (routable replicas, provisioned count, queue depth)."""
-        routable = self._pool(self._routable(), role)
+        routable = self._routable() if role is None \
+            else self._routable_pool(role)
         provisioned = [replica
                        for replica in self._pool(self.replicas, role)
                        if replica.state in (ReplicaState.ACTIVE,
@@ -379,7 +464,7 @@ class ServingCluster:
         decode_scaler = self.decode_autoscaler
         routable, provisioned, queue_depth = self._pool_counts(
             ReplicaRole.DECODE)
-        queue_depth += len(self._migrations)
+        queue_depth += self._migration_backlog()
         kv_utilization = None
         if routable and self.kv_config is not None:
             kv_utilization = sum(r.kv_utilization for r in routable) \
@@ -394,10 +479,17 @@ class ServingCluster:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
+    def _migration_backlog(self) -> int:
+        """KV transfers still in flight, whichever kernel runs — the
+        committed-demand part of the decode pool's backlog signal."""
+        return len(self._migrations) + self._inflight_migrations
+
     def _schedule_migrations(self, replica: EngineReplica) -> None:
         """Price and enqueue the KV transfers of a prefill replica's
         fresh hand-offs.  Each migrated request becomes routable to the
-        decode pool once its KV payload has crossed the interconnect."""
+        decode pool once its KV payload has crossed the interconnect —
+        a heap entry under the step kernel, a ``TRANSFER_LANDED`` event
+        under the event kernel (same ``(ready_s, seq)`` order)."""
         for handoff in replica.take_handoffs():
             transfer_s = handoff.kv_bytes / (self.kv_transfer_gbs * 1e9)
             handoff.request.migration_ready_s = handoff.time_s + transfer_s
@@ -405,25 +497,212 @@ class ServingCluster:
             self.kv_bytes_transferred += handoff.kv_bytes
             self.kv_transfer_seconds += transfer_s
             self._migration_seq += 1
-            heapq.heappush(self._migrations,
-                           (handoff.request.migration_ready_s,
-                            self._migration_seq, handoff))
+            if self._event_queue is not None:
+                self._inflight_migrations += 1
+                self._event_queue.push(handoff.request.migration_ready_s,
+                                       EventKind.TRANSFER_LANDED,
+                                       tie=self._migration_seq,
+                                       payload=handoff)
+            else:
+                heapq.heappush(self._migrations,
+                               (handoff.request.migration_ready_s,
+                                self._migration_seq, handoff))
+
+    def _run_step(self, arrivals: "Deque[ServingRequest]",
+                  scaler: Optional[Autoscaler]) -> None:
+        """The legacy rescan loop (``kernel="step"``): each iteration
+        compares the four candidate event times and processes the
+        earliest.  Kept as the differential-testing reference.
+
+        Two latent per-iteration costs of the original loop are fixed in
+        this extraction: the ``live`` list is maintained incrementally
+        (a replica enters on its first submission, leaves when a step
+        runs it dry) instead of being rebuilt from the whole fleet —
+        stopped replicas included — every iteration, and the next
+        arrival time is hoisted out of the loop instead of re-peeked.
+        The min-scan over ``live`` remains: that O(replicas) scan *is*
+        the step kernel, and removing it is what ``kernel="event"`` is
+        for."""
+        disaggregation = self.disaggregation
+        # See run(): ticks start at t=0 and are skipped (not evaluated)
+        # until the first dispatch.
+        next_control = 0.0 if scaler is not None else math.inf
+        dispatched = False
+        live: List[EngineReplica] = []
+        live_ids: set = set()
+        next_arrival_s = arrivals[0].arrival_s if arrivals else math.inf
+
+        def enlist(replica: EngineReplica) -> None:
+            if replica.replica_id not in live_ids:
+                live_ids.add(replica.replica_id)
+                live.append(replica)
+
+        while arrivals or live or self._migrations:
+            self.iterations += 1
+            t_migration = self._migrations[0][0] if self._migrations \
+                else math.inf
+            stepper = min(live, key=lambda r: (r.next_ready_s,
+                                               r.replica_id)) \
+                if live else None
+            t_step = stepper.next_ready_s if stepper else math.inf
+            t_control = next_control if scaler is not None else math.inf
+
+            if next_arrival_s <= t_migration and next_arrival_s <= t_step \
+                    and next_arrival_s <= t_control:
+                request = arrivals.popleft()
+                next_arrival_s = arrivals[0].arrival_s if arrivals \
+                    else math.inf
+                self._activate_due(request.arrival_s)
+                pool = self._routable() if disaggregation is None \
+                    else self._routable_pool(ReplicaRole.PREFILL)
+                enlist(self.router.dispatch(request, pool))
+                dispatched = True
+            elif t_migration <= t_step and t_migration <= t_control:
+                ready, _, handoff = heapq.heappop(self._migrations)
+                self._activate_due(ready)
+                enlist(self.decode_router.dispatch(
+                    handoff.request,
+                    self._routable_pool(ReplicaRole.DECODE)))
+            elif t_control <= t_step:
+                if dispatched:
+                    self._control(t_control)
+                next_control += scaler.config.control_interval_s
+            else:
+                state_before = stepper.state
+                stepper.step()
+                if disaggregation is not None \
+                        and stepper.role is ReplicaRole.PREFILL:
+                    self._schedule_migrations(stepper)
+                if stepper.state is not state_before:
+                    # A draining replica ran dry mid-step and stopped.
+                    self._record(stepper.worker.clock)
+                if not stepper.has_work:
+                    live_ids.remove(stepper.replica_id)
+                    live.remove(stepper)
+
+    def _run_event(self, arrivals: "Deque[ServingRequest]",
+                   scaler: Optional[Autoscaler]) -> None:
+        """The discrete-event kernel (``kernel="event"``): every future
+        event sits in one :class:`EventQueue` and the simulation pops
+        the global minimum — O(log events) per event, no per-iteration
+        fleet scan.
+
+        Exactly one ARRIVAL event is armed at a time (the trace deque
+        keeps equal-time arrivals in order), one CONTROL_TICK re-arms
+        itself each pop, each busy replica holds one valid STEP event
+        (re-armed after the step, lazily invalidated when it runs dry),
+        and TRANSFER_LANDED events are scheduled by
+        :meth:`_schedule_migrations`.  A submission to an already-busy
+        replica never moves its ``next_ready_s`` (the worker is either
+        mid-batch — clock-bound — or its earliest pending request is
+        unchanged), so only an idle->busy transition arms a step event.
+        DRAIN_COMPLETE is resolved synchronously at the step that ran
+        the replica dry — its timestamp equals that step's completion,
+        and deferring it through the heap could reorder it against
+        same-instant fleet samples."""
+        disaggregation = self.disaggregation
+        queue = EventQueue(record=self.record_events)
+        self._event_queue = queue
+        # The dispatch below runs on plain ints and a list of tallies:
+        # at a million events per run, EventKind identity checks and
+        # per-pop dict-by-name counting are measurable overhead.
+        arrival_k = int(EventKind.ARRIVAL)
+        transfer_k = int(EventKind.TRANSFER_LANDED)
+        control_k = int(EventKind.CONTROL_TICK)
+        counts = [0] * len(EventKind)
+        busy: set = set()
+        pop = queue.pop
+        push = queue.push
+        arm_step = queue.arm_step
+
+        if arrivals:
+            push(arrivals[0].arrival_s, arrival_k)
+        if scaler is not None:
+            # See run(): ticks start at t=0 and are skipped (not
+            # evaluated) until the first dispatch.
+            push(0.0, control_k)
+        dispatched = False
+
+        def enlist(replica: EngineReplica) -> None:
+            if replica.replica_id not in busy:
+                busy.add(replica.replica_id)
+                arm_step(replica)
+
+        while arrivals or busy or self._inflight_migrations:
+            event = pop()
+            assert event is not None, \
+                "work remains but the event queue ran dry"
+            kind = event[1]
+            counts[kind] += 1
+            if kind == arrival_k:
+                request = arrivals.popleft()
+                self._activate_due(request.arrival_s)
+                pool = self._routable() if disaggregation is None \
+                    else self._routable_pool(ReplicaRole.PREFILL)
+                enlist(self.router.dispatch(request, pool))
+                dispatched = True
+                if arrivals:
+                    push(arrivals[0].arrival_s, arrival_k)
+            elif kind == transfer_k:
+                handoff = event[4]
+                self._inflight_migrations -= 1
+                self._activate_due(event[0])
+                enlist(self.decode_router.dispatch(
+                    handoff.request,
+                    self._routable_pool(ReplicaRole.DECODE)))
+            elif kind == control_k:
+                if dispatched:
+                    self._control(event[0])
+                push(event[0] + scaler.config.control_interval_s,
+                     control_k)
+            else:  # EventKind.STEP
+                replica = event[4]
+                state_before = replica.state
+                replica.step()
+                if disaggregation is not None \
+                        and replica.role is ReplicaRole.PREFILL:
+                    self._schedule_migrations(replica)
+                if replica.state is not state_before:
+                    # Synchronous DRAIN_COMPLETE: the draining replica
+                    # ran dry mid-step and stopped.
+                    counts[EventKind.DRAIN_COMPLETE] += 1
+                    self._record(replica.worker.clock)
+                if replica.has_work:
+                    arm_step(replica)
+                else:
+                    busy.discard(replica.replica_id)
+                    queue.disarm_step(replica.replica_id)
+
+        # The four queued kinds each came through one pop; tally them
+        # with the synchronous drain-completes for the instrumentation
+        # the regression tests pin (event count == step-loop iterations).
+        self.events_processed = queue.popped
+        self.event_counts = {kind.name: counts[kind] for kind in EventKind}
+        self.last_event_log = queue.log
 
     def run(self, trace: Sequence[TimedRequest]) -> ClusterReport:
         """Serve a whole trace through the fleet; returns the cluster
         report.  Like the engine, every ``run()`` builds a fresh fleet so
         repeated runs measure the same system."""
         self.replicas = []
+        self._warming = []
+        self._pool_cache = {}
         self._timeline = []
         self._ttft_cursors = {}
         self._ttft_window = []
         self._tpot_cursors = {}
         self._tpot_window = []
         self._migrations = []
+        self._inflight_migrations = 0
         self._migration_seq = 0
         self.kv_migrations = 0
         self.kv_bytes_transferred = 0.0
         self.kv_transfer_seconds = 0.0
+        self._event_queue = None
+        self.last_event_log = None
+        self.events_processed = 0
+        self.event_counts = {}
+        self.iterations = 0
         self.router.policy.reset()
         if self.decode_router is not None:
             self.decode_router.policy.reset()
@@ -446,58 +725,10 @@ class ServingCluster:
         arrivals: Deque[ServingRequest] = deque(requests)
 
         scaler = self.autoscaler
-        # Control ticks start at t=0 (not one interval in), so a warm-up
-        # triggered by instant overload (a burst trace's arrivals at t=0)
-        # starts immediately and the timeline's t=0 sample records the
-        # post-control fleet.  Ticks before the first dispatch are
-        # skipped, not evaluated: with no demand observed yet there is no
-        # evidence to act on, and a zero-evidence scale-down would burn
-        # the cooldown right before the opening traffic.
-        next_control = 0.0 if scaler is not None else math.inf
-        dispatched = False
-
-        while True:
-            live = [replica for replica in self.replicas
-                    if replica.state is not ReplicaState.STOPPED
-                    and replica.has_work]
-            if not arrivals and not live and not self._migrations:
-                break
-            t_arrival = arrivals[0].arrival_s if arrivals else math.inf
-            t_migration = self._migrations[0][0] if self._migrations \
-                else math.inf
-            stepper = min(live, key=lambda r: (r.next_ready_s,
-                                               r.replica_id)) \
-                if live else None
-            t_step = stepper.next_ready_s if stepper else math.inf
-            t_control = next_control if scaler is not None else math.inf
-
-            if t_arrival <= t_migration and t_arrival <= t_step \
-                    and t_arrival <= t_control:
-                request = arrivals.popleft()
-                self._activate_due(request.arrival_s)
-                pool = self._routable() if disaggregation is None \
-                    else self._pool(self._routable(), ReplicaRole.PREFILL)
-                self.router.dispatch(request, pool)
-                dispatched = True
-            elif t_migration <= t_step and t_migration <= t_control:
-                ready, _, handoff = heapq.heappop(self._migrations)
-                self._activate_due(ready)
-                self.decode_router.dispatch(
-                    handoff.request,
-                    self._pool(self._routable(), ReplicaRole.DECODE))
-            elif t_control <= t_step:
-                if dispatched:
-                    self._control(t_control)
-                next_control += scaler.config.control_interval_s
-            else:
-                state_before = stepper.state
-                stepper.step()
-                if disaggregation is not None \
-                        and stepper.role is ReplicaRole.PREFILL:
-                    self._schedule_migrations(stepper)
-                if stepper.state is not state_before:
-                    # A draining replica ran dry mid-step and stopped.
-                    self._record(stepper.worker.clock)
+        if self.kernel == "step":
+            self._run_step(arrivals, scaler)
+        else:
+            self._run_event(arrivals, scaler)
 
         # Last real fleet activity.  A spawned-but-never-stepped replica's
         # clock sits at its (possibly future) ready_s — counting it would

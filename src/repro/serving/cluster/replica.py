@@ -181,7 +181,16 @@ class EngineReplica:
 
     @property
     def next_ready_s(self) -> float:
-        """Earliest simulated time this replica's next step can start."""
+        """Earliest simulated time this replica's next step can start.
+
+        This is the time the event kernel registers into its heap (one
+        valid STEP event per busy replica).  Its scheduling contract:
+        the value only moves when the replica *steps* or when a
+        submission lands on an *idle* replica — submitting to a replica
+        that already has work never changes it (the worker is either
+        mid-batch, so its clock governs, or its earliest pending request
+        is unchanged by an append).  That is what lets the kernel re-arm
+        on exactly those two transitions instead of polling."""
         return self.worker.next_ready_s
 
     @property

@@ -33,7 +33,7 @@ every tie breaks on the lowest replica id.
 
 from __future__ import annotations
 
-from typing import Dict, List, Type, Union
+from typing import Dict, List, Optional, Type, Union
 
 from repro.serving.cluster.replica import EngineReplica
 from repro.serving.request import ServingRequest
@@ -202,6 +202,16 @@ class ClusterRouter:
     def __init__(self, policy: Union[str, RoutingPolicy] = "round_robin"
                  ) -> None:
         self.policy = resolve_routing_policy(policy)
+        # id -> replica map for the pool list last dispatched into.
+        # The cluster hands the router the *same* (cached) list object
+        # until the routable fleet actually changes, so the map is
+        # rebuilt only on lifecycle transitions instead of per arrival.
+        # Holding a reference to the list itself (not its id()) keys the
+        # cache safely; a caller that mutates a pool list in place
+        # between dispatches would defeat it, so pool lists are
+        # treated as immutable snapshots everywhere in this package.
+        self._last_pool: Optional[List[EngineReplica]] = None
+        self._by_id: Dict[int, EngineReplica] = {}
 
     def dispatch(self, request: ServingRequest,
                  replicas: List[EngineReplica]) -> EngineReplica:
@@ -209,12 +219,15 @@ class ClusterRouter:
         if not replicas:
             raise RuntimeError("no routable replicas to dispatch to")
         choice = self.policy.select_replica(request, replicas)
-        by_id = {replica.replica_id: replica for replica in replicas}
-        if choice not in by_id:
+        if replicas is not self._last_pool:
+            self._by_id = {replica.replica_id: replica
+                           for replica in replicas}
+            self._last_pool = replicas
+        replica = self._by_id.get(choice)
+        if replica is None:
             raise ValueError(
                 f"routing policy {self.policy.name!r} chose replica "
                 f"{choice}, not one of the routable "
-                f"{sorted(by_id)}")
-        replica = by_id[choice]
+                f"{sorted(self._by_id)}")
         replica.submit(request)
         return replica

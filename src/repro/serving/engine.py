@@ -63,9 +63,8 @@ from repro.runtime.session import InferenceSession
 from repro.serving.kv_manager import KVBlockManager, KVCacheConfig
 from repro.serving.metrics import (
     DeviceStats,
-    KVSample,
     PreemptionEvent,
-    QueueSample,
+    SampleBuffer,
     ServingReport,
     build_report,
 )
@@ -127,8 +126,8 @@ class DeviceWorker:
                  preemption: PreemptionPolicy,
                  kv_config: Optional[KVCacheConfig] = None,
                  cold_start: bool = False,
-                 queue_samples: Optional[List[QueueSample]] = None,
-                 kv_samples: Optional[List[KVSample]] = None,
+                 queue_samples: Optional[SampleBuffer] = None,
+                 kv_samples: Optional[SampleBuffer] = None,
                  preemption_events: Optional[List[PreemptionEvent]] = None,
                  prefill_only: bool = False,
                  ) -> None:
@@ -150,10 +149,15 @@ class DeviceWorker:
         self._prefix_caching = self.manager is not None \
             and self.manager.prefix_cache_enabled
 
-        # Sample sinks; the engine shares one list across its devices, a
-        # cluster replica keeps its own.
-        self.queue_samples = queue_samples if queue_samples is not None else []
-        self.kv_samples = kv_samples if kv_samples is not None else []
+        # Sample sinks; the engine shares one buffer across its devices,
+        # a cluster replica keeps its own.  Queue/KV timelines accumulate
+        # columnar ((device, time, a, b) rows in a grown numpy array);
+        # preemptions stay a typed list — they are rare events, not a
+        # per-step stream.
+        self.queue_samples = queue_samples if queue_samples is not None \
+            else SampleBuffer(4)
+        self.kv_samples = kv_samples if kv_samples is not None \
+            else SampleBuffer(4)
         self.preemption_events = preemption_events \
             if preemption_events is not None else []
 
@@ -172,10 +176,10 @@ class DeviceWorker:
         # (first-token time, TTFT) per request, in emission order — the
         # rolling-latency feed the cluster autoscaler consumes
         # incrementally instead of rescanning every request per tick.
-        self.ttft_samples: List[tuple] = []
+        self.ttft_samples = SampleBuffer(2)
         # (finish time, TPOT) per completed request — the decode-pool
         # latency feed of the disaggregated autoscaler, same cursor idiom.
-        self.tpot_samples: List[tuple] = []
+        self.tpot_samples = SampleBuffer(2)
         # Hand-off bookkeeping (stays empty unless prefill_only).
         self.handoffs: List[HandoffEvent] = []
         self.handoff_count = 0
@@ -420,7 +424,7 @@ class DeviceWorker:
             request.tokens_emitted += emitted
             if emitted and request.first_token_s is None:
                 request.first_token_s = self.clock
-                self.ttft_samples.append((self.clock, request.ttft_s))
+                self.ttft_samples.append(self.clock, request.ttft_s)
             if self._prefix_caching and request.shareable_prefix \
                     and work.kind == "prefill":
                 # The positions this chunk streamed are now resident: full
@@ -434,7 +438,7 @@ class DeviceWorker:
                 request.state = RequestState.FINISHED
                 running.remove(request)
                 self.served += 1
-                self.tpot_samples.append((self.clock, request.tpot_s))
+                self.tpot_samples.append(self.clock, request.tpot_s)
                 if manager is not None:
                     manager.release(request.request_id)
             elif self.prefill_only and not request.active.in_prefill:
@@ -449,15 +453,11 @@ class DeviceWorker:
         # of view — count them, or depth under-reports congestion.
         arrived = sum(1 for request in self.pending
                       if request.enqueue_s <= self.clock)
-        self.queue_samples.append(
-            QueueSample(self.device_id, self.clock,
-                        queued=len(waiting) + arrived,
-                        running=len(running)))
+        self.queue_samples.append(self.device_id, self.clock,
+                                  len(waiting) + arrived, len(running))
         if manager is not None:
-            self.kv_samples.append(
-                KVSample(self.device_id, self.clock,
-                         used_blocks=manager.used_blocks,
-                         total_blocks=manager.num_blocks))
+            self.kv_samples.append(self.device_id, self.clock,
+                                   manager.used_blocks, manager.num_blocks)
         return True
 
     def _hand_off(self, request: ServingRequest) -> None:
@@ -612,8 +612,8 @@ class ServingEngine:
                                             / self.kv_config.block_size)
 
         devices: List[DeviceStats] = []
-        samples: List[QueueSample] = []
-        kv_samples: List[KVSample] = []
+        samples = SampleBuffer(4)
+        kv_samples = SampleBuffer(4)
         preemptions: List[PreemptionEvent] = []
         for device_id, (session, inbox) in enumerate(zip(self.sessions, inboxes)):
             worker = DeviceWorker(device_id, session, self.scheduler_config,

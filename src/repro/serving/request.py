@@ -31,7 +31,7 @@ class RequestState(Enum):
     REJECTED = "rejected"    # exceeds max_seq_len or the whole KV pool
 
 
-@dataclass
+@dataclass(eq=False)
 class ServingRequest:
     """One request as the serving engine sees it.
 
@@ -42,6 +42,13 @@ class ServingRequest:
     the group (a shared system prompt, few-shot preamble, …) — the handle
     the prefix-caching KV manager keys its shared blocks on.  Both are
     ignored unless the engine runs with ``enable_prefix_cache``.
+
+    ``eq=False``: requests compare (and hash) by identity.  Every request
+    is a unique live object threaded through queues and batches, so
+    identity is the correct notion of sameness — and it keeps the
+    engine's ``running.remove(request)`` on the C fast path instead of
+    field-by-field dataclass comparison per scanned element (measurably
+    hot at million-request traces).
     """
 
     request_id: int

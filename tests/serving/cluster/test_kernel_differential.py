@@ -1,0 +1,217 @@
+"""Differential-testing harness: the event kernel must reproduce the
+step loop byte-for-byte.
+
+The discrete-event kernel (``ServingCluster(kernel="event")``) rewrote
+the hot core under five PRs' worth of accumulated serving behavior, so
+its correctness argument is not "the code looks equivalent" but "on the
+same seeded trace, both kernels emit the *identical* ``ClusterReport``
+— every latency percentile, every preemption count, every timeline
+sample — compared as serialized JSON".  The parametrized matrix below
+spans the representative regimes: unified/autoscaled/disaggregated
+fleets, every routing policy, prefix caching, KV pressure with
+preemption, and migration under decode-pool scaling.
+
+Also here: the regression pinning event-count == step-loop
+iteration-count (the two kernels must process the same number of
+simulation events, or they diverged silently), and the report-shape
+assertion guarding the numpy metrics refactor (report JSON shape
+unchanged).
+"""
+
+import json
+
+import pytest
+
+from repro.models.config import GPT2
+from repro.serving import KVCacheConfig, SchedulerConfig
+from repro.serving.cluster import (
+    AutoscalerConfig,
+    DisaggregationConfig,
+    ServingCluster,
+)
+from repro.serving.workload_gen import (
+    flash_crowd_trace,
+    poisson_trace,
+    shared_prefix_trace,
+)
+
+PER_TOKEN = GPT2.kv_cache_bytes_per_token()
+
+
+def kv_blocks(blocks, block_size=16, **kwargs):
+    """A pool of exactly ``blocks`` blocks (test-legible sizing)."""
+    return KVCacheConfig(capacity_bytes=blocks * block_size * PER_TOKEN,
+                         block_size=block_size, **kwargs)
+
+
+# name -> (cluster kwargs, trace).  Every entry runs under both kernels
+# and the reports must match byte-for-byte.
+CONFIGS = {
+    "single_replica": (
+        dict(initial_replicas=1),
+        poisson_trace(60, 25.0, seed=0)),
+    "fixed_round_robin": (
+        dict(initial_replicas=3, router="round_robin"),
+        poisson_trace(90, 40.0, seed=1)),
+    "fixed_least_queue": (
+        dict(initial_replicas=3, router="least_queue"),
+        poisson_trace(120, 40.0, seed=7)),
+    "least_kv_pressure": (
+        dict(initial_replicas=2, router="least_kv_pressure",
+             kv_config=kv_blocks(128)),
+        poisson_trace(80, 30.0, seed=2)),
+    "prefix_affinity_cached": (
+        dict(initial_replicas=2, router="prefix_affinity",
+             kv_config=kv_blocks(256, enable_prefix_cache=True)),
+        shared_prefix_trace(64, prefix_len=48, unique_len=8,
+                            output_len=16, interval_s=0.02,
+                            num_groups=4)),
+    "kv_pressure_preempting": (
+        dict(initial_replicas=2, router="least_kv_pressure",
+             kv_config=kv_blocks(48),
+             scheduler_config=SchedulerConfig(max_batch_size=8)),
+        poisson_trace(80, 35.0, seed=13, input_choices=(64, 128),
+                      output_choices=(32, 64))),
+    "autoscaled_queue_only": (
+        dict(initial_replicas=1, router="round_robin",
+             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=4,
+                                         warmup_s=0.2)),
+        poisson_trace(100, 60.0, seed=4)),
+    "autoscaled_slo_flash_crowd": (
+        dict(initial_replicas=2, router="round_robin",
+             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=5,
+                                         slo_ttft_s=0.5, warmup_s=0.2)),
+        flash_crowd_trace(150, 20.0, 120.0, 1.0, 0.6, seed=11)),
+    "disagg_basic": (
+        dict(router="least_queue",
+             disaggregation=DisaggregationConfig(prefill_replicas=1,
+                                                 decode_replicas=2),
+             kv_config=kv_blocks(256)),
+        poisson_trace(100, 30.0, seed=3)),
+    "disagg_kv_transfer_aware": (
+        dict(router="round_robin",
+             disaggregation=DisaggregationConfig(prefill_replicas=2,
+                                                 decode_replicas=2,
+                                                 kv_transfer_gbs=8.0),
+             kv_config=kv_blocks(192)),
+        poisson_trace(90, 35.0, seed=9, input_choices=(32, 64),
+                      output_choices=(16,))),
+    "disagg_decode_least_queue": (
+        dict(router="least_queue",
+             disaggregation=DisaggregationConfig(prefill_replicas=2,
+                                                 decode_replicas=1,
+                                                 decode_router="least_queue")),
+        poisson_trace(70, 25.0, seed=6)),
+    "disagg_autoscaled": (
+        dict(router="least_queue",
+             disaggregation=DisaggregationConfig(prefill_replicas=2,
+                                                 decode_replicas=2),
+             kv_config=kv_blocks(256),
+             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=4,
+                                         slo_tpot_s=0.05,
+                                         kv_pressure_high=0.8,
+                                         warmup_s=0.1)),
+        flash_crowd_trace(150, 25.0, 100.0, 1.0, 0.5, seed=5)),
+}
+
+
+def run_kernel(kernel, kwargs, trace):
+    cluster = ServingCluster(GPT2, kernel=kernel, **kwargs)
+    return cluster, cluster.run(trace)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_event_kernel_reproduces_step_loop(self, name):
+        kwargs, trace = CONFIGS[name]
+        _, event_report = run_kernel("event", kwargs, trace)
+        _, step_report = run_kernel("step", kwargs, trace)
+        assert json.dumps(event_report.to_dict(), sort_keys=True) \
+            == json.dumps(step_report.to_dict(), sort_keys=True)
+
+    def test_matrix_exercises_every_regime(self):
+        """Meta-coverage: the matrix must keep spanning the regimes the
+        harness claims to cover."""
+        kwargs_list = [kwargs for kwargs, _ in CONFIGS.values()]
+        assert sum(1 for k in kwargs_list
+                   if k.get("autoscaler") is not None) >= 3
+        assert sum(1 for k in kwargs_list
+                   if k.get("disaggregation") is not None) >= 4
+        assert sum(1 for k in kwargs_list
+                   if k.get("kv_config") is not None) >= 5
+        routers = {k.get("router", "round_robin") for k in kwargs_list}
+        assert {"round_robin", "least_queue", "least_kv_pressure",
+                "prefix_affinity"} <= routers
+
+    def test_preempting_config_actually_preempts(self):
+        """Regime check: the KV-pressure entry must keep exercising the
+        preemption path, or the matrix silently loses that coverage."""
+        kwargs, trace = CONFIGS["kv_pressure_preempting"]
+        _, report = run_kernel("event", kwargs, trace)
+        assert report.preemptions >= 1
+
+    def test_disagg_config_actually_migrates(self):
+        kwargs, trace = CONFIGS["disagg_basic"]
+        _, report = run_kernel("event", kwargs, trace)
+        assert report.kv_migrations == report.num_requests
+
+
+class TestEventCountRegression:
+    def test_event_count_matches_step_iterations(self):
+        """On a reference trace the event kernel processes exactly as
+        many events as the step loop ran iterations — each step-loop
+        iteration handled one arrival/migration/control/step, and the
+        event kernel pops the same sequence from its heap.  A drift here
+        means one kernel is doing (or skipping) work the other is not,
+        even if the reports still happen to agree."""
+        for name in ("fixed_least_queue", "autoscaled_slo_flash_crowd",
+                     "disagg_basic"):
+            kwargs, trace = CONFIGS[name]
+            event_cluster, _ = run_kernel("event", kwargs, trace)
+            step_cluster, _ = run_kernel("step", kwargs, trace)
+            assert event_cluster.events_processed == step_cluster.iterations
+            assert sum(event_cluster.event_counts[kind] for kind in
+                       ("ARRIVAL", "TRANSFER_LANDED", "CONTROL_TICK",
+                        "STEP")) == event_cluster.events_processed
+
+    def test_step_kernel_does_not_touch_event_instrumentation(self):
+        kwargs, trace = CONFIGS["single_replica"]
+        cluster, _ = run_kernel("step", kwargs, trace)
+        assert cluster.events_processed == 0
+        assert cluster.iterations > 0
+
+
+class TestReportShape:
+    """The numpy metrics refactor moved sample accumulation to columnar
+    buffers; the report JSON it emits must not have changed shape."""
+
+    CLUSTER_KEYS = {
+        "autoscaled", "completed", "e2e_latency_ms", "fleet_tokens_per_s",
+        "makespan_s", "model", "num_requests", "peak_replicas",
+        "preemptions", "queue_wait_ms", "rejected",
+        "replica_count_timeline", "replica_seconds", "replicas", "router",
+        "total_output_tokens", "tpot_ms", "ttft_ms",
+    }
+    REPLICA_KEYS = {
+        "aggregate_tokens_per_s", "completed", "devices", "e2e_latency_ms",
+        "makespan_s", "mean_kv_utilization", "mean_queue_depth", "model",
+        "num_devices", "num_requests", "peak_kv_utilization",
+        "peak_queue_depth", "preemption_events", "preemptions",
+        "queue_wait_ms", "rejected", "total_output_tokens", "tpot_ms",
+        "ttft_ms",
+    }
+    LATENCY_KEYS = {"count", "max", "mean", "p50", "p95", "p99"}
+
+    def test_cluster_report_dict_shape_unchanged(self):
+        kwargs, trace = CONFIGS["fixed_least_queue"]
+        cluster, report = run_kernel("event", kwargs, trace)
+        payload = report.to_dict()
+        assert set(payload) == self.CLUSTER_KEYS
+        assert set(payload["ttft_ms"]) == self.LATENCY_KEYS
+        assert set(payload["tpot_ms"]) == self.LATENCY_KEYS
+        assert set(report.replica_reports[0].to_dict()) == self.REPLICA_KEYS
+        # Everything in the serialized report is plain JSON scalars —
+        # no numpy types may leak through the columnar buffers.
+        json.dumps(payload)
+        for value in payload.values():
+            assert type(value) in (str, int, float, bool, list, dict)

@@ -123,3 +123,45 @@ class TestCliSeedPlumbing:
             assert first == second
             assert first != self.serve_cluster_report(tmp_path, 4, "c.json",
                                                       trace)
+
+    def serve_cluster_kernel_report(self, tmp_path, seed, name, *extra):
+        from repro.cli import main
+
+        path = tmp_path / name
+        fleet = [] if "--disaggregate" in extra else ["--replicas", "2"]
+        assert main(["serve-cluster", "--requests", "12", *fleet,
+                     "--arrival-rate", "20", "--seed", str(seed),
+                     *extra, "--json", str(path)]) == 0
+        return path.read_bytes()
+
+    def test_event_kernel_cli_reports_are_deterministic(self, tmp_path):
+        """serve-cluster under the (default) event kernel: same seed →
+        byte-identical JSON, run to run."""
+        first = self.serve_cluster_kernel_report(
+            tmp_path, 11, "a.json", "--kernel", "event")
+        second = self.serve_cluster_kernel_report(
+            tmp_path, 11, "b.json", "--kernel", "event")
+        assert first == second
+
+    def test_event_kernel_cli_matches_step_kernel(self, tmp_path):
+        """The kernel flag must not change the report: --kernel event and
+        --kernel step emit byte-identical JSON for the same seed."""
+        event = self.serve_cluster_kernel_report(
+            tmp_path, 11, "a.json", "--kernel", "event")
+        step = self.serve_cluster_kernel_report(
+            tmp_path, 11, "b.json", "--kernel", "step")
+        assert event == step
+
+    def test_event_kernel_cli_disaggregated_deterministic(self, tmp_path):
+        """The disaggregated path (KV migrations through TRANSFER_LANDED
+        events) stays byte-deterministic under the event kernel too."""
+        disagg = ("--disaggregate", "--prefill-replicas", "1",
+                  "--decode-replicas", "2")
+        first = self.serve_cluster_kernel_report(
+            tmp_path, 5, "a.json", *disagg)
+        second = self.serve_cluster_kernel_report(
+            tmp_path, 5, "b.json", *disagg)
+        assert first == second
+        step = self.serve_cluster_kernel_report(
+            tmp_path, 5, "c.json", *disagg, "--kernel", "step")
+        assert first == step

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.models.workload import Workload
-from repro.serving.metrics import LatencyStats, build_report, percentile
+from repro.serving.metrics import (
+    LatencyStats,
+    SampleBuffer,
+    build_report,
+    percentile,
+)
 from repro.serving.request import RequestState, ServingRequest
 
 
@@ -125,3 +130,47 @@ class TestBuildReport:
         payload = json.loads(json.dumps(report.to_dict()))
         assert payload["ttft_ms"]["count"] == 0
         assert payload["aggregate_tokens_per_s"] == 0.0
+
+
+class TestSampleBuffer:
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError, match="column"):
+            SampleBuffer(0)
+        with pytest.raises(ValueError, match="capacity"):
+            SampleBuffer(2, capacity=0)
+
+    def test_appends_past_initial_capacity(self):
+        """The buffer doubles transparently: appending far past the seed
+        capacity keeps every row, in order."""
+        buffer = SampleBuffer(2, capacity=2)
+        for i in range(100):
+            buffer.append(float(i), float(i) * 10.0)
+        assert len(buffer) == 100
+        assert buffer.rows().shape == (100, 2)
+        assert list(buffer.column(0)) == [float(i) for i in range(100)]
+        assert buffer[99] == (99.0, 990.0)
+
+    def test_views_track_filled_rows_only(self):
+        """rows()/column() expose exactly the appended rows, never the
+        preallocated slack."""
+        buffer = SampleBuffer(3, capacity=8)
+        buffer.append(1.0, 2.0, 3.0)
+        assert buffer.rows().shape == (1, 3)
+        assert buffer.column(2).tolist() == [3.0]
+
+    def test_reads_like_a_list_of_tuples(self):
+        """The cursor-style readers that predate the buffer (autoscaler
+        windows, worker-feed tests) treat it as a list of row tuples."""
+        buffer = SampleBuffer(2)
+        assert not buffer
+        buffer.append(0.5, 1.5)
+        buffer.append(2.5, 3.5)
+        assert buffer
+        assert len(buffer) == 2
+        assert list(buffer) == [(0.5, 1.5), (2.5, 3.5)]
+        assert buffer[0] == (0.5, 1.5)
+        assert buffer[-1] == (2.5, 3.5)
+        assert buffer[1:] == [(2.5, 3.5)]
+
+    def test_columns_property(self):
+        assert SampleBuffer(4).columns == 4
