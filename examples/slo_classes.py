@@ -1,0 +1,69 @@
+"""Multi-tenant serving: SLO classes, score-based scheduling, fairness.
+
+Every example so far treated requests as interchangeable.  Real serving
+fleets host tenants with very different contracts: a chat frontend needs
+its first token in 300 ms, a nightly summarization job is happy with 15 s.
+This example tags a deeply overloaded Poisson trace with **SLO classes**
+(``interactive``/``standard``/``batch``/``best_effort`` — each a TTFT
+target, a TPOT target, and a value weight) and serves the *same trace*
+under three scheduler stacks (:func:`repro.eval.serving.run_class_mix_sweep`):
+
+1. **fcfs** — arrival order; the backlog buries interactive requests
+   behind cheap batch work, so the high-value class misses its target;
+2. **priority** — strict tiers rescue interactive traffic by serving
+   low tiers dead last: under a sustained high-tier stream a best-effort
+   request waits *unboundedly* (the starvation bug the score stack fixes);
+3. **score** — one function, ``value x urgency / expected_cost + aging``,
+   drives admission, placement, preemption, and routing.  Value-density
+   favors urgent, cheap, high-value work; the aging term guarantees every
+   waiter's score eventually dominates any fresh arrival's, so nobody
+   starves.
+
+The per-class report shows each class judged against its *own* targets,
+plus the Jain fairness index and class-weighted attainment that the
+benchmark (``benchmarks/test_cluster_slo_classes.py``) tracks across PRs.
+
+Everything is simulation on the paper's analytical model; the source paper
+serves one request at a time and has no notion of tenants.
+
+Run with:  python examples/slo_classes.py
+"""
+
+from repro.eval.serving import run_class_mix_sweep
+from repro.models import GPT2
+from repro.serving import poisson_trace
+
+# ~3x one fleet's service rate: admission order, not capacity, decides
+# who makes their target.
+TRACE = poisson_trace(96, arrival_rate_hz=45.0, seed=7,
+                      slo_class_mix="interactive=2,standard=2,"
+                                    "batch=1,best_effort=1",
+                      input_choices=(32, 64, 128),
+                      output_choices=(16, 32, 64))
+
+
+def main() -> None:
+    print(f"trace: {len(TRACE)} requests in "
+          f"{TRACE[-1].arrival_s:.1f}s across four SLO classes, "
+          f"2 fixed replicas\n")
+
+    points = run_class_mix_sweep(GPT2, TRACE, initial_replicas=2)
+    for point in points:
+        print(f"--- {point.scheduler} ---")
+        print(point.report.format())
+        print()
+
+    print("summary (class-weighted TTFT attainment, Jain fairness):")
+    for point in points:
+        print("  " + point.format())
+
+    score = next(p for p in points if p.scheduler == "score")
+    best = max(points, key=lambda p: p.class_weighted_attainment or 0.0)
+    assert best is score, "score stack should win under deep overload"
+    print("\nscore wins on both axes — and its best-effort requests all "
+          "landed inside\ntheir own TTFT target, which is the point: "
+          "aging buys fairness without\ngiving up the value-weighted win.")
+
+
+if __name__ == "__main__":
+    main()

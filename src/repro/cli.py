@@ -29,9 +29,13 @@ Three subcommands cover the common workflows:
   ``--disaggregate`` (with ``--prefill-replicas``/``--decode-replicas``
   and ``--kv-transfer-gbs``) splits the fleet into dedicated prefill and
   decode pools with a KV hand-off between them — protecting TTFT from
-  decode interference at a TPOT cost the report itemises.  A single
-  ``--seed`` feeds every trace generator, so reports are reproducible
-  byte-for-byte.
+  decode interference at a TPOT cost the report itemises.
+  ``--slo-class-mix`` tags requests with per-tenant SLO classes
+  (interactive/standard/batch/best_effort) and ``--scheduler score``
+  swaps in the score-based stack (score admission, lowest_score
+  preemption, score routing) judged on per-class attainment and Jain
+  fairness.  A single ``--seed`` feeds every trace generator, so
+  reports are reproducible byte-for-byte.
 """
 
 from __future__ import annotations
@@ -120,17 +124,18 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="give long prompts a dedicated step "
                                    "instead of chunking them")
     serve_parser.add_argument("--policy", default="fcfs",
-                              choices=["fcfs", "priority", "shortest_prompt"],
+                              choices=["fcfs", "priority", "shortest_prompt",
+                                       "score"],
                               help="admission/ordering policy: who gets the "
                                    "next free batch slot")
     serve_parser.add_argument("--placement", default="round_robin",
                               choices=["round_robin", "least_loaded",
-                                       "kv_aware"],
+                                       "kv_aware", "score"],
                               help="device placement policy for arriving "
                                    "requests")
     serve_parser.add_argument("--preemption", default="youngest",
                               choices=["youngest", "lowest_priority",
-                                       "largest_kv"],
+                                       "largest_kv", "lowest_score"],
                               help="which resident request is evicted under "
                                    "KV memory pressure")
     serve_parser.add_argument("--priority-levels", type=int, default=1,
@@ -138,6 +143,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "from [0, N); 1 keeps the single-tier "
                                    "trace (pairs with --policy priority / "
                                    "--preemption lowest_priority)")
+    serve_parser.add_argument("--slo-class-mix", default=None,
+                              metavar="MIX",
+                              help="tag requests with SLO classes drawn "
+                                   "from a weighted mix, e.g. "
+                                   "'interactive=1,standard=2,"
+                                   "best_effort=1' (pairs with --policy "
+                                   "score / --preemption lowest_score)")
     serve_parser.add_argument("--prefix-cache", action="store_true",
                               help="share ref-counted KV blocks across "
                                    "requests with a common prompt prefix "
@@ -184,14 +196,16 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "--disaggregate the fleet is sized "
                                      "by --prefill-replicas + "
                                      "--decode-replicas instead)")
-    cluster_parser.add_argument("--router", default="round_robin",
+    cluster_parser.add_argument("--router", default=None,
                                 choices=["round_robin", "least_queue",
                                          "least_kv_pressure",
                                          "prefix_affinity",
-                                         "kv_transfer_aware"],
+                                         "kv_transfer_aware", "score"],
                                 help="routing policy dispatching arrivals "
                                      "across replicas (the prefill pool "
-                                     "under --disaggregate)")
+                                     "under --disaggregate; default "
+                                     "round_robin, or score under "
+                                     "--scheduler score)")
     cluster_parser.add_argument("--disaggregate", action="store_true",
                                 help="split the fleet into dedicated "
                                      "prefill and decode pools: arrivals "
@@ -286,21 +300,40 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="max concurrent requests per replica")
     cluster_parser.add_argument("--token-budget", type=int, default=256,
                                 help="max tokens per engine step")
-    cluster_parser.add_argument("--policy", default="fcfs",
+    cluster_parser.add_argument("--scheduler", default=None,
+                                choices=["fcfs", "priority", "score"],
+                                help="pick a coherent scheduling stack in "
+                                     "one flag: admission plus its "
+                                     "matching preemption and router "
+                                     "(score -> lowest_score + score "
+                                     "routing); mutually exclusive with "
+                                     "--policy/--preemption/--router")
+    cluster_parser.add_argument("--policy", default=None,
                                 choices=["fcfs", "priority",
-                                         "shortest_prompt"],
-                                help="per-replica admission policy")
+                                         "shortest_prompt", "score"],
+                                help="per-replica admission policy "
+                                     "(default fcfs)")
     cluster_parser.add_argument("--priority-levels", type=int, default=1,
                                 help="sample each request's priority "
                                      "uniformly from [0, N); 1 keeps the "
                                      "single-tier trace (pairs with "
                                      "--policy priority / --preemption "
                                      "lowest_priority)")
-    cluster_parser.add_argument("--preemption", default="youngest",
+    cluster_parser.add_argument("--slo-class-mix", default=None,
+                                metavar="MIX",
+                                help="tag requests with SLO classes drawn "
+                                     "from a weighted mix, e.g. "
+                                     "'interactive=1,standard=2,"
+                                     "best_effort=1'; the report then "
+                                     "adds per-class attainment and a "
+                                     "Jain fairness index (pairs with "
+                                     "--scheduler score)")
+    cluster_parser.add_argument("--preemption", default=None,
                                 choices=["youngest", "lowest_priority",
-                                         "largest_kv"],
+                                         "largest_kv", "lowest_score"],
                                 help="per-replica preemption policy under "
-                                     "KV memory pressure")
+                                     "KV memory pressure (default "
+                                     "youngest)")
     cluster_parser.add_argument("--kv-capacity-mb", type=float, default=None,
                                 help="per-replica KV-cache capacity in MB "
                                      "(default: unmanaged)")
@@ -420,7 +453,8 @@ def _wrap_shared_prefix(trace: List["TimedRequest"], tokens: int,
                      priority=t.priority,
                      prefix_group="cli-shared" if groups == 1
                      else f"cli-shared-{i % groups}",
-                     prefix_len=min(tokens, t.workload.input_len))
+                     prefix_len=min(tokens, t.workload.input_len),
+                     slo_class=t.slo_class)
         for i, t in enumerate(trace)
     ]
 
@@ -456,7 +490,8 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
             priority_choices = range(args.priority_levels)
         trace = poisson_trace(args.requests, args.arrival_rate,
                               seed=args.seed,
-                              priority_choices=priority_choices)
+                              priority_choices=priority_choices,
+                              slo_class_mix=args.slo_class_mix)
         trace = _wrap_shared_prefix(trace, args.shared_prefix)
         engine = ServingEngine(
             config,
@@ -525,7 +560,8 @@ def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
         period = args.period if args.period is not None else 20.0
         trace = diurnal_trace(args.requests, args.arrival_rate, peak,
                               period_s=period, seed=args.seed,
-                              priority_choices=priority_choices)
+                              priority_choices=priority_choices,
+                              slo_class_mix=args.slo_class_mix)
     elif args.trace == "flash_crowd":
         burst = args.burst_rate if args.burst_rate is not None \
             else 8.0 * args.arrival_rate
@@ -536,11 +572,13 @@ def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
                                   burst_start_s=start,
                                   burst_duration_s=duration,
                                   seed=args.seed,
-                                  priority_choices=priority_choices)
+                                  priority_choices=priority_choices,
+                                  slo_class_mix=args.slo_class_mix)
     else:
         trace = poisson_trace(args.requests, args.arrival_rate,
                               seed=args.seed,
-                              priority_choices=priority_choices)
+                              priority_choices=priority_choices,
+                              slo_class_mix=args.slo_class_mix)
     groups = args.prefix_groups if args.prefix_groups is not None else 1
     return _wrap_shared_prefix(trace, args.shared_prefix, groups)
 
@@ -557,6 +595,26 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
     config = get_model_config(args.model)
     try:
         _require_kv_for_prefix_cache(args)
+        if args.scheduler is not None:
+            picked = [flag for flag, value in
+                      (("--policy", args.policy),
+                       ("--preemption", args.preemption),
+                       ("--router", args.router))
+                      if value is not None]
+            if picked:
+                raise ValueError(
+                    f"--scheduler already picks a full stack; drop "
+                    f"{', '.join(picked)} or drop --scheduler")
+            args.policy = args.scheduler
+            if args.scheduler == "score":
+                args.preemption = "lowest_score"
+                args.router = "score"
+            elif args.scheduler == "priority":
+                args.preemption = "lowest_priority"
+        policy = args.policy if args.policy is not None else "fcfs"
+        preemption = args.preemption if args.preemption is not None \
+            else "youngest"
+        router = args.router if args.router is not None else "round_robin"
         if args.kv_capacity_mb is None and args.block_size is not None:
             raise ValueError(
                 "--block-size only sizes the KV block pool; pair with "
@@ -642,14 +700,14 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             initial_replicas=args.replicas
             if args.replicas is not None else (1 if args.disaggregate
                                                else 2),
-            router=args.router,
+            router=router,
             scheduler_config=SchedulerConfig(
                 max_batch_size=args.max_batch,
                 token_budget=args.token_budget,
-                admission=args.policy,
+                admission=policy,
             ),
             kv_config=kv_config,
-            preemption=args.preemption,
+            preemption=preemption,
             autoscaler=autoscaler,
             disaggregation=disaggregation,
             kernel=args.kernel,

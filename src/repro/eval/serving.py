@@ -405,6 +405,93 @@ def run_disaggregation_sweep(config: ModelConfig,
     return points
 
 
+@dataclass(frozen=True)
+class ClassMixPoint:
+    """One scheduler stack's outcome on a fixed class-mixed trace."""
+
+    scheduler: str
+    report: "ClusterReport"
+
+    @property
+    def class_weighted_attainment(self) -> Optional[float]:
+        return self.report.class_weighted_attainment
+
+    @property
+    def jain_fairness(self) -> Optional[float]:
+        return self.report.jain_fairness
+
+    def format(self) -> str:
+        report = self.report
+        weighted = self.class_weighted_attainment
+        jain = self.jain_fairness
+        line = (f"{self.scheduler:>10}: "
+                + (f"weighted attainment {weighted * 100:5.1f}%"
+                   if weighted is not None else "no class evidence")
+                + (f", Jain {jain:.3f}" if jain is not None else "")
+                + f", {report.completed}/{report.num_requests} done, "
+                  f"p95 ttft {report.ttft.p95 * 1e3:8.1f} ms")
+        return line
+
+
+# The three scheduler stacks the class-mix sweep compares.  Each maps one
+# admission policy to its matching preemption + routing face so a stack is
+# coherent end to end (score admission with priority preemption would mix
+# two different notions of importance).
+_CLASS_MIX_STACKS = {
+    "fcfs": ("fcfs", "youngest", "least_queue"),
+    "priority": ("priority", "lowest_priority", "least_queue"),
+    "score": ("score", "lowest_score", "score"),
+}
+
+
+def run_class_mix_sweep(config: ModelConfig,
+                        trace: Sequence[TimedRequest],
+                        schedulers: Sequence[str] = ("fcfs", "priority",
+                                                     "score"),
+                        initial_replicas: int = 2,
+                        scheduler_config: Optional[SchedulerConfig] = None,
+                        kv_config: Optional["KVCacheConfig"] = None,
+                        autoscaler: Optional["AutoscalerConfig"] = None,
+                        performance_model: Optional[FpgaPerformanceModel] = None,
+                        kernel: str = "event",
+                        ) -> List[ClassMixPoint]:
+    """Serve the same class-mixed trace under each scheduler stack.
+
+    The multi-tenant ablation: one fixed trace (generate it with a
+    ``slo_class_mix`` so requests carry SLO classes), one row per
+    scheduler, judged on class-weighted TTFT attainment and Jain fairness
+    rather than raw throughput.  Each named stack bundles the admission
+    policy with its matching preemption and routing policies (see
+    ``_CLASS_MIX_STACKS``), so rows differ by the whole scheduling story,
+    not one knob.
+    """
+    import dataclasses
+
+    from repro.serving.cluster import ServingCluster
+    from repro.serving.scheduler import SchedulerConfig as _SchedulerConfig
+
+    base = scheduler_config if scheduler_config is not None \
+        else _SchedulerConfig()
+    points: List[ClassMixPoint] = []
+    for name in schedulers:
+        try:
+            admission, preemption, router = _CLASS_MIX_STACKS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown scheduler stack {name!r}; choose from "
+                f"{sorted(_CLASS_MIX_STACKS)}") from None
+        cluster = ServingCluster(
+            config, initial_replicas=initial_replicas, router=router,
+            scheduler_config=dataclasses.replace(base, admission=admission),
+            performance_model=performance_model,
+            kv_config=kv_config,
+            autoscaler=autoscaler,
+            preemption=preemption,
+            kernel=kernel)
+        points.append(ClassMixPoint(name, cluster.run(trace)))
+    return points
+
+
 def run_capacity_sweep(config: ModelConfig,
                        trace: Sequence[TimedRequest],
                        capacities_mb: Sequence[Optional[float]],

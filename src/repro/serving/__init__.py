@@ -58,6 +58,15 @@ from repro.serving.metrics import (
     percentile,
 )
 from repro.serving.request import RequestState, ServingRequest
+from repro.serving.slo import (
+    DEFAULT_SLO_CLASS,
+    SLO_CLASSES,
+    SLOClass,
+    parse_class_mix,
+    request_score,
+    request_value,
+    resolve_slo_class,
+)
 from repro.serving.scheduler import (
     ContinuousBatchingScheduler,
     SchedulerConfig,
@@ -102,6 +111,7 @@ __all__ = [
     "ADMISSION_POLICIES",
     "AdmissionPolicy",
     "ContinuousBatchingScheduler",
+    "DEFAULT_SLO_CLASS",
     "DeviceStats",
     "DeviceWorker",
     "HandoffEvent",
@@ -119,6 +129,8 @@ __all__ = [
     "PrefixReuse",
     "QueueSample",
     "RequestState",
+    "SLOClass",
+    "SLO_CLASSES",
     "SampleBuffer",
     "SchedulerConfig",
     "ServingEngine",
@@ -129,8 +141,12 @@ __all__ = [
     "burst_trace",
     "diurnal_trace",
     "flash_crowd_trace",
+    "parse_class_mix",
     "percentile",
     "poisson_trace",
+    "request_score",
+    "request_value",
+    "resolve_slo_class",
     "shared_prefix_trace",
     "trace_from_specs",
 ]

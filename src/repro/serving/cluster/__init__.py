@@ -10,9 +10,10 @@ without disturbing it:
 * :class:`EngineReplica` — one engine + KV pool with a serving lifecycle
   (warming, active, draining, stopped);
 * :class:`ClusterRouter` + pluggable :class:`RoutingPolicy` registry —
-  ``round_robin``, ``least_queue``, ``least_kv_pressure`` and
+  ``round_robin``, ``least_queue``, ``least_kv_pressure``,
   ``prefix_affinity`` (sticky by prefix group so per-replica prefix
-  caches keep hitting);
+  caches keep hitting), ``kv_transfer_aware`` and ``score``
+  (least outstanding SLO-class value);
 * :class:`Autoscaler` — an SLO-aware control loop over queue depth and
   rolling p95 TTFT, with warm-up cost on scale-up and graceful drain on
   scale-down;
@@ -23,7 +24,9 @@ without disturbing it:
   differential-testing reference);
 * :class:`ClusterReport` — fleet throughput, SLO attainment,
   replica-seconds and the replica-count timeline, with per-replica
-  :class:`~repro.serving.metrics.ServingReport`s for drill-down.
+  :class:`~repro.serving.metrics.ServingReport`s for drill-down and —
+  on class-mixed traces — per-class TTFT/TPOT attainment plus a Jain
+  fairness index (:class:`ClassOutcome`).
 
 Entry points::
 
@@ -59,9 +62,11 @@ from repro.serving.cluster.replica import (
     resolve_replica_role,
 )
 from repro.serving.cluster.report import (
+    ClassOutcome,
     ClusterReport,
     ReplicaCountSample,
     ReplicaLifecycle,
+    build_class_outcomes,
     build_cluster_report,
 )
 from repro.serving.cluster.router import (
@@ -74,6 +79,7 @@ from repro.serving.cluster.router import (
 __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
+    "ClassOutcome",
     "ClusterReport",
     "ClusterRouter",
     "DisaggregationConfig",
@@ -89,6 +95,7 @@ __all__ = [
     "RoutingPolicy",
     "ScaleDecision",
     "ServingCluster",
+    "build_class_outcomes",
     "build_cluster_report",
     "resolve_replica_role",
     "resolve_routing_policy",

@@ -83,6 +83,15 @@ class AutoscalerConfig:
             pool's memory signal (imported KV piling up faster than
             decodes retire it).  ``None`` (the default) disables it;
             down-scaling then also ignores KV occupancy.
+        class_miss_high: Value-weighted per-class SLO miss fraction above
+            this triggers a scale-up — the multi-tenant signal.  The
+            cluster computes, over the trailing window's first tokens,
+            the class-value-weighted fraction whose TTFT exceeded their
+            *own class's* target; a single global ``slo_ttft_s`` cannot
+            see an interactive tenant drowning while the fleet-wide p95
+            still looks fine.  Down-scaling requires the miss fraction
+            under ``slo_margin`` of this threshold.  ``None`` (the
+            default) disables the signal entirely.
     """
 
     min_replicas: int = 1
@@ -98,6 +107,7 @@ class AutoscalerConfig:
     warmup_s: Optional[float] = None
     slo_tpot_s: Optional[float] = None
     kv_pressure_high: Optional[float] = None
+    class_miss_high: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -127,6 +137,9 @@ class AutoscalerConfig:
         if self.kv_pressure_high is not None \
                 and not 0 < self.kv_pressure_high <= 1:
             raise ValueError("kv_pressure_high must be within (0, 1]")
+        if self.class_miss_high is not None \
+                and not 0 < self.class_miss_high <= 1:
+            raise ValueError("class_miss_high must be within (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -143,6 +156,9 @@ class ScaleDecision:
     # TTFT/queue loop).
     rolling_p95_tpot_s: Optional[float] = None
     kv_utilization: Optional[float] = None
+    # Value-weighted per-class SLO miss over the window (None when the
+    # class signal is disabled or the window holds too little evidence).
+    class_miss: Optional[float] = None
 
 
 class Autoscaler:
@@ -175,7 +191,8 @@ class Autoscaler:
     def decide(self, now: float, queue_depth: int, routable: int,
                provisioned: int, window_ttfts: Sequence[float],
                window_tpots: Sequence[float] = (),
-               kv_utilization: Optional[float] = None) -> str:
+               kv_utilization: Optional[float] = None,
+               class_miss: Optional[float] = None) -> str:
         """One control evaluation; returns ``"up"``, ``"down"`` or
         ``"hold"`` and records the decision.
 
@@ -192,6 +209,10 @@ class Autoscaler:
                 against ``slo_tpot_s`` (pass nothing to disable).
             kv_utilization: Mean KV-pool occupancy of the observed pool,
                 judged against ``kv_pressure_high`` (``None`` disables).
+            class_miss: Value-weighted fraction of the window's classed
+                first tokens that missed their own class's TTFT target,
+                judged against ``class_miss_high`` (``None`` = signal
+                disabled or too little window evidence).
         """
         config = self.config
         p95 = self.rolling_p95(window_ttfts)
@@ -209,7 +230,10 @@ class Autoscaler:
                 (config.slo_ttft_s is not None and p95 is not None
                  and p95 > config.slo_ttft_s)
                 or (config.slo_tpot_s is not None and p95_tpot is not None
-                    and p95_tpot > config.slo_tpot_s))
+                    and p95_tpot > config.slo_tpot_s)
+                or (config.class_miss_high is not None
+                    and class_miss is not None
+                    and class_miss > config.class_miss_high))
             slo_clear = (
                 (config.slo_ttft_s is None or p95 is None
                  or p95 <= config.slo_margin * config.slo_ttft_s)
@@ -218,7 +242,10 @@ class Autoscaler:
                 and (config.kv_pressure_high is None
                      or kv_utilization is None
                      or kv_utilization <= config.slo_margin
-                     * config.kv_pressure_high))
+                     * config.kv_pressure_high)
+                and (config.class_miss_high is None or class_miss is None
+                     or class_miss <= config.slo_margin
+                     * config.class_miss_high))
             if (congested or slo_missed or kv_pressured) \
                     and provisioned < config.max_replicas:
                 action = "up"
@@ -236,5 +263,5 @@ class Autoscaler:
             time_s=now, action=action, queue_depth=queue_depth,
             routable=routable, provisioned=provisioned,
             rolling_p95_ttft_s=p95, rolling_p95_tpot_s=p95_tpot,
-            kv_utilization=kv_utilization))
+            kv_utilization=kv_utilization, class_miss=class_miss))
         return action

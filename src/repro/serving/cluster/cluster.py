@@ -139,7 +139,8 @@ class ServingCluster:
             — like the engine's steady-state default, their one-time
             packing is not charged).
         router: Routing policy name or instance (``round_robin``,
-            ``least_queue``, ``least_kv_pressure``, ``prefix_affinity``).
+            ``least_queue``, ``least_kv_pressure``, ``prefix_affinity``,
+            ``kv_transfer_aware``, ``score``).
         scheduler_config: Per-replica iteration-level scheduling knobs.
         performance_model: Analytical accelerator model shared by the fleet.
         kv_config: Optional per-replica KV block pool.
@@ -248,9 +249,11 @@ class ServingCluster:
         # Rolling first-token window for the autoscaler: events consumed
         # incrementally from each worker's ttft_samples (cursor per
         # replica), expired entries dropped — O(window) per control tick
-        # instead of rescanning every request.
+        # instead of rescanning every request.  Rows are (landed, ttft,
+        # class target, class value); the last two feed the per-class
+        # miss signal and are inf/1.0 for unclassed requests.
         self._ttft_cursors: Dict[int, int] = {}
-        self._ttft_window: List[Tuple[float, float]] = []
+        self._ttft_window: List[Tuple[float, ...]] = []
         # The decode pool's rolling completion window (TPOT), same idiom.
         self._tpot_cursors: Dict[int, int] = {}
         self._tpot_window: List[Tuple[float, float]] = []
@@ -362,8 +365,8 @@ class ServingCluster:
     @staticmethod
     def _roll_window(replicas: Sequence[EngineReplica], now: float,
                      window_s: float, cursors: Dict[int, int],
-                     window: List[Tuple[float, float]],
-                     feed: str) -> List[Tuple[float, float]]:
+                     window: List[Tuple[float, ...]],
+                     feed: str) -> List[Tuple[float, ...]]:
         """Advance one rolling latency window over the workers' sample
         feeds (``ttft_samples`` or ``tpot_samples``).  A replica's clock
         can run ahead of the control tick (a step is atomic), so events
@@ -382,11 +385,40 @@ class ServingCluster:
     def _window_ttfts(self, now: float) -> List[float]:
         """TTFTs of requests whose first token landed within the trailing
         window (in a disaggregated fleet these all come from the prefill
-        pool — first tokens are emitted there)."""
+        pool — first tokens are emitted there).  Rows are 4-wide
+        (landed, ttft, class target, class value); this reads the first
+        two, :meth:`_window_class_miss` the rest."""
         window = self._roll_window(
             self.replicas, now, self.autoscaler.config.ttft_window_s,
             self._ttft_cursors, self._ttft_window, "ttft_samples")
-        return [ttft for landed, ttft in window if landed <= now]
+        return [row[1] for row in window if row[0] <= now]
+
+    def _window_class_miss(self, now: float) -> Optional[float]:
+        """Value-weighted fraction of the window's *classed* first tokens
+        whose TTFT exceeded their own class's target — the multi-tenant
+        scale-up signal, judged against ``class_miss_high``.
+
+        Reads the window :meth:`_window_ttfts` just rolled (the two are
+        always evaluated together at a control tick).  Unclassed rows
+        carry an infinite target and are excluded — they cannot miss and
+        must not dilute the classed evidence.  ``None`` when the signal
+        is disabled, or below ``min_window_samples`` classed rows (too
+        little evidence, like the rolling p95)."""
+        if self.autoscaler.config.class_miss_high is None:
+            return None
+        total = 0.0
+        missed = 0.0
+        rows = 0
+        for row in self._ttft_window:
+            if row[0] > now or math.isinf(row[2]):
+                continue
+            rows += 1
+            total += row[3]
+            if row[1] > row[2]:
+                missed += row[3]
+        if rows < self.autoscaler.config.min_window_samples or total <= 0:
+            return None
+        return missed / total
 
     def _window_tpots(self, now: float) -> List[float]:
         """TPOTs of requests that completed within the trailing window on
@@ -443,17 +475,23 @@ class ServingCluster:
         self._activate_due(now)
         if self.disaggregation is None:
             routable, provisioned, queue_depth = self._pool_counts(None)
+            window_ttfts = self._window_ttfts(now)
             action = scaler.decide(now, queue_depth, len(routable),
-                                   provisioned, self._window_ttfts(now))
+                                   provisioned, window_ttfts,
+                                   class_miss=self._window_class_miss(now))
             self._apply_decision(scaler, now, action, routable,
                                  ReplicaRole.UNIFIED)
             return
 
-        # Prefill pool: congestion shows up as prefill backlog and TTFT.
+        # Prefill pool: congestion shows up as prefill backlog and TTFT
+        # (and, with the class signal on, per-class TTFT misses — first
+        # tokens are emitted here).
         routable, provisioned, queue_depth = self._pool_counts(
             ReplicaRole.PREFILL)
+        window_ttfts = self._window_ttfts(now)
         action = scaler.decide(now, queue_depth, len(routable),
-                               provisioned, self._window_ttfts(now))
+                               provisioned, window_ttfts,
+                               class_miss=self._window_class_miss(now))
         self._apply_decision(scaler, now, action, routable,
                              ReplicaRole.PREFILL)
 
@@ -722,6 +760,13 @@ class ServingCluster:
         self._record(0.0)
 
         requests = requests_from_trace(trace)
+        # Stateful routing policies may size their bookkeeping from the
+        # run's full request list (the open-loop trace is known up front)
+        # — prefix_affinity counts group members here so each pin is
+        # evicted at its group's last dispatch.
+        self.router.policy.observe_trace(requests)
+        if self.decode_router is not None:
+            self.decode_router.policy.observe_trace(requests)
         arrivals: Deque[ServingRequest] = deque(requests)
 
         scaler = self.autoscaler

@@ -157,6 +157,13 @@ class EngineReplica:
         return self.worker.queue_depth + self.worker.num_running
 
     @property
+    def value_load(self) -> float:
+        """Summed SLO-class value of the outstanding requests — the load
+        signal ``score`` routing balances (equal to ``in_system`` times
+        the default class value on unclassed traffic)."""
+        return self.worker.value_in_system
+
+    @property
     def kv_utilization(self) -> float:
         """Current block-pool occupancy (0.0 without a KV manager)."""
         return self.worker.kv_utilization

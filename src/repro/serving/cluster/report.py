@@ -12,10 +12,11 @@ requests so they are exact, not an average of per-replica percentiles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.serving.metrics import LatencyStats, ServingReport, fold_requests
-from repro.serving.request import ServingRequest
+from repro.serving.request import RequestState, ServingRequest
+from repro.serving.slo import SLOClass
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,61 @@ class ReplicaLifecycle:
         return max(0.0, end - self.spawned_s)
 
 
+@dataclass(frozen=True)
+class ClassOutcome:
+    """One SLO class's share of a multi-tenant run.
+
+    Attainment counters are ``Optional``: a class that appears in the mix
+    but completes zero requests (or, for TPOT, completes only
+    single-token requests) has *no evidence* to judge, and serializes as
+    ``null`` rather than a misleading 0 — and never trips the empty-input
+    guard of the percentile machinery (the latency stats use the
+    empty-safe :meth:`LatencyStats.from_values` sentinel).
+    """
+
+    slo_class: SLOClass
+    submitted: int
+    completed: int
+    rejected: int
+    ttft: LatencyStats
+    tpot: LatencyStats
+    ttft_attained: Optional[int]   # None = no completed requests
+    tpot_attained: Optional[int]   # None = no multi-token completions
+    tpot_eligible: int             # completions with output_len > 1
+
+    @property
+    def ttft_attainment(self) -> Optional[float]:
+        """Fraction of completions within the class TTFT target."""
+        if self.ttft_attained is None or self.completed <= 0:
+            return None
+        return self.ttft_attained / self.completed
+
+    @property
+    def tpot_attainment(self) -> Optional[float]:
+        """Fraction of multi-token completions within the TPOT target."""
+        if self.tpot_attained is None or self.tpot_eligible <= 0:
+            return None
+        return self.tpot_attained / self.tpot_eligible
+
+    def to_dict(self) -> dict:
+        """JSON-ready per-class summary (latencies/targets in ms)."""
+        return {
+            "ttft_target_ms": self.slo_class.ttft_target_s * 1e3,
+            "tpot_target_ms": self.slo_class.tpot_target_s * 1e3,
+            "value": self.slo_class.value,
+            "tier": self.slo_class.tier,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "ttft_ms": self.ttft.to_ms_dict(),
+            "tpot_ms": self.tpot.to_ms_dict(),
+            "ttft_attained": self.ttft_attained,
+            "ttft_attainment": self.ttft_attainment,
+            "tpot_attained": self.tpot_attained,
+            "tpot_attainment": self.tpot_attainment,
+        }
+
+
 @dataclass
 class ClusterReport:
     """Aggregate outcome of one cluster run."""
@@ -85,6 +141,9 @@ class ClusterReport:
     kv_migrations: int = 0
     kv_bytes_transferred: float = 0.0
     kv_transfer_seconds: float = 0.0
+    # Multi-tenant accounting (empty = classless run; the JSON payload
+    # only grows its sections when the trace actually carried classes).
+    class_outcomes: List[ClassOutcome] = field(default_factory=list)
 
     @property
     def fleet_tokens_per_s(self) -> float:
@@ -139,6 +198,42 @@ class ClusterReport:
         fold's output-token total for unified replicas)."""
         return sum(d.tokens_generated for d in report.devices) \
             if report.devices else report.total_output_tokens
+
+    @property
+    def jain_fairness(self) -> Optional[float]:
+        """Jain's index over per-class TTFT attainment.
+
+        ``J = (sum x)^2 / (n * sum x^2)`` with one ``x`` per class that
+        has attainment evidence; 1.0 means every class met its own target
+        equally often, ``1/n`` means one class took everything.  ``None``
+        on classless runs or when no class has evidence; the 1.0
+        convention when every attainment is exactly zero (all classes are
+        equally starved — maximally fair, maximally miserable)."""
+        shares = [outcome.ttft_attainment for outcome in self.class_outcomes
+                  if outcome.ttft_attainment is not None]
+        if not shares:
+            return None
+        square_sum = sum(x * x for x in shares)
+        if square_sum <= 0:
+            return 1.0
+        return (sum(shares) ** 2) / (len(shares) * square_sum)
+
+    @property
+    def class_weighted_attainment(self) -> Optional[float]:
+        """Value-weighted TTFT attainment — the scalar multi-tenant
+        schedulers are judged on: each completion counts its class's
+        value, so keeping an interactive request within target is worth
+        8x keeping a best-effort one.  ``None`` without class evidence."""
+        weight = 0.0
+        attained = 0.0
+        for outcome in self.class_outcomes:
+            if outcome.ttft_attained is None:
+                continue
+            weight += outcome.slo_class.value * outcome.completed
+            attained += outcome.slo_class.value * outcome.ttft_attained
+        if weight <= 0:
+            return None
+        return attained / weight
 
     @property
     def prefix_hit_rate(self) -> float:
@@ -213,6 +308,17 @@ class ClusterReport:
                 "attained": self.slo_attained,
                 "attainment": self.slo_attainment,
             }
+        if self.class_outcomes:
+            # Class keys only appear when the trace carried SLO classes,
+            # keeping classless reports byte-identical to the prior shape.
+            payload["slo_classes"] = {
+                outcome.slo_class.name: outcome.to_dict()
+                for outcome in self.class_outcomes
+            }
+            payload["fairness"] = {
+                "jain_index": self.jain_fairness,
+                "class_weighted_attainment": self.class_weighted_attainment,
+            }
         if any(report.prefix_cache_enabled
                for report in self.replica_reports):
             payload["prefix_hit_rate"] = self.prefix_hit_rate
@@ -246,6 +352,25 @@ class ClusterReport:
                 f"{self.slo_ttft_s * 1e3:.0f} ms, attainment "
                 f"{(self.slo_attainment or 0.0) * 100:.1f}% "
                 f"({self.slo_attained}/{self.completed} within SLO)")
+        if self.class_outcomes:
+            jain = self.jain_fairness
+            weighted = self.class_weighted_attainment
+            lines.append(
+                "  slo classes:   "
+                + (f"weighted attainment {weighted * 100:.1f}%"
+                   if weighted is not None else "no attainment evidence")
+                + (f", Jain fairness {jain:.3f}" if jain is not None
+                   else ""))
+            for outcome in self.class_outcomes:
+                ttft_part = (f"{outcome.ttft_attainment * 100:.1f}% ttft"
+                             if outcome.ttft_attainment is not None
+                             else "no completions")
+                tpot_part = (f", {outcome.tpot_attainment * 100:.1f}% tpot"
+                             if outcome.tpot_attainment is not None else "")
+                lines.append(
+                    f"    {outcome.slo_class.name:<12} "
+                    f"{outcome.completed}/{outcome.submitted} completed, "
+                    f"{ttft_part}{tpot_part}")
         if any(report.prefix_cache_enabled
                for report in self.replica_reports):
             lines.append(
@@ -269,6 +394,51 @@ class ClusterReport:
                 f"spawned {life.spawned_s:.2f}s, {stopped}, "
                 f"{life.seconds(self.end_s):.1f} replica-s")
         return "\n".join(lines)
+
+
+def build_class_outcomes(requests: Sequence[ServingRequest]
+                         ) -> List[ClassOutcome]:
+    """Group requests by SLO class and judge each against its own targets.
+
+    Unclassed requests are skipped entirely (a classless run yields an
+    empty list, and the cluster report then grows no class sections).
+    Outcomes come back in descending tier order — interactive first —
+    which is also the deterministic order the JSON payload serializes
+    (tier ties, impossible among the built-in classes, break on name)."""
+    groups: Dict[str, List[ServingRequest]] = {}
+    classes: Dict[str, SLOClass] = {}
+    for request in requests:
+        slo = request.slo_class
+        if slo is None:
+            continue
+        groups.setdefault(slo.name, []).append(request)
+        classes[slo.name] = slo
+    outcomes = []
+    for name in sorted(groups, key=lambda n: (-classes[n].tier, n)):
+        slo = classes[name]
+        members = groups[name]
+        finished = [r for r in members
+                    if r.state is RequestState.FINISHED]
+        rejected = sum(1 for r in members
+                       if r.state is RequestState.REJECTED)
+        tpot_eligible = [r for r in finished if r.workload.output_len > 1]
+        outcomes.append(ClassOutcome(
+            slo_class=slo,
+            submitted=len(members),
+            completed=len(finished),
+            rejected=rejected,
+            ttft=LatencyStats.from_values([r.ttft_s for r in finished]),
+            tpot=LatencyStats.from_values(
+                [r.tpot_s for r in tpot_eligible]),
+            ttft_attained=sum(1 for r in finished
+                              if r.ttft_s <= slo.ttft_target_s)
+            if finished else None,
+            tpot_attained=sum(1 for r in tpot_eligible
+                              if r.tpot_s <= slo.tpot_target_s)
+            if tpot_eligible else None,
+            tpot_eligible=len(tpot_eligible),
+        ))
+    return outcomes
 
 
 def build_cluster_report(model: str, router: str, autoscaled: bool,
@@ -321,4 +491,5 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
         kv_migrations=kv_migrations,
         kv_bytes_transferred=kv_bytes_transferred,
         kv_transfer_seconds=kv_transfer_seconds,
+        class_outcomes=build_class_outcomes(requests),
     )

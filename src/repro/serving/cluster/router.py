@@ -29,11 +29,19 @@ every tie breaks on the lowest replica id.
     absorb the import without overdrawing rank first, then lowest KV
     occupancy, then fewest outstanding requests.  Degrades to
     ``least_queue`` for KV-less fleets and non-migrated requests.
+``score``
+    Least outstanding SLO-class *value* wins (the sum of class value
+    weights queued or running on the replica, see
+    :attr:`EngineReplica.value_load`) — the routing face of score-based
+    scheduling: interactive-heavy replicas read "fuller" than
+    best-effort-heavy ones with the same request count, so high-value
+    queues stay short.  On unclassed traffic every request weighs the
+    same and the policy orders exactly like ``least_queue``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type, Union
+from typing import Dict, List, Optional, Sequence, Type, Union
 
 from repro.serving.cluster.replica import EngineReplica
 from repro.serving.request import ServingRequest
@@ -58,6 +66,16 @@ class RoutingPolicy:
         this at the top of every ``run()`` so repeated runs of one
         cluster object replay identically; stateless policies keep the
         no-op default."""
+
+    def observe_trace(self, requests: Sequence[ServingRequest]) -> None:
+        """Let the policy precompute over the run's full request list.
+
+        Called once per ``run()`` (after :meth:`reset`, before the first
+        dispatch).  An open-loop trace is known up front in this
+        simulator, so a stateful policy may size its bookkeeping from it —
+        ``prefix_affinity`` counts group members here to evict each pin at
+        its group's last dispatch.  Stateless policies keep the no-op
+        default."""
 
 
 def _least_queue(replicas: List[EngineReplica]) -> int:
@@ -123,26 +141,65 @@ class PrefixAffinityRouting(RoutingPolicy):
     its group to the chosen replica; every later member follows the pin.
     A pin whose replica is no longer routable (drained away) is dropped
     and the group re-pins on its next request.
+
+    Pins are *evicted* at their group's last dispatch: ``observe_trace``
+    counts each group's members up front, ``select_replica`` decrements
+    the count per dispatch, and the pin is dropped the moment the count
+    hits zero — a retired group can never be routed again, so keeping its
+    pin would be a pure leak.  The pin map is therefore bounded by the
+    number of *concurrently in-flight* groups, not the total groups a
+    trace ever names (``peak_pins`` records the high-water mark; before
+    this eviction the map grew monotonically and a million-request trace
+    with many groups leaked an entry per group).  Dispatches of groups
+    the policy was never told about (no ``observe_trace``) keep the old
+    keep-forever behaviour, since their last request is unknowable.
     """
 
     name = "prefix_affinity"
 
     def __init__(self) -> None:
         self._pins: Dict[str, int] = {}
+        self._remaining: Dict[str, int] = {}
+        self.peak_pins = 0
 
     def reset(self) -> None:
         self._pins.clear()
+        self._remaining.clear()
+        self.peak_pins = 0
+
+    def observe_trace(self, requests: Sequence[ServingRequest]) -> None:
+        self._remaining.clear()
+        for request in requests:
+            group = request.prefix_group
+            if group is not None:
+                self._remaining[group] = self._remaining.get(group, 0) + 1
+
+    @property
+    def pinned_groups(self) -> int:
+        """Live pin-map size (what the boundedness guarantee is about)."""
+        return len(self._pins)
 
     def select_replica(self, request: ServingRequest,
                        replicas: List[EngineReplica]) -> int:
-        if request.prefix_group is None:
+        group = request.prefix_group
+        if group is None:
             return _least_queue(replicas)
         available = {replica.replica_id for replica in replicas}
-        pinned = self._pins.get(request.prefix_group)
+        pinned = self._pins.get(group)
         if pinned is not None and pinned in available:
-            return pinned
-        choice = _least_queue(replicas)
-        self._pins[request.prefix_group] = choice
+            choice = pinned
+        else:
+            choice = _least_queue(replicas)
+            self._pins[group] = choice
+            if len(self._pins) > self.peak_pins:
+                self.peak_pins = len(self._pins)
+        left = self._remaining.get(group)
+        if left is not None:
+            if left <= 1:
+                del self._remaining[group]
+                self._pins.pop(group, None)
+            else:
+                self._remaining[group] = left - 1
         return choice
 
 
@@ -170,12 +227,35 @@ class KVTransferAwareRouting(RoutingPolicy):
                                   r.replica_id)).replica_id
 
 
+class ScoreAwareRouting(RoutingPolicy):
+    """Least outstanding class value wins; ties by request count, then id.
+
+    The routing face of score-based scheduling: each replica's load reads
+    as the summed SLO-class value of its queued + resident requests
+    (:attr:`EngineReplica.value_load`), so a replica holding interactive
+    traffic looks fuller than one holding the same *count* of best-effort
+    work, and fresh arrivals spread away from it — high-value queues stay
+    short without starving anyone (admission aging handles that side).
+    Every unclassed request weighs the same, so on a classless fleet the
+    ordering reduces to ``least_queue``.
+    """
+
+    name = "score"
+
+    def select_replica(self, request: ServingRequest,
+                       replicas: List[EngineReplica]) -> int:
+        return min(replicas,
+                   key=lambda r: (r.value_load, r.in_system,
+                                  r.replica_id)).replica_id
+
+
 ROUTING_POLICIES: Dict[str, Type[RoutingPolicy]] = {
     RoundRobinRouting.name: RoundRobinRouting,
     LeastQueueRouting.name: LeastQueueRouting,
     LeastKVPressureRouting.name: LeastKVPressureRouting,
     PrefixAffinityRouting.name: PrefixAffinityRouting,
     KVTransferAwareRouting.name: KVTransferAwareRouting,
+    ScoreAwareRouting.name: ScoreAwareRouting,
 }
 
 

@@ -83,6 +83,7 @@ from repro.serving.request import (
     requests_from_trace,
 )
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
+from repro.serving.slo import request_value
 from repro.serving.workload_gen import TimedRequest
 
 
@@ -173,10 +174,12 @@ class DeviceWorker:
         self.preempt_count = 0
         self.prompt_tokens = 0
         self.draining = False
-        # (first-token time, TTFT) per request, in emission order — the
-        # rolling-latency feed the cluster autoscaler consumes
-        # incrementally instead of rescanning every request per tick.
-        self.ttft_samples = SampleBuffer(2)
+        # (first-token time, TTFT, class TTFT target, class value) per
+        # request, in emission order — the rolling-latency feed the
+        # cluster autoscaler consumes incrementally instead of rescanning
+        # every request per tick.  Unclassed requests carry an infinite
+        # target (they can never "miss") and a unit weight.
+        self.ttft_samples = SampleBuffer(4)
         # (finish time, TPOT) per completed request — the decode-pool
         # latency feed of the disaggregated autoscaler, same cursor idiom.
         self.tpot_samples = SampleBuffer(2)
@@ -185,6 +188,11 @@ class DeviceWorker:
         self.handoff_count = 0
         self.migrated_in = 0
         self._kv_counters_snapshot: Optional[dict] = None
+        # Sum of SLO-class value weights over requests submitted but not
+        # yet finished, rejected or handed off — the load signal the
+        # cluster's score-aware router balances.  Class values are small
+        # dyadic floats, so the running sum is exact across both kernels.
+        self.value_in_system = 0.0
 
     # ------------------------------------------------------------------
     # Cluster-facing hooks
@@ -232,6 +240,7 @@ class DeviceWorker:
                 f"device {self.device_id} is draining and accepts no new "
                 "requests")
         self.pending.append(request)
+        self.value_in_system += request_value(request)
 
     def drain(self) -> None:
         """Stop accepting new submissions; already-submitted work (queued
@@ -276,6 +285,7 @@ class DeviceWorker:
                     manager.blocks_for(request.workload.total_tokens) \
                     > manager.num_blocks:
                 request.state = RequestState.REJECTED
+                self.value_in_system -= request_value(request)
                 continue
             try:
                 if request.migrated_kv_tokens:
@@ -290,6 +300,7 @@ class DeviceWorker:
                         request.workload)
             except ValueError:
                 request.state = RequestState.REJECTED
+                self.value_in_system -= request_value(request)
                 continue
             self.waiting.append(request)
 
@@ -306,7 +317,8 @@ class DeviceWorker:
         policies trade that property for their own protection goal, and a
         non-FCFS admission policy re-orders the queue anyway.
         """
-        victim = self.preemption.select_victim(self.running, self.manager)
+        victim = self.preemption.select_victim(self.running, self.manager,
+                                               now=self.clock)
         self.running.remove(victim)
         freed = self.manager.release(victim.request_id)
         self.manager.mark_pressure()
@@ -353,7 +365,8 @@ class DeviceWorker:
         if manager is not None:
             manager.refresh_pressure()
 
-        plan = self.scheduler.plan_step(running, waiting, kv=manager)
+        plan = self.scheduler.plan_step(running, waiting, kv=manager,
+                                        now=self.clock)
         # Hard exhaustion: a resident slice did not fit in free blocks.
         # Undo this plan's tentative admissions, preempt a victim and
         # replan until every resident is covered; a lone resident always
@@ -366,7 +379,8 @@ class DeviceWorker:
                 waiting.appendleft(request)
             self._preempt_one()
             manager.refresh_pressure()
-            plan = self.scheduler.plan_step(running, waiting, kv=manager)
+            plan = self.scheduler.plan_step(running, waiting, kv=manager,
+                                            now=self.clock)
         assert plan.entries, "scheduler starved with work available"
         assert not plan.starved, \
             "resident KV demand exceeds the whole block pool"
@@ -424,7 +438,11 @@ class DeviceWorker:
             request.tokens_emitted += emitted
             if emitted and request.first_token_s is None:
                 request.first_token_s = self.clock
-                self.ttft_samples.append(self.clock, request.ttft_s)
+                slo = request.slo_class
+                self.ttft_samples.append(
+                    self.clock, request.ttft_s,
+                    slo.ttft_target_s if slo is not None else float("inf"),
+                    slo.value if slo is not None else 1.0)
             if self._prefix_caching and request.shareable_prefix \
                     and work.kind == "prefill":
                 # The positions this chunk streamed are now resident: full
@@ -438,6 +456,7 @@ class DeviceWorker:
                 request.state = RequestState.FINISHED
                 running.remove(request)
                 self.served += 1
+                self.value_in_system -= request_value(request)
                 self.tpot_samples.append(self.clock, request.tpot_s)
                 if manager is not None:
                     manager.release(request.request_id)
@@ -482,6 +501,7 @@ class DeviceWorker:
             request=request, time_s=self.clock, kv_tokens=kv_tokens,
             kv_bytes=kv_tokens * self.session.kv_bytes_per_token))
         self.handoff_count += 1
+        self.value_in_system -= request_value(request)
 
     def run_to_completion(self) -> None:
         """Step until nothing is pending, waiting or running."""
@@ -545,9 +565,11 @@ class ServingEngine:
             with a config, scheduling is bounded by KV blocks and memory
             pressure is resolved by preemption.
         placement: Placement policy name or instance (``round_robin`` —
-            the default, PR 1 behaviour — ``least_loaded``, ``kv_aware``).
+            the default, PR 1 behaviour — ``least_loaded``, ``kv_aware``,
+            ``score``).
         preemption: Preemption policy name or instance (``youngest`` — the
-            default, PR 2 behaviour — ``lowest_priority``, ``largest_kv``).
+            default, PR 2 behaviour — ``lowest_priority``, ``largest_kv``,
+            ``lowest_score``).
     """
 
     def __init__(self, config: ModelConfig,
@@ -607,6 +629,8 @@ class ServingEngine:
             load = loads[device_id]
             load.requests += 1
             load.queued_tokens += request.workload.total_tokens
+            load.weighted_tokens += (request.workload.total_tokens
+                                     * request_value(request))
             if self.kv_config is not None:
                 load.kv_blocks += math.ceil(request.workload.total_tokens
                                             / self.kv_config.block_size)

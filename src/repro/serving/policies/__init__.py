@@ -14,11 +14,16 @@ workloads) plug in without touching the engine loop:
 * :mod:`~repro.serving.policies.preemption` — which resident request is
   evicted under KV memory pressure (consumed by the engine's pressure loop).
 
-Every policy is **stateless and deterministic**: selection is a pure
-function of the requests and device/manager state it is shown, with ties
-broken by arrival time and request id, so two runs over the same trace make
+Every policy is **deterministic**: selection is a pure function of the
+requests, the device/manager state it is shown and (for the time-varying
+``score`` family) the device clock it is handed, with ties broken by
+arrival time and request id, so two runs over the same trace make
 byte-identical decisions.  The defaults (``fcfs`` + ``round_robin`` +
-``youngest``) reproduce the PR 1/PR 2 engine behaviour exactly.
+``youngest``) reproduce the PR 1/PR 2 engine behaviour exactly.  The
+``score`` admission / ``score`` placement / ``lowest_score`` preemption
+trio consumes one shared ranking — the SLO-class value-density score of
+:mod:`repro.serving.slo` — making scheduling globally consistent across
+the three decision points.
 """
 
 from repro.serving.policies.admission import (
@@ -26,6 +31,7 @@ from repro.serving.policies.admission import (
     AdmissionPolicy,
     FCFSAdmission,
     PriorityAdmission,
+    ScoreAdmission,
     ShortestPromptAdmission,
     resolve_admission_policy,
 )
@@ -36,12 +42,14 @@ from repro.serving.policies.placement import (
     LeastLoadedPlacement,
     PlacementPolicy,
     RoundRobinPlacement,
+    ScorePlacement,
     resolve_placement_policy,
 )
 from repro.serving.policies.preemption import (
     PREEMPTION_POLICIES,
     LargestKVFirstPreemption,
     LowestPriorityFirstPreemption,
+    LowestScoreFirstPreemption,
     PreemptionPolicy,
     YoungestFirstPreemption,
     resolve_preemption_policy,
@@ -56,12 +64,15 @@ __all__ = [
     "LargestKVFirstPreemption",
     "LeastLoadedPlacement",
     "LowestPriorityFirstPreemption",
+    "LowestScoreFirstPreemption",
     "PLACEMENT_POLICIES",
     "PREEMPTION_POLICIES",
     "PlacementPolicy",
     "PreemptionPolicy",
     "PriorityAdmission",
     "RoundRobinPlacement",
+    "ScoreAdmission",
+    "ScorePlacement",
     "ShortestPromptAdmission",
     "YoungestFirstPreemption",
     "resolve_admission_policy",

@@ -9,11 +9,15 @@ the front as before.
 
 ``fcfs`` keeps arrival order untouched — byte-identical to the PR 1/PR 2
 scheduler.  ``priority`` serves higher :attr:`ServingRequest.priority`
-tiers first; ``shortest_prompt`` serves short prompts first (an SJF-style
-TTFT optimisation for interactive traffic).  Both re-sort every step, so a
-request arriving late but ranked higher is considered at the very next
-step boundary; within a rank, arrival order (then request id) breaks ties,
-which keeps every ordering total and deterministic.
+tiers first (and can starve the lower tiers — see its docstring);
+``shortest_prompt`` serves short prompts first (an SJF-style TTFT
+optimisation for interactive traffic); ``score`` orders by the SLO-class
+value-density score with aging (:func:`repro.serving.slo.request_score`),
+the one ordering that is both class-aware and provably starvation-free.
+All re-sort every step, so a request arriving late but ranked higher is
+considered at the very next step boundary; within a rank, arrival order
+(then request id) breaks ties, which keeps every ordering total and
+deterministic.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Type
 
 from repro.serving.request import ServingRequest
+from repro.serving.slo import DEFAULT_AGING_RATE, request_score
 
 
 class AdmissionPolicy:
@@ -33,11 +38,15 @@ class AdmissionPolicy:
     name: str = "abstract"
     reorders: bool = True
 
-    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+    def order(self, waiting: Sequence[ServingRequest],
+              now: float = 0.0) -> List[ServingRequest]:
         """Return ``waiting`` in the order admission should consider it.
 
         Args:
             waiting: The current waiting queue, in arrival order.
+            now: The device clock at the planning step — time-varying
+                policies (``score``) rank with it; time-independent ones
+                ignore it.
 
         Returns:
             A new list holding every element of ``waiting`` exactly once;
@@ -54,7 +63,8 @@ class FCFSAdmission(AdmissionPolicy):
     name = "fcfs"
     reorders = False
 
-    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+    def order(self, waiting: Sequence[ServingRequest],
+              now: float = 0.0) -> List[ServingRequest]:
         return list(waiting)
 
 
@@ -64,11 +74,21 @@ class PriorityAdmission(AdmissionPolicy):
     A preempted high-priority request resumes ahead of lower tiers (its
     priority is unchanged), so priority inversion cannot be introduced by
     the preemption path.
+
+    **Starvation-prone.**  Strict tiering has no aging term: as long as
+    fresh higher-tier work keeps arriving faster than the fleet drains it,
+    a lower-tier request is re-sorted behind the newcomers at every step
+    and its wait grows with the length of the overload — unboundedly, on
+    an unbounded trace.  Runs only terminate because traces are finite.
+    Use ``score`` when low tiers must keep a bounded worst-case wait: its
+    aging term guarantees every waiting request eventually outranks any
+    possible fresh arrival (see :mod:`repro.serving.slo`).
     """
 
     name = "priority"
 
-    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+    def order(self, waiting: Sequence[ServingRequest],
+              now: float = 0.0) -> List[ServingRequest]:
         return sorted(waiting, key=lambda r: (-r.priority, r.arrival_s,
                                               r.request_id))
 
@@ -83,15 +103,46 @@ class ShortestPromptAdmission(AdmissionPolicy):
 
     name = "shortest_prompt"
 
-    def order(self, waiting: Sequence[ServingRequest]) -> List[ServingRequest]:
+    def order(self, waiting: Sequence[ServingRequest],
+              now: float = 0.0) -> List[ServingRequest]:
         return sorted(waiting, key=lambda r: (r.workload.input_len,
                                               r.arrival_s, r.request_id))
+
+
+class ScoreAdmission(AdmissionPolicy):
+    """Highest :func:`repro.serving.slo.request_score` first.
+
+    The score is ``value x urgency / expected_cost + aging``: valuable,
+    urgent, cheap-to-finish requests lead, and the aging term lifts any
+    waiter — best-effort included — past every possible fresh arrival
+    within a bounded wait, so no class can be starved (the guarantee the
+    ``priority`` policy lacks).  Scores are computed once per reorder at
+    the device clock ``now``; equal scores fall back to arrival order then
+    request id, keeping the order total and deterministic.
+    """
+
+    name = "score"
+
+    def __init__(self, aging_rate: float = DEFAULT_AGING_RATE) -> None:
+        if aging_rate <= 0:
+            raise ValueError(
+                "aging_rate must be positive (a zero rate would reintroduce "
+                "starvation for zero-value-density requests)")
+        self.aging_rate = aging_rate
+
+    def order(self, waiting: Sequence[ServingRequest],
+              now: float = 0.0) -> List[ServingRequest]:
+        rate = self.aging_rate
+        return sorted(waiting,
+                      key=lambda r: (-request_score(r, now, rate),
+                                     r.arrival_s, r.request_id))
 
 
 ADMISSION_POLICIES: Dict[str, Type[AdmissionPolicy]] = {
     FCFSAdmission.name: FCFSAdmission,
     PriorityAdmission.name: PriorityAdmission,
     ShortestPromptAdmission.name: ShortestPromptAdmission,
+    ScoreAdmission.name: ScoreAdmission,
 }
 
 

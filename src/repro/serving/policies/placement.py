@@ -13,6 +13,10 @@ the right call for heterogeneous request lengths, where round-robin can
 pile the long prompts onto one device.  ``kv_aware`` balances by projected
 KV-block demand against each device's pool, keeping memory pressure (and
 therefore preemption recompute) even across devices; without a KV manager
+it degrades to ``least_loaded``.  ``score`` balances by *value-weighted*
+token load — each assigned request counts its tokens times its SLO-class
+value — so one device never accumulates all the high-value traffic whose
+latency actually matters; on unclassed workloads every value is equal and
 it degrades to ``least_loaded``.
 """
 
@@ -31,6 +35,9 @@ class DeviceLoad:
     ``kv_blocks_total`` is 0 when the engine runs without a KV manager;
     ``kv_blocks`` is the sum of whole-lifetime block demand
     (``blocks_for(total_tokens)``) of every request assigned so far.
+    ``weighted_tokens`` is ``total_tokens x class value`` summed over the
+    assigned requests — the value-weighted load the ``score`` placement
+    balances (class values are small dyadic floats, so the sum is exact).
     """
 
     device_id: int
@@ -38,6 +45,7 @@ class DeviceLoad:
     queued_tokens: int = 0
     kv_blocks: int = 0
     kv_blocks_total: int = 0
+    weighted_tokens: float = 0.0
 
     @property
     def kv_blocks_free(self) -> int:
@@ -110,10 +118,31 @@ class KVAwarePlacement(PlacementPolicy):
                                          l.device_id)).device_id
 
 
+class ScorePlacement(PlacementPolicy):
+    """Least value-weighted token load wins; ties by raw tokens, then id.
+
+    The tally weighs each assigned request's tokens by its SLO-class value,
+    so the device holding the interactive traffic reads "fuller" than one
+    with the same token count of best-effort work — arrivals spread away
+    from it and high-value queues stay short.  On unclassed workloads
+    every weight is the default class value and the raw-token tie-break
+    makes this identical to ``least_loaded``.
+    """
+
+    name = "score"
+
+    def select_device(self, request: ServingRequest,
+                      loads: List[DeviceLoad]) -> int:
+        return min(loads, key=lambda l: (l.weighted_tokens,
+                                         l.queued_tokens,
+                                         l.device_id)).device_id
+
+
 PLACEMENT_POLICIES: Dict[str, Type[PlacementPolicy]] = {
     RoundRobinPlacement.name: RoundRobinPlacement,
     LeastLoadedPlacement.name: LeastLoadedPlacement,
     KVAwarePlacement.name: KVAwarePlacement,
+    ScorePlacement.name: ScorePlacement,
 }
 
 

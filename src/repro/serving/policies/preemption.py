@@ -12,7 +12,10 @@ kept as default): the victim has the least sunk prefill/decode work, so
 recompute waste is minimised.  ``lowest_priority`` protects high tiers at
 the cost of possibly discarding more work.  ``largest_kv`` frees the most
 blocks per eviction, minimising the *number* of victims a pressure episode
-needs.  All ties fall back to youngest-first.
+needs.  ``lowest_score`` evicts the request the SLO-class value-density
+score (:func:`repro.serving.slo.request_score`) currently values least —
+the preemption face of score-based scheduling.  All ties fall back to
+youngest-first.
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from typing import Dict, Optional, Sequence, Type
 
 from repro.serving.kv_manager import KVBlockManager
 from repro.serving.request import ServingRequest
+from repro.serving.slo import DEFAULT_AGING_RATE, request_score
 
 
 class PreemptionPolicy:
@@ -33,7 +37,8 @@ class PreemptionPolicy:
     name: str = "abstract"
 
     def select_victim(self, running: Sequence[ServingRequest],
-                      manager: Optional[KVBlockManager]) -> ServingRequest:
+                      manager: Optional[KVBlockManager],
+                      now: float = 0.0) -> ServingRequest:
         """Return the resident request to evict.
 
         Args:
@@ -41,6 +46,8 @@ class PreemptionPolicy:
             manager: The device's KV block manager (``None`` when the
                 engine runs capacity-oblivious), for footprint-based
                 rankings.
+            now: The device clock at the eviction — time-varying policies
+                (``lowest_score``) rank with it; others ignore it.
 
         Returns:
             One element of ``running`` (the engine removes it, frees its
@@ -55,7 +62,8 @@ class YoungestFirstPreemption(PreemptionPolicy):
     name = "youngest"
 
     def select_victim(self, running: Sequence[ServingRequest],
-                      manager: Optional[KVBlockManager]) -> ServingRequest:
+                      manager: Optional[KVBlockManager],
+                      now: float = 0.0) -> ServingRequest:
         return running[-1]
 
 
@@ -68,9 +76,39 @@ class LowestPriorityFirstPreemption(PreemptionPolicy):
     name = "lowest_priority"
 
     def select_victim(self, running: Sequence[ServingRequest],
-                      manager: Optional[KVBlockManager]) -> ServingRequest:
+                      manager: Optional[KVBlockManager],
+                      now: float = 0.0) -> ServingRequest:
         return min(enumerate(running),
                    key=lambda pair: (pair[1].priority, -pair[0]))[1]
+
+
+class LowestScoreFirstPreemption(PreemptionPolicy):
+    """Lowest :func:`repro.serving.slo.request_score` goes first.
+
+    The victim is the resident the score currently values least — low
+    class value, little urgency, lots of work still to do.  Because the
+    score prices a request by *remaining* cost, a nearly finished resident
+    scores high and is protected even if its class is cheap: evicting it
+    would discard almost-complete work for little freed capacity.  With no
+    classes every resident shares a value, and ranking by remaining cost
+    evicts the least-started request — close kin to youngest-first.
+    Youngest breaks exact ties.
+    """
+
+    name = "lowest_score"
+
+    def __init__(self, aging_rate: float = DEFAULT_AGING_RATE) -> None:
+        if aging_rate <= 0:
+            raise ValueError("aging_rate must be positive")
+        self.aging_rate = aging_rate
+
+    def select_victim(self, running: Sequence[ServingRequest],
+                      manager: Optional[KVBlockManager],
+                      now: float = 0.0) -> ServingRequest:
+        rate = self.aging_rate
+        return min(enumerate(running),
+                   key=lambda pair: (request_score(pair[1], now, rate),
+                                     -pair[0]))[1]
 
 
 class LargestKVFirstPreemption(PreemptionPolicy):
@@ -88,7 +126,8 @@ class LargestKVFirstPreemption(PreemptionPolicy):
     name = "largest_kv"
 
     def select_victim(self, running: Sequence[ServingRequest],
-                      manager: Optional[KVBlockManager]) -> ServingRequest:
+                      manager: Optional[KVBlockManager],
+                      now: float = 0.0) -> ServingRequest:
         def releasable(request: ServingRequest) -> int:
             if manager is None:
                 return 0
@@ -101,6 +140,7 @@ class LargestKVFirstPreemption(PreemptionPolicy):
 PREEMPTION_POLICIES: Dict[str, Type[PreemptionPolicy]] = {
     YoungestFirstPreemption.name: YoungestFirstPreemption,
     LowestPriorityFirstPreemption.name: LowestPriorityFirstPreemption,
+    LowestScoreFirstPreemption.name: LowestScoreFirstPreemption,
     LargestKVFirstPreemption.name: LargestKVFirstPreemption,
 }
 

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.models.workload import Workload
 from repro.runtime.session import ActiveRequest
+from repro.serving.slo import SLOClass, resolve_slo_class
 
 if TYPE_CHECKING:
     from repro.serving.workload_gen import TimedRequest
@@ -65,6 +66,10 @@ class ServingRequest:
     priority: int = 0
     prefix_group: Optional[str] = None
     prefix_len: int = 0
+    # SLO class (resolved SLOClass instance, or None for unclassed
+    # requests).  Consumed by the score-based policies and per-class
+    # reporting; the score treats None as the default (standard) class.
+    slo_class: Optional[SLOClass] = None
     # Disaggregation hand-off state (all defaults on a unified engine):
     # ``migrated_kv_tokens`` is the resident KV rows that travel with the
     # request when a prefill replica hands it to a decode replica, and
@@ -186,5 +191,6 @@ def requests_from_trace(trace: "Sequence[TimedRequest]",
     return [ServingRequest(t.request_id, t.workload, t.arrival_s,
                            priority=t.priority,
                            prefix_group=t.prefix_group,
-                           prefix_len=t.prefix_len)
+                           prefix_len=t.prefix_len,
+                           slo_class=resolve_slo_class(t.slo_class))
             for t in ordered]

@@ -51,10 +51,13 @@ class SchedulerConfig:
             slices cost 1, prefill slices their chunk length).
         chunked_prefill: Split prompts longer than the remaining budget
             across several steps instead of giving them a dedicated step.
-        admission: Name of the admission/ordering policy deciding which
-            waiting request gets the next free batch slot — one of
-            ``fcfs`` (default, arrival order), ``priority``,
-            ``shortest_prompt``.
+        admission: The admission/ordering policy deciding which waiting
+            request gets the next free batch slot — a registry name
+            (``fcfs`` (default, arrival order), ``priority``,
+            ``shortest_prompt``, ``score``) or a constructed
+            :class:`~repro.serving.policies.admission.AdmissionPolicy`
+            instance for non-default parameters (e.g.
+            ``ScoreAdmission(aging_rate=...)``).
     """
 
     max_batch_size: int = 8
@@ -67,7 +70,8 @@ class SchedulerConfig:
             raise ValueError("max_batch_size must be at least 1")
         if self.token_budget < 1:
             raise ValueError("token_budget must be at least 1")
-        if self.admission not in ADMISSION_POLICIES:
+        if isinstance(self.admission, str) \
+                and self.admission not in ADMISSION_POLICIES:
             raise ValueError(
                 f"unknown admission policy {self.admission!r}; "
                 f"choose from {sorted(ADMISSION_POLICIES)}")
@@ -118,7 +122,8 @@ class ContinuousBatchingScheduler:
 
     def plan_step(self, running: List[ServingRequest],
                   waiting: Deque[ServingRequest],
-                  kv: Optional[KVBlockManager] = None) -> StepPlan:
+                  kv: Optional[KVBlockManager] = None,
+                  now: float = 0.0) -> StepPlan:
         """Compose the next step's batch.
 
         ``running`` requests are read but not mutated; admitted requests are
@@ -126,12 +131,13 @@ class ContinuousBatchingScheduler:
         engine owns the state transition and applies ``plan.claims``/
         ``plan.prefix`` to the KV manager.  A non-FCFS admission policy
         re-orders ``waiting`` in place before admitting (deterministically;
-        admission itself still takes the head without overtaking).  Without
-        ``kv`` the plan is identical to the capacity-oblivious PR 1
-        scheduler.
+        admission itself still takes the head without overtaking).  ``now``
+        is the device clock at this step, consumed only by time-varying
+        admission orderings (``score``).  Without ``kv`` the plan is
+        identical to the capacity-oblivious PR 1 scheduler.
         """
         if self._admission.reorders and len(waiting) > 1:
-            ordered = self._admission.order(waiting)
+            ordered = self._admission.order(waiting, now)
             waiting.clear()
             waiting.extend(ordered)
 

@@ -12,7 +12,9 @@ prefix-cache workloads (many prompts opening with the same system prompt /
 few-shot preamble).  Requests optionally carry a ``priority`` tier (for the
 ``priority``/``lowest_priority`` policies) and a ``prefix_group`` +
 ``prefix_len`` (the shared-prompt declaration the prefix-caching KV manager
-keys its blocks on).  Everything is seeded and deterministic so serving
+keys its blocks on), and an ``slo_class`` drawn from a tenant class mix
+(the handle score-based scheduling and per-class reporting key on).
+Everything is seeded and deterministic so serving
 experiments are reproducible; the time-varying generators sample by
 Lewis-Shedler thinning of a homogeneous process at the peak rate, so they
 stay exact whatever the rate profile.
@@ -26,6 +28,9 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.models.workload import Workload, random_workloads, workload_from_label
+from repro.serving.slo import SLO_CLASSES, parse_class_mix
+
+ClassMix = Sequence[Tuple[str, float]]
 
 
 @dataclass(frozen=True)
@@ -36,7 +41,9 @@ class TimedRequest:
     important).  ``prefix_group``/``prefix_len`` declare that the first
     ``prefix_len`` prompt tokens are shared verbatim with every other
     request of the group — consumed only when the engine runs with
-    ``enable_prefix_cache``.
+    ``enable_prefix_cache``.  ``slo_class`` names the request's SLO class
+    (a :data:`repro.serving.slo.SLO_CLASSES` key) for score-based
+    scheduling and per-class reporting; ``None`` means unclassed.
     """
 
     request_id: int
@@ -45,6 +52,40 @@ class TimedRequest:
     priority: int = 0
     prefix_group: Optional[str] = None
     prefix_len: int = 0
+    slo_class: Optional[str] = None
+
+
+def _draw_slo_class(rng: random.Random,
+                    mix: Optional[ClassMix]) -> Optional[str]:
+    """Draw one class name from a normalised ``(name, probability)`` mix.
+
+    One ``rng.random()`` per request, consumed *after* the request's
+    priority draw, so traces generated without a mix keep their historical
+    random stream byte-identical.
+    """
+    if not mix:
+        return None
+    u = rng.random()
+    acc = 0.0
+    for name, probability in mix:
+        acc += probability
+        if u < acc:
+            return name
+    return mix[-1][0]  # guard against float round-off at u ~ 1.0
+
+
+def _class_priority(priority: int, slo_class: Optional[str],
+                    priority_choices: Optional[Sequence[int]]) -> int:
+    """Default a classed request's priority to its class tier.
+
+    Only when the caller did not ask for explicit priority tiers — this is
+    what makes the legacy ``priority``/``lowest_priority`` baseline
+    meaningful (and starvation-visible) on class-mixed traces without any
+    extra flags.
+    """
+    if slo_class is not None and not priority_choices:
+        return SLO_CLASSES[slo_class].tier
+    return priority
 
 
 def poisson_trace(num_requests: int,
@@ -53,20 +94,25 @@ def poisson_trace(num_requests: int,
                   input_choices: Sequence[int] = (32, 64, 128),
                   output_choices: Sequence[int] = (32, 64, 128),
                   priority_choices: Optional[Sequence[int]] = None,
+                  slo_class_mix: Optional[ClassMix] = None,
                   ) -> List[TimedRequest]:
     """An open-loop Poisson arrival process at ``arrival_rate_hz``.
 
     Inter-arrival gaps are exponential with mean ``1 / arrival_rate_hz``;
     request lengths are sampled uniformly from the given choices (defaults
     cover the paper's Figure 9 sweep).  With ``priority_choices`` each
-    request additionally draws a uniform priority tier; the default
-    (``None``) assigns priority 0 everywhere and leaves the random stream —
-    and therefore every previously generated trace — byte-identical.
+    request additionally draws a uniform priority tier; with
+    ``slo_class_mix`` (any :func:`repro.serving.slo.parse_class_mix` form)
+    each request draws an SLO class, and — unless explicit priorities were
+    also requested — its priority defaults to the class tier.  The defaults
+    (``None``) leave the random stream — and therefore every previously
+    generated trace — byte-identical.
     """
     if num_requests < 0:
         raise ValueError("num_requests must be non-negative")
     if arrival_rate_hz <= 0:
         raise ValueError("arrival rate must be positive")
+    mix = parse_class_mix(slo_class_mix) if slo_class_mix else None
     rng = random.Random(seed)
     workloads = random_workloads(num_requests, rng, input_choices, output_choices)
     trace: List[TimedRequest] = []
@@ -76,8 +122,11 @@ def poisson_trace(num_requests: int,
         priority = 0
         if priority_choices:
             priority = rng.choice(list(priority_choices))
-        trace.append(TimedRequest(request_id, workload, clock,
-                                  priority=priority))
+        slo_class = _draw_slo_class(rng, mix)
+        trace.append(TimedRequest(
+            request_id, workload, clock,
+            priority=_class_priority(priority, slo_class, priority_choices),
+            slo_class=slo_class))
     return trace
 
 
@@ -88,6 +137,7 @@ def _thinned_trace(num_requests: int,
                    input_choices: Sequence[int],
                    output_choices: Sequence[int],
                    priority_choices: Optional[Sequence[int]],
+                   slo_class_mix: Optional[ClassMix] = None,
                    ) -> List[TimedRequest]:
     """Sample a non-homogeneous Poisson process by Lewis-Shedler thinning.
 
@@ -96,6 +146,7 @@ def _thinned_trace(num_requests: int,
     ``rate_at(t) / peak_rate_hz``.  Exact for any rate profile bounded by
     the peak, and fully determined by ``rng``.
     """
+    mix = parse_class_mix(slo_class_mix) if slo_class_mix else None
     workloads = random_workloads(num_requests, rng, input_choices,
                                  output_choices)
     trace: List[TimedRequest] = []
@@ -108,8 +159,11 @@ def _thinned_trace(num_requests: int,
         priority = 0
         if priority_choices:
             priority = rng.choice(list(priority_choices))
-        trace.append(TimedRequest(request_id, workloads[request_id], clock,
-                                  priority=priority))
+        slo_class = _draw_slo_class(rng, mix)
+        trace.append(TimedRequest(
+            request_id, workloads[request_id], clock,
+            priority=_class_priority(priority, slo_class, priority_choices),
+            slo_class=slo_class))
         request_id += 1
     return trace
 
@@ -122,6 +176,7 @@ def diurnal_trace(num_requests: int,
                   input_choices: Sequence[int] = (32, 64, 128),
                   output_choices: Sequence[int] = (32, 64, 128),
                   priority_choices: Optional[Sequence[int]] = None,
+                  slo_class_mix: Optional[ClassMix] = None,
                   ) -> List[TimedRequest]:
     """A sinusoidally rate-modulated arrival process — the daily cycle.
 
@@ -148,7 +203,7 @@ def diurnal_trace(num_requests: int,
 
     return _thinned_trace(num_requests, peak_rate_hz, rate_at,
                           random.Random(seed), input_choices,
-                          output_choices, priority_choices)
+                          output_choices, priority_choices, slo_class_mix)
 
 
 def flash_crowd_trace(num_requests: int,
@@ -160,6 +215,7 @@ def flash_crowd_trace(num_requests: int,
                       input_choices: Sequence[int] = (32, 64, 128),
                       output_choices: Sequence[int] = (32, 64, 128),
                       priority_choices: Optional[Sequence[int]] = None,
+                      slo_class_mix: Optional[ClassMix] = None,
                       ) -> List[TimedRequest]:
     """Steady traffic with one sudden burst window — the flash crowd.
 
@@ -187,7 +243,7 @@ def flash_crowd_trace(num_requests: int,
 
     return _thinned_trace(num_requests, burst_rate_hz, rate_at,
                           random.Random(seed), input_choices,
-                          output_choices, priority_choices)
+                          output_choices, priority_choices, slo_class_mix)
 
 
 def burst_trace(workloads: Sequence[Workload],

@@ -112,6 +112,26 @@ CONFIGS = {
                                          kv_pressure_high=0.8,
                                          warmup_s=0.1)),
         flash_crowd_trace(150, 25.0, 100.0, 1.0, 0.5, seed=5)),
+    "score_class_mix": (
+        dict(initial_replicas=2, router="score",
+             scheduler_config=SchedulerConfig(admission="score"),
+             preemption="lowest_score"),
+        poisson_trace(100, 45.0, seed=17,
+                      slo_class_mix="interactive=1,standard=2,"
+                                    "batch=2,best_effort=1")),
+    "score_preempting_class_autoscaled": (
+        dict(initial_replicas=1, router="score",
+             scheduler_config=SchedulerConfig(admission="score",
+                                              max_batch_size=8),
+             preemption="lowest_score",
+             kv_config=kv_blocks(48),
+             autoscaler=AutoscalerConfig(min_replicas=1, max_replicas=4,
+                                         class_miss_high=0.3,
+                                         warmup_s=0.2)),
+        poisson_trace(90, 40.0, seed=19, input_choices=(64, 128),
+                      output_choices=(32, 64),
+                      slo_class_mix="interactive=2,standard=1,"
+                                    "best_effort=1")),
 }
 
 
@@ -141,7 +161,7 @@ class TestKernelEquivalence:
                    if k.get("kv_config") is not None) >= 5
         routers = {k.get("router", "round_robin") for k in kwargs_list}
         assert {"round_robin", "least_queue", "least_kv_pressure",
-                "prefix_affinity"} <= routers
+                "prefix_affinity", "score"} <= routers
 
     def test_preempting_config_actually_preempts(self):
         """Regime check: the KV-pressure entry must keep exercising the
@@ -215,3 +235,15 @@ class TestReportShape:
         json.dumps(payload)
         for value in payload.values():
             assert type(value) in (str, int, float, bool, list, dict)
+
+    def test_class_mix_report_adds_only_class_keys(self):
+        """A class-mixed run grows exactly the two gated sections; a
+        classless run (above) keeps the PR 6 shape byte-identical."""
+        kwargs, trace = CONFIGS["score_class_mix"]
+        _, report = run_kernel("event", kwargs, trace)
+        payload = report.to_dict()
+        assert set(payload) == self.CLUSTER_KEYS | {"slo_classes",
+                                                    "fairness"}
+        assert set(payload["fairness"]) == {"jain_index",
+                                            "class_weighted_attainment"}
+        json.dumps(payload)

@@ -34,7 +34,7 @@ class TestRegistry:
     def test_known_policies(self):
         assert sorted(ROUTING_POLICIES) == [
             "kv_transfer_aware", "least_kv_pressure", "least_queue",
-            "prefix_affinity", "round_robin"]
+            "prefix_affinity", "round_robin", "score"]
 
     def test_resolve_by_name_and_instance(self):
         policy = resolve_routing_policy("least_queue")
@@ -119,6 +119,74 @@ class TestPrefixAffinity:
         replicas[first].in_system += 1
         second = policy.select_replica(make_request(1, "sys-b"), replicas)
         assert {first, second} == {0, 1}
+
+    def test_pin_evicted_at_groups_last_dispatch(self):
+        """The unbounded-growth fix: after observe_trace, a group's pin
+        is dropped the moment its last member is dispatched."""
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0), StubReplica(1)]
+        trace = [make_request(0, "sys-a"), make_request(1, "sys-a"),
+                 make_request(2, "sys-b")]
+        policy.observe_trace(trace)
+        policy.select_replica(trace[0], replicas)
+        assert policy.pinned_groups == 1
+        policy.select_replica(trace[1], replicas)   # last of sys-a
+        assert policy.pinned_groups == 0
+        policy.select_replica(trace[2], replicas)   # only sys-b member
+        assert policy.pinned_groups == 0
+
+    def test_pin_map_bounded_by_concurrent_groups(self):
+        """A trace naming many sequential groups must not leak one pin
+        per group: the map's high-water mark stays at the number of
+        concurrently in-flight groups (1 here), however many groups the
+        trace names."""
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0), StubReplica(1)]
+        trace = [make_request(i, f"group-{i}") for i in range(200)]
+        policy.observe_trace(trace)
+        for request in trace:
+            policy.select_replica(request, replicas)
+        assert policy.pinned_groups == 0
+        assert policy.peak_pins == 1
+
+    def test_unobserved_groups_keep_their_pins(self):
+        """Without observe_trace the last member is unknowable, so pins
+        fall back to the old keep-forever behaviour."""
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0), StubReplica(1)]
+        policy.select_replica(make_request(0, "sys-a"), replicas)
+        assert policy.pinned_groups == 1
+
+    def test_reset_clears_pins_and_counts(self):
+        policy = resolve_routing_policy("prefix_affinity")
+        replicas = [StubReplica(0)]
+        trace = [make_request(0, "sys-a")]
+        policy.observe_trace(trace)
+        policy.select_replica(trace[0], replicas)
+        policy.reset()
+        assert policy.pinned_groups == 0
+        assert policy.peak_pins == 0
+
+
+class TestScoreAwareRouting:
+    def stub(self, replica_id, value_load=0.0, in_system=0):
+        replica = StubReplica(replica_id, in_system=in_system)
+        replica.value_load = value_load
+        return replica
+
+    def test_least_value_load_wins(self):
+        policy = resolve_routing_policy("score")
+        replicas = [self.stub(0, value_load=16.0, in_system=2),
+                    self.stub(1, value_load=3.0, in_system=3)]
+        assert policy.select_replica(make_request(), replicas) == 1
+
+    def test_value_ties_break_on_request_count_then_id(self):
+        policy = resolve_routing_policy("score")
+        replicas = [self.stub(0, value_load=8.0, in_system=4),
+                    self.stub(1, value_load=8.0, in_system=1)]
+        assert policy.select_replica(make_request(), replicas) == 1
+        equal = [self.stub(0), self.stub(1)]
+        assert policy.select_replica(make_request(), equal) == 0
 
 
 class TestClusterRouter:

@@ -1,0 +1,230 @@
+"""Tests for per-class cluster reporting, fairness, and the score stack.
+
+Covers the multi-tenant report surface (per-class TTFT/TPOT attainment,
+the Jain fairness index, class-weighted attainment, and the JSON gating
+that keeps classless reports byte-identical), the empty-sample bugfix (a
+class with zero completions serializes as ``null`` attainment instead of
+crashing the percentile machinery), full-run determinism of the score
+scheduler, and a 100-seed invariant sweep (conservation + no starvation
+under the score stack).
+"""
+
+import json
+
+import pytest
+
+from repro.models.config import GPT2
+from repro.models.workload import Workload
+from repro.serving import SchedulerConfig
+from repro.serving.cluster import ServingCluster, build_class_outcomes
+from repro.serving.cluster.report import ClassOutcome
+from repro.serving.metrics import LatencyStats
+from repro.serving.request import RequestState, ServingRequest
+from repro.serving.slo import SLO_CLASSES
+from repro.serving.workload_gen import poisson_trace
+
+MIX = "interactive=1,standard=2,batch=2,best_effort=1"
+
+
+def finished_request(request_id, slo_class, ttft_s, output_len=8,
+                     arrival_s=0.0):
+    request = ServingRequest(request_id, Workload(16, output_len),
+                             arrival_s,
+                             slo_class=SLO_CLASSES[slo_class])
+    request.state = RequestState.FINISHED
+    request.admitted_s = arrival_s
+    request.first_token_s = arrival_s + ttft_s
+    request.finish_s = request.first_token_s + 0.01 * (output_len - 1)
+    request.tokens_emitted = output_len
+    return request
+
+
+def rejected_request(request_id, slo_class):
+    request = ServingRequest(request_id, Workload(16, 8), 0.0,
+                             slo_class=SLO_CLASSES[slo_class])
+    request.state = RequestState.REJECTED
+    return request
+
+
+def score_cluster(**kwargs):
+    return ServingCluster(
+        GPT2, initial_replicas=2, router="score",
+        scheduler_config=SchedulerConfig(admission="score"),
+        preemption="lowest_score", **kwargs)
+
+
+class TestClassOutcomes:
+    def test_grouped_by_class_in_tier_order(self):
+        requests = [finished_request(0, "best_effort", 0.1),
+                    finished_request(1, "interactive", 0.1),
+                    finished_request(2, "standard", 0.1)]
+        outcomes = build_class_outcomes(requests)
+        assert [o.slo_class.name for o in outcomes] \
+            == ["interactive", "standard", "best_effort"]
+
+    def test_unclassed_requests_are_skipped(self):
+        unclassed = ServingRequest(0, Workload(16, 8), 0.0)
+        unclassed.state = RequestState.FINISHED
+        assert build_class_outcomes([unclassed]) == []
+
+    def test_attainment_judged_against_own_class_target(self):
+        # 0.5 s TTFT misses interactive (0.3 s) but makes batch (4 s).
+        outcomes = build_class_outcomes([
+            finished_request(0, "interactive", 0.5),
+            finished_request(1, "batch", 0.5)])
+        by_name = {o.slo_class.name: o for o in outcomes}
+        assert by_name["interactive"].ttft_attained == 0
+        assert by_name["interactive"].ttft_attainment == 0.0
+        assert by_name["batch"].ttft_attained == 1
+        assert by_name["batch"].ttft_attainment == 1.0
+
+    def test_rejections_counted_but_not_judged(self):
+        outcomes = build_class_outcomes([
+            finished_request(0, "standard", 0.2),
+            rejected_request(1, "standard")])
+        (outcome,) = outcomes
+        assert outcome.submitted == 2
+        assert outcome.completed == 1
+        assert outcome.rejected == 1
+        assert outcome.ttft_attained == 1
+
+    def test_single_token_outputs_excluded_from_tpot(self):
+        outcomes = build_class_outcomes([
+            finished_request(0, "standard", 0.2, output_len=1),
+            finished_request(1, "standard", 0.2, output_len=8)])
+        (outcome,) = outcomes
+        assert outcome.tpot_eligible == 1
+        assert outcome.tpot_attained is not None
+
+
+class TestEmptySampleBugfix:
+    """percentile() raises on empty input; a class with zero completions
+    must serialize as null attainment instead of crashing the report."""
+
+    def test_zero_completion_class_reports_null_not_crash(self):
+        outcomes = build_class_outcomes([
+            finished_request(0, "interactive", 0.1),
+            rejected_request(1, "best_effort")])
+        by_name = {o.slo_class.name: o for o in outcomes}
+        starved = by_name["best_effort"]
+        assert starved.completed == 0
+        assert starved.ttft_attained is None
+        assert starved.ttft_attainment is None
+        assert starved.tpot_attainment is None
+        assert starved.ttft.count == 0
+        payload = starved.to_dict()
+        assert payload["ttft_attained"] is None      # json null
+        assert payload["ttft_attainment"] is None
+        json.dumps(payload)
+
+    def test_all_single_token_class_reports_null_tpot(self):
+        outcomes = build_class_outcomes([
+            finished_request(0, "batch", 0.2, output_len=1)])
+        (outcome,) = outcomes
+        assert outcome.ttft_attainment == 1.0
+        assert outcome.tpot_attained is None
+        assert outcome.tpot_attainment is None
+
+    def test_cluster_run_with_absent_class_mix(self):
+        """End to end: a mix naming only some classes yields a report
+        with only those classes' sections, serializable and formattable
+        even though the others never appear."""
+        trace = poisson_trace(30, 25.0, seed=3,
+                              slo_class_mix="interactive=1,best_effort=1")
+        report = score_cluster().run(trace)
+        names = {o.slo_class.name for o in report.class_outcomes}
+        assert names <= {"interactive", "best_effort"}
+        assert "batch" not in json.loads(
+            json.dumps(report.to_dict()))["slo_classes"]
+        report.format()
+
+
+class TestFairnessMetrics:
+    def outcome(self, name, completed, attained):
+        return ClassOutcome(
+            slo_class=SLO_CLASSES[name], submitted=completed,
+            completed=completed, rejected=0,
+            ttft=LatencyStats.empty(), tpot=LatencyStats.empty(),
+            ttft_attained=attained, tpot_attained=None,
+            tpot_eligible=0)
+
+    def report_with(self, outcomes):
+        import dataclasses
+
+        from repro.serving.cluster.report import ClusterReport
+        stats = LatencyStats.empty()
+        report = ClusterReport(
+            model="gpt2", router="score", autoscaled=False,
+            num_requests=0, completed=0, rejected=0,
+            total_output_tokens=0, makespan_s=0.0, end_s=0.0,
+            ttft=stats, tpot=stats, e2e_latency=stats, queue_wait=stats)
+        return dataclasses.replace(report, class_outcomes=outcomes)
+
+    def test_jain_one_when_classes_attain_equally(self):
+        report = self.report_with([
+            self.outcome("interactive", 10, 8),
+            self.outcome("best_effort", 10, 8)])
+        assert report.jain_fairness == pytest.approx(1.0)
+
+    def test_jain_drops_toward_1_over_n_when_one_class_hogs(self):
+        report = self.report_with([
+            self.outcome("interactive", 10, 10),
+            self.outcome("best_effort", 10, 0)])
+        assert report.jain_fairness == pytest.approx(0.5)
+
+    def test_jain_none_without_evidence(self):
+        assert self.report_with([]).jain_fairness is None
+        report = self.report_with([self.outcome("batch", 0, None)])
+        assert report.jain_fairness is None
+
+    def test_jain_one_when_everyone_is_starved(self):
+        report = self.report_with([
+            self.outcome("interactive", 10, 0),
+            self.outcome("best_effort", 10, 0)])
+        assert report.jain_fairness == pytest.approx(1.0)
+
+    def test_class_weighted_attainment_weights_by_value(self):
+        # interactive (value 8): 1/1 attained; best_effort (value 1):
+        # 0/1 attained -> weighted = 8 / 9.
+        report = self.report_with([
+            self.outcome("interactive", 1, 1),
+            self.outcome("best_effort", 1, 0)])
+        assert report.class_weighted_attainment == pytest.approx(8 / 9)
+
+    def test_class_weighted_attainment_none_without_evidence(self):
+        assert self.report_with([]).class_weighted_attainment is None
+
+
+class TestScoreSchedulerDeterminism:
+    def run_report_json(self, seed=11):
+        trace = poisson_trace(40, 30.0, seed=seed, slo_class_mix=MIX)
+        report = score_cluster().run(trace)
+        return json.dumps(report.to_dict(), sort_keys=True)
+
+    def test_same_seed_runs_are_byte_identical(self):
+        assert self.run_report_json() == self.run_report_json()
+
+    def test_classless_trace_keeps_report_shape(self):
+        trace = poisson_trace(20, 20.0, seed=2)
+        payload = score_cluster().run(trace).to_dict()
+        assert "slo_classes" not in payload
+        assert "fairness" not in payload
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_score_stack_invariants_across_seeds(seed):
+    """100-seed sweep: under the score stack every request reaches a
+    terminal state (conservation — completed + rejected == submitted)
+    and nothing starves (no request left queued or running at run end),
+    whatever the seed-drawn class mix looks like."""
+    trace = poisson_trace(12, 40.0, seed=seed, slo_class_mix=MIX,
+                          input_choices=(16, 32, 64),
+                          output_choices=(8, 16))
+    report = score_cluster().run(trace)
+    assert report.completed + report.rejected == report.num_requests
+    per_class = sum(o.completed + o.rejected for o in report.class_outcomes)
+    assert per_class == report.num_requests
+    for outcome in report.class_outcomes:
+        # No starvation: every submitted request of every class reached
+        # a terminal state.
+        assert outcome.completed + outcome.rejected == outcome.submitted
