@@ -26,10 +26,15 @@ Three subcommands cover the common workflows:
   ``--min-replicas``/``--max-replicas``) lets the SLO-aware control loop
   grow and drain the fleet, and the report adds fleet throughput, SLO
   attainment, replica-seconds and the replica-count timeline.
-  ``--disaggregate`` (with ``--prefill-replicas``/``--decode-replicas``
-  and ``--kv-transfer-gbs``) splits the fleet into dedicated prefill and
-  decode pools with a KV hand-off between them — protecting TTFT from
-  decode interference at a TPOT cost the report itemises.
+  ``--mode unified|hybrid|disaggregated`` picks the serving regime:
+  ``disaggregated`` (with ``--prefill-replicas``/``--decode-replicas``,
+  ``--kv-transfer-gbs`` and ``--kv-stream-chunks``; ``--disaggregate``
+  is its back-compat shorthand) splits the fleet into dedicated prefill
+  and decode pools with a (optionally layer-streamed) KV hand-off
+  between them — protecting TTFT from decode interference at a TPOT
+  cost the report itemises; ``hybrid`` (with ``--prefill-token-cap``)
+  keeps the fleet colocated but caps per-step prefill tokens so prompt
+  bursts cannot monopolise a batch.
   ``--slo-class-mix`` tags requests with per-tenant SLO classes
   (interactive/standard/batch/best_effort) and ``--scheduler score``
   swaps in the score-based stack (score admission, lowest_score
@@ -206,8 +211,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "under --disaggregate; default "
                                      "round_robin, or score under "
                                      "--scheduler score)")
+    cluster_parser.add_argument("--mode", default=None,
+                                choices=["unified", "hybrid",
+                                         "disaggregated"],
+                                help="serving regime: unified (default; "
+                                     "every replica serves both phases), "
+                                     "hybrid (colocated fleet with a "
+                                     "per-step --prefill-token-cap), or "
+                                     "disaggregated (dedicated prefill "
+                                     "and decode pools with a KV "
+                                     "hand-off)")
     cluster_parser.add_argument("--disaggregate", action="store_true",
-                                help="split the fleet into dedicated "
+                                help="shorthand for --mode disaggregated: "
+                                     "split the fleet into dedicated "
                                      "prefill and decode pools: arrivals "
                                      "prefill on one pool, then migrate "
                                      "(KV hand-off charged at "
@@ -227,6 +243,22 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "model's achieved HBM streaming "
                                      "bandwidth; requires "
                                      "--disaggregate)")
+    cluster_parser.add_argument("--kv-stream-chunks", type=int,
+                                default=None,
+                                help="stream each hand-off's KV in N "
+                                     "layer-granular chunks — decode "
+                                     "admits the request at the first "
+                                     "chunk instead of waiting for the "
+                                     "whole payload (default 1 = "
+                                     "monolithic; requires --mode "
+                                     "disaggregated)")
+    cluster_parser.add_argument("--prefill-token-cap", type=int,
+                                default=None,
+                                help="max prefill tokens each engine step "
+                                     "may spend — the hybrid-colocation "
+                                     "knob keeping decode steps short "
+                                     "without splitting the fleet "
+                                     "(requires --mode hybrid)")
     cluster_parser.add_argument("--requests", type=int, default=128,
                                 help="number of requests in the trace")
     cluster_parser.add_argument("--trace", default="poisson",
@@ -630,22 +662,44 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             raise ValueError(
                 "--kv-pressure-high watches the KV block pool; pair with "
                 "--kv-capacity-mb")
-        if not args.disaggregate:
+        mode = args.mode
+        if args.disaggregate:
+            if mode is None:
+                mode = "disaggregated"
+            elif mode != "disaggregated":
+                raise ValueError(
+                    "--disaggregate is shorthand for --mode "
+                    f"disaggregated and contradicts --mode {mode}; "
+                    "drop one of them")
+        if mode is None:
+            mode = "unified"
+        disaggregate = mode == "disaggregated"
+        if mode == "hybrid" and args.prefill_token_cap is None:
+            raise ValueError(
+                "--mode hybrid caps per-step prefill tokens; set "
+                "--prefill-token-cap")
+        if args.prefill_token_cap is not None and mode != "hybrid":
+            raise ValueError(
+                "--prefill-token-cap is the hybrid-colocation knob; "
+                "pair with --mode hybrid")
+        if not disaggregate:
             ignored = [flag for flag, value in
                        (("--prefill-replicas", args.prefill_replicas),
                         ("--decode-replicas", args.decode_replicas),
                         ("--kv-transfer-gbs", args.kv_transfer_gbs),
+                        ("--kv-stream-chunks", args.kv_stream_chunks),
                         ("--slo-tpot-ms", args.slo_tpot_ms),
                         ("--kv-pressure-high", args.kv_pressure_high))
                        if value is not None]
             if ignored:
                 raise ValueError(
                     f"{', '.join(ignored)} only shape(s) a disaggregated "
-                    "fleet; pair with --disaggregate")
+                    "fleet; pair with --mode disaggregated")
         elif args.replicas is not None:
             raise ValueError(
-                "--replicas sizes a unified fleet; with --disaggregate "
-                "use --prefill-replicas and --decode-replicas")
+                "--replicas sizes a unified fleet; with --mode "
+                "disaggregated use --prefill-replicas and "
+                "--decode-replicas")
         if not args.autoscale:
             ignored = [flag for flag, value in
                        (("--slo-ttft-ms", args.slo_ttft_ms),
@@ -687,24 +741,27 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
                 else defaults.control_interval_s,
                 warmup_s=args.warmup_s)
         disaggregation = None
-        if args.disaggregate:
+        if disaggregate:
             disaggregation = DisaggregationConfig(
                 prefill_replicas=args.prefill_replicas
                 if args.prefill_replicas is not None else 1,
                 decode_replicas=args.decode_replicas
                 if args.decode_replicas is not None else 1,
-                kv_transfer_gbs=args.kv_transfer_gbs)
+                kv_transfer_gbs=args.kv_transfer_gbs,
+                kv_stream_chunks=args.kv_stream_chunks
+                if args.kv_stream_chunks is not None else 1)
         trace = _build_cluster_trace(args)
         cluster = ServingCluster(
             config,
             initial_replicas=args.replicas
-            if args.replicas is not None else (1 if args.disaggregate
+            if args.replicas is not None else (1 if disaggregate
                                                else 2),
             router=router,
             scheduler_config=SchedulerConfig(
                 max_batch_size=args.max_batch,
                 token_budget=args.token_budget,
                 admission=policy,
+                prefill_token_cap=args.prefill_token_cap,
             ),
             kv_config=kv_config,
             preemption=preemption,

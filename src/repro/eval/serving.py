@@ -319,10 +319,23 @@ class DisaggregationPoint:
     prefill_replicas: int      # 0 = unified reference fleet
     decode_replicas: int       # decode pool (or the whole unified fleet)
     report: "ClusterReport"
+    # A colocated fleet serving with a per-step prefill token cap — the
+    # hybrid regime between unified and disaggregated (meaningful only
+    # when ``prefill_replicas == 0``).
+    prefill_token_cap: Optional[int] = None
 
     @property
     def unified(self) -> bool:
         return self.prefill_replicas == 0
+
+    @property
+    def mode(self) -> str:
+        """Which of the three serving regimes this point ran:
+        ``unified`` (colocated, uncapped), ``hybrid`` (colocated with a
+        per-step prefill token cap) or ``disaggregated`` (split fleet)."""
+        if self.prefill_replicas > 0:
+            return "disaggregated"
+        return "hybrid" if self.prefill_token_cap is not None else "unified"
 
     @property
     def total_replicas(self) -> int:
@@ -341,9 +354,12 @@ class DisaggregationPoint:
         return self.report.fleet_tokens_per_s
 
     def format(self) -> str:
-        label = (f"unified x{self.decode_replicas}" if self.unified
-                 else f"{self.prefill_replicas}p + "
-                      f"{self.decode_replicas}d")
+        if self.prefill_replicas > 0:
+            label = f"{self.prefill_replicas}p + {self.decode_replicas}d"
+        elif self.prefill_token_cap is not None:
+            label = f"hybrid x{self.decode_replicas}"
+        else:
+            label = f"unified x{self.decode_replicas}"
         line = (f"{label:>12}: p95 ttft {self.p95_ttft_s * 1e3:8.1f} ms, "
                 f"tpot mean {self.mean_tpot_s * 1e3:6.2f} ms, "
                 f"{self.fleet_tokens_per_s:8.1f} tok/s, "
@@ -357,7 +373,7 @@ class DisaggregationPoint:
 
 def run_disaggregation_sweep(config: ModelConfig,
                              trace: Sequence[TimedRequest],
-                             splits: Sequence[Tuple[int, int]],
+                             splits: Sequence[Tuple[int, ...]],
                              kv_transfer_gbs: Optional[float] = None,
                              router: str = "round_robin",
                              decode_router: str = "kv_transfer_aware",
@@ -365,43 +381,75 @@ def run_disaggregation_sweep(config: ModelConfig,
                              kv_config: Optional["KVCacheConfig"] = None,
                              performance_model: Optional[FpgaPerformanceModel] = None,
                              kernel: str = "event",
+                             kv_stream_chunks: int = 1,
                              ) -> List[DisaggregationPoint]:
     """Serve the same trace under a sweep of prefill/decode fleet splits.
 
     Each split is ``(prefill_replicas, decode_replicas)``;
     ``(0, n)`` runs the *unified* n-replica fleet — the equal-capacity
-    reference every disaggregated split is judged against.  One fixed
-    trace, one row per split, so the TTFT-vs-TPOT trade (and the KV bytes
-    that bought it) is attributable to the fleet shape alone.
+    reference every disaggregated split is judged against — and a
+    three-element ``(0, n, cap)`` runs the *hybrid* regime: the same
+    colocated n-replica fleet, but with at most ``cap`` prefill tokens
+    admitted per engine step (:attr:`SchedulerConfig.prefill_token_cap`),
+    so prefill bursts cannot monopolise a whole batch.  One fixed trace,
+    one row per split, so the TTFT-vs-TPOT trade (and the KV bytes that
+    bought it) is attributable to the fleet shape alone.
+    ``kv_stream_chunks > 1`` streams every disaggregated hand-off's KV in
+    that many layer-granular chunks (decode admits at the first chunk).
     """
+    import dataclasses
+
     from repro.serving.cluster import DisaggregationConfig, ServingCluster
+    from repro.serving.scheduler import SchedulerConfig as _SchedulerConfig
 
     # Validate every split up front: a bad one at the tail must not
     # discard the (expensive) simulations of the splits before it.
-    for prefill, decode in splits:
+    normalized: List[Tuple[int, int, Optional[int]]] = []
+    for split in splits:
+        if len(split) == 2:
+            prefill, decode = split
+            cap: Optional[int] = None
+        elif len(split) == 3:
+            prefill, decode, cap = split
+        else:
+            raise ValueError(
+                f"split {tuple(split)} invalid: expected "
+                "(prefill, decode) or (0, decode, prefill_token_cap)")
         if prefill < 0 or decode < 1:
             raise ValueError(
                 f"split ({prefill}, {decode}) invalid: prefill_replicas "
                 "must be >= 0 (0 = unified) and decode_replicas >= 1")
+        if cap is not None and prefill > 0:
+            raise ValueError(
+                f"split {tuple(split)} invalid: a prefill token cap is "
+                "the hybrid (colocated) regime and requires "
+                "prefill_replicas == 0")
+        normalized.append((prefill, decode, cap))
+    base = scheduler_config if scheduler_config is not None \
+        else _SchedulerConfig()
     points: List[DisaggregationPoint] = []
-    for prefill, decode in splits:
+    for prefill, decode, cap in normalized:
         disaggregation = None
         if prefill > 0:
             disaggregation = DisaggregationConfig(
                 prefill_replicas=prefill, decode_replicas=decode,
                 kv_transfer_gbs=kv_transfer_gbs,
-                decode_router=decode_router)
+                decode_router=decode_router,
+                kv_stream_chunks=kv_stream_chunks)
+        split_scheduler = base if cap is None \
+            else dataclasses.replace(base, prefill_token_cap=cap)
         cluster = ServingCluster(
             config,
             initial_replicas=decode if prefill == 0 else 1,
             router=router,
-            scheduler_config=scheduler_config,
+            scheduler_config=split_scheduler,
             performance_model=performance_model,
             kv_config=kv_config,
             disaggregation=disaggregation,
             kernel=kernel)
         points.append(DisaggregationPoint(prefill, decode,
-                                          cluster.run(trace)))
+                                          cluster.run(trace),
+                                          prefill_token_cap=cap))
     return points
 
 

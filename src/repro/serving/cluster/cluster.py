@@ -109,12 +109,26 @@ class DisaggregationConfig:
         decode_router: Routing policy for the migration stage (name or
             instance); ``kv_transfer_aware`` by default, ranking decode
             replicas by their room for the imported KV.
+        kv_stream_chunks: Stream each hand-off's KV as this many
+            layer-granular chunks (clamped to the model's layer count).
+            A streamed hand-off starts shipping *during* the prefill
+            phase — a layer's KV exists as soon as that layer's prefill
+            compute finishes, so all but the tail of the stream overlaps
+            prefill (the credit is bounded by the request's actual
+            prefill-phase span; a prompt too short to hide the stream
+            exposes the remainder after hand-off).  The decode pool
+            admits the request at its *first* chunk's landing; a decode
+            step that outruns the stream stalls until the remaining
+            layers land.  ``1`` — the default — is the PR 5 monolithic
+            transfer exactly: the whole payload ships after prefill
+            completes.
     """
 
     prefill_replicas: int = 1
     decode_replicas: int = 1
     kv_transfer_gbs: Optional[float] = None
     decode_router: Union[str, RoutingPolicy] = "kv_transfer_aware"
+    kv_stream_chunks: int = 1
 
     def __post_init__(self) -> None:
         if self.prefill_replicas < 1:
@@ -123,11 +137,49 @@ class DisaggregationConfig:
             raise ValueError("decode_replicas must be at least 1")
         if self.kv_transfer_gbs is not None and self.kv_transfer_gbs <= 0:
             raise ValueError("kv_transfer_gbs must be positive")
+        if self.kv_stream_chunks < 1:
+            raise ValueError("kv_stream_chunks must be at least 1")
 
     @property
     def total_replicas(self) -> int:
         """Initial fleet size (both pools together)."""
         return self.prefill_replicas + self.decode_replicas
+
+
+class _KVStream:
+    """One migration's in-flight stream state, shared by its chunks.
+
+    ``target`` is the decode replica the first chunk's dispatch picked —
+    later chunks drain its inbound-bytes ledger (the ``kv_transfer_aware``
+    routing signal) as they land.
+    """
+
+    __slots__ = ("handoff", "chunk_bytes", "target")
+
+    def __init__(self, handoff: HandoffEvent,
+                 chunk_bytes: Tuple[float, ...]) -> None:
+        self.handoff = handoff
+        self.chunk_bytes = chunk_bytes
+        self.target: Optional[EngineReplica] = None
+
+
+class _KVChunk:
+    """One chunk's TRANSFER_LANDED payload (step-heap entry or event)."""
+
+    __slots__ = ("stream", "index")
+
+    def __init__(self, stream: _KVStream, index: int) -> None:
+        self.stream = stream
+        self.index = index
+
+    @property
+    def request(self) -> ServingRequest:
+        return self.stream.handoff.request
+
+    @property
+    def final(self) -> bool:
+        """True for the migration's last chunk (KV fully landed)."""
+        return self.index == len(self.stream.chunk_bytes) - 1
 
 
 class ServingCluster:
@@ -257,16 +309,19 @@ class ServingCluster:
         # The decode pool's rolling completion window (TPOT), same idiom.
         self._tpot_cursors: Dict[int, int] = {}
         self._tpot_window: List[Tuple[float, float]] = []
-        # In-flight KV migrations.  The step kernel holds them in a
-        # (ready_s, seq, HandoffEvent) heap; the event kernel schedules
-        # them as TRANSFER_LANDED events and only counts them here (the
-        # decode autoscaler's backlog signal, see _migration_backlog).
-        self._migrations: List[Tuple[float, int, HandoffEvent]] = []
+        # In-flight KV chunk landings.  The step kernel holds them in a
+        # (land_s, seq, _KVChunk) heap; the event kernel schedules them
+        # as TRANSFER_LANDED events.  ``_inflight_migrations`` counts
+        # whole migrations (not chunks) whose last chunk has not landed —
+        # the decode autoscaler's backlog signal under both kernels (see
+        # _migration_backlog).
+        self._migrations: List[Tuple[float, int, _KVChunk]] = []
         self._inflight_migrations = 0
         self._migration_seq = 0
         self.kv_migrations = 0
         self.kv_bytes_transferred = 0.0
         self.kv_transfer_seconds = 0.0
+        self.kv_chunks_landed = 0
         # Event-kernel instrumentation: the live EventQueue during a run
         # (None under the step kernel), processed-event tallies, and —
         # when record_events is set before run() — the popped-event log
@@ -291,7 +346,9 @@ class ServingCluster:
             kv_config=self.kv_config,
             preemption=self.preemption,
             spawned_s=spawned_s, warmup_s=warmup_s,
-            role=role)
+            role=role,
+            kv_stream_chunks=self.disaggregation.kv_stream_chunks
+            if self.disaggregation is not None else 1)
         self.replicas.append(replica)
         if replica.state is ReplicaState.WARMING:
             self._warming.append(replica)
@@ -518,33 +575,99 @@ class ServingCluster:
     # Simulation
     # ------------------------------------------------------------------
     def _migration_backlog(self) -> int:
-        """KV transfers still in flight, whichever kernel runs — the
-        committed-demand part of the decode pool's backlog signal."""
-        return len(self._migrations) + self._inflight_migrations
+        """KV migrations still in flight (whole requests, not chunks),
+        whichever kernel runs — the committed-demand part of the decode
+        pool's backlog signal."""
+        return self._inflight_migrations
 
-    def _schedule_migrations(self, replica: EngineReplica) -> None:
+    def _price_migrations(self, replica: EngineReplica) -> None:
         """Price and enqueue the KV transfers of a prefill replica's
-        fresh hand-offs.  Each migrated request becomes routable to the
-        decode pool once its KV payload has crossed the interconnect —
-        a heap entry under the step kernel, a ``TRANSFER_LANDED`` event
-        under the event kernel (same ``(ready_s, seq)`` order)."""
+        fresh hand-offs.  Each hand-off becomes one or more chunk
+        landings — a heap entry under the step kernel, a
+        ``TRANSFER_LANDED`` event under the event kernel (same
+        ``(land_s, seq)`` order): the first chunk's landing makes the
+        request routable to the decode pool, the last marks its KV fully
+        resident.
+
+        A streamed hand-off (``kv_stream_chunks > 1``) began shipping
+        *during* the prefill phase — layer ``l``'s KV exists once layer
+        ``l``'s prefill compute finished, so the head of the stream
+        overlapped prefill and only the tail is exposed after the
+        hand-off instant.  The overlap credit is the serialisation time
+        of every chunk but the last, bounded by the request's actual
+        prefill-phase span (admission to hand-off): a prompt whose
+        prefill was too short to hide the head pays the remainder on
+        the wire after hand-off, and no chunk ever lands before the
+        hand-off itself (the request isn't routable until its prefill
+        replica released it).  A monolithic hand-off ships everything
+        after prefill completes — the PR 5 behaviour unchanged.  A
+        zero-byte hand-off is guarded to land immediately as one
+        degenerate chunk regardless of the configured split."""
         for handoff in replica.take_handoffs():
-            transfer_s = handoff.kv_bytes / (self.kv_transfer_gbs * 1e9)
-            handoff.request.migration_ready_s = handoff.time_s + transfer_s
+            request = handoff.request
+            chunk_bytes = handoff.chunk_bytes
+            if not chunk_bytes or handoff.kv_bytes <= 0:
+                chunk_bytes = (handoff.kv_bytes,)
             self.kv_migrations += 1
             self.kv_bytes_transferred += handoff.kv_bytes
-            self.kv_transfer_seconds += transfer_s
-            self._migration_seq += 1
-            if self._event_queue is not None:
-                self._inflight_migrations += 1
-                self._event_queue.push(handoff.request.migration_ready_s,
-                                       EventKind.TRANSFER_LANDED,
-                                       tie=self._migration_seq,
-                                       payload=handoff)
-            else:
-                heapq.heappush(self._migrations,
-                               (handoff.request.migration_ready_s,
-                                self._migration_seq, handoff))
+            self._inflight_migrations += 1
+            stream = _KVStream(handoff, chunk_bytes)
+            last = len(chunk_bytes) - 1
+            land_s = handoff.time_s
+            if last > 0:
+                head_s = 0.0
+                for size in chunk_bytes[:-1]:
+                    head_s += size / (self.kv_transfer_gbs * 1e9)
+                span_s = handoff.time_s - request.admitted_s \
+                    if request.admitted_s is not None else 0.0
+                land_s = handoff.time_s - min(head_s, span_s)
+            for index, size in enumerate(chunk_bytes):
+                transfer_s = size / (self.kv_transfer_gbs * 1e9)
+                land_s = land_s + transfer_s
+                self.kv_transfer_seconds += transfer_s
+                landed_s = land_s if land_s > handoff.time_s \
+                    else handoff.time_s
+                if index == 0:
+                    request.kv_first_chunk_s = landed_s
+                if index == last:
+                    request.migration_ready_s = landed_s
+                self._migration_seq += 1
+                chunk = _KVChunk(stream, index)
+                if self._event_queue is not None:
+                    self._event_queue.push(landed_s,
+                                           EventKind.TRANSFER_LANDED,
+                                           tie=self._migration_seq,
+                                           payload=chunk)
+                else:
+                    heapq.heappush(self._migrations,
+                                   (landed_s, self._migration_seq, chunk))
+
+    def _land_chunk(self, land_s: float,
+                    chunk: _KVChunk) -> Optional[EngineReplica]:
+        """Handle one chunk landing (either kernel).  Returns the decode
+        replica the request was dispatched to when this was the first
+        chunk — the caller enlists it — or ``None`` for later chunks,
+        which only drain the target's inbound ledger."""
+        stream = chunk.stream
+        if chunk.final:
+            self._inflight_migrations -= 1
+        self._activate_due(land_s)
+        self.kv_chunks_landed += 1
+        request = stream.handoff.request
+        if chunk.index == 0:
+            replica = self.decode_router.dispatch(
+                request, self._routable_pool(ReplicaRole.DECODE))
+            if not chunk.final:
+                remaining = 0.0
+                for size in stream.chunk_bytes[1:]:
+                    remaining += size
+                stream.target = replica
+                replica.begin_inbound(request.request_id, remaining)
+            return replica
+        stream.target.land_inbound(request.request_id,
+                                   stream.chunk_bytes[chunk.index],
+                                   chunk.final)
+        return None
 
     def _run_step(self, arrivals: "Deque[ServingRequest]",
                   scaler: Optional[Autoscaler]) -> None:
@@ -596,11 +719,10 @@ class ServingCluster:
                 enlist(self.router.dispatch(request, pool))
                 dispatched = True
             elif t_migration <= t_step and t_migration <= t_control:
-                ready, _, handoff = heapq.heappop(self._migrations)
-                self._activate_due(ready)
-                enlist(self.decode_router.dispatch(
-                    handoff.request,
-                    self._routable_pool(ReplicaRole.DECODE)))
+                land_s, _, chunk = heapq.heappop(self._migrations)
+                replica = self._land_chunk(land_s, chunk)
+                if replica is not None:
+                    enlist(replica)
             elif t_control <= t_step:
                 if dispatched:
                     self._control(t_control)
@@ -610,7 +732,7 @@ class ServingCluster:
                 stepper.step()
                 if disaggregation is not None \
                         and stepper.role is ReplicaRole.PREFILL:
-                    self._schedule_migrations(stepper)
+                    self._price_migrations(stepper)
                 if stepper.state is not state_before:
                     # A draining replica ran dry mid-step and stopped.
                     self._record(stepper.worker.clock)
@@ -630,7 +752,8 @@ class ServingCluster:
         itself each pop, each busy replica holds one valid STEP event
         (re-armed after the step, lazily invalidated when it runs dry),
         and TRANSFER_LANDED events are scheduled by
-        :meth:`_schedule_migrations`.  A submission to an already-busy
+        :meth:`_price_migrations` (one per stream chunk).  A submission
+        to an already-busy
         replica never moves its ``next_ready_s`` (the worker is either
         mid-batch — clock-bound — or its earliest pending request is
         unchanged), so only an idle->busy transition arms a step event.
@@ -682,12 +805,9 @@ class ServingCluster:
                 if arrivals:
                     push(arrivals[0].arrival_s, arrival_k)
             elif kind == transfer_k:
-                handoff = event[4]
-                self._inflight_migrations -= 1
-                self._activate_due(event[0])
-                enlist(self.decode_router.dispatch(
-                    handoff.request,
-                    self._routable_pool(ReplicaRole.DECODE)))
+                replica = self._land_chunk(event[0], event[4])
+                if replica is not None:
+                    enlist(replica)
             elif kind == control_k:
                 if dispatched:
                     self._control(event[0])
@@ -699,7 +819,7 @@ class ServingCluster:
                 replica.step()
                 if disaggregation is not None \
                         and replica.role is ReplicaRole.PREFILL:
-                    self._schedule_migrations(replica)
+                    self._price_migrations(replica)
                 if replica.state is not state_before:
                     # Synchronous DRAIN_COMPLETE: the draining replica
                     # ran dry mid-step and stopped.
@@ -736,6 +856,7 @@ class ServingCluster:
         self.kv_migrations = 0
         self.kv_bytes_transferred = 0.0
         self.kv_transfer_seconds = 0.0
+        self.kv_chunks_landed = 0
         self._event_queue = None
         self.last_event_log = None
         self.events_processed = 0
@@ -807,4 +928,11 @@ class ServingCluster:
             disaggregated=disaggregation is not None,
             kv_migrations=self.kv_migrations,
             kv_bytes_transferred=self.kv_bytes_transferred,
-            kv_transfer_seconds=self.kv_transfer_seconds)
+            kv_transfer_seconds=self.kv_transfer_seconds,
+            kv_stream_chunks=disaggregation.kv_stream_chunks
+            if disaggregation is not None else 1,
+            kv_chunks_landed=self.kv_chunks_landed,
+            kv_stall_seconds=math.fsum(
+                replica.worker.kv_stall_s for replica in self.replicas),
+            kv_stall_steps=sum(replica.worker.kv_stall_steps
+                               for replica in self.replicas))

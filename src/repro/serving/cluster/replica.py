@@ -95,6 +95,9 @@ class EngineReplica:
             name).  ``unified`` — the default — is the PR 4 replica
             exactly; ``prefill``/``decode`` are the two halves of a
             disaggregated fleet.
+        kv_stream_chunks: Layer-granular chunks each hand-off's KV export
+            is split into (meaningful on prefill-role replicas; 1 =
+            monolithic transfers).
     """
 
     def __init__(self, replica_id: int, config: ModelConfig,
@@ -104,7 +107,8 @@ class EngineReplica:
                  preemption: Union[str, PreemptionPolicy] = "youngest",
                  spawned_s: float = 0.0,
                  warmup_s: Optional[float] = 0.0,
-                 role: Union[str, ReplicaRole] = ReplicaRole.UNIFIED) -> None:
+                 role: Union[str, ReplicaRole] = ReplicaRole.UNIFIED,
+                 kv_stream_chunks: int = 1) -> None:
         self.replica_id = replica_id
         self.role = resolve_replica_role(role)
         # The replica owns a real single-device ServingEngine rather than
@@ -123,7 +127,8 @@ class EngineReplica:
                                    preemption=self.engine.preemption,
                                    kv_config=kv_config,
                                    prefill_only=self.role
-                                   is ReplicaRole.PREFILL)
+                                   is ReplicaRole.PREFILL,
+                                   kv_stream_chunks=kv_stream_chunks)
         self.spawned_s = spawned_s
         self.warmup_s = self.worker.packing_s if warmup_s is None \
             else warmup_s
@@ -137,6 +142,12 @@ class EngineReplica:
             else ReplicaState.ACTIVE
         self.stopped_s: Optional[float] = None
         self.requests: List[ServingRequest] = []
+        # Inbound KV still streaming toward this replica, request_id ->
+        # bytes remaining.  Insertion follows global landing order and
+        # entries are deleted on their final chunk, so the summed signal
+        # is deterministic across kernels and exactly empty once every
+        # stream has drained.
+        self._inbound_kv: "dict[int, float]" = {}
 
     # ------------------------------------------------------------------
     # Load signals (what the router and autoscaler read)
@@ -167,6 +178,32 @@ class EngineReplica:
     def kv_utilization(self) -> float:
         """Current block-pool occupancy (0.0 without a KV manager)."""
         return self.worker.kv_utilization
+
+    @property
+    def inbound_kv_bytes(self) -> float:
+        """Bytes of migrated KV still streaming toward this replica —
+        the in-flight-bytes-remaining signal ``kv_transfer_aware``
+        routing ranks decode replicas by (0.0 with monolithic
+        hand-offs: a dispatched request's KV has fully landed)."""
+        total = 0.0
+        for remaining in self._inbound_kv.values():
+            total += remaining
+        return total
+
+    def begin_inbound(self, request_id: int, bytes_remaining: float) -> None:
+        """Open an inbound stream ledger entry: the request was just
+        dispatched here on its first chunk, with ``bytes_remaining`` of
+        its KV still crossing the interconnect."""
+        self._inbound_kv[request_id] = bytes_remaining
+
+    def land_inbound(self, request_id: int, chunk_bytes: float,
+                     final: bool) -> None:
+        """Drain one landed chunk from the inbound ledger; the final
+        chunk closes the entry outright (no float residue)."""
+        if final:
+            self._inbound_kv.pop(request_id, None)
+        elif request_id in self._inbound_kv:
+            self._inbound_kv[request_id] -= chunk_bytes
 
     def kv_shortfall_blocks(self, tokens: int) -> int:
         """Blocks an import of ``tokens`` KV rows would overdraw this

@@ -141,6 +141,12 @@ class ClusterReport:
     kv_migrations: int = 0
     kv_bytes_transferred: float = 0.0
     kv_transfer_seconds: float = 0.0
+    # Streamed hand-off accounting (only serialized when
+    # kv_stream_chunks > 1, keeping monolithic reports byte-identical).
+    kv_stream_chunks: int = 1
+    kv_chunks_landed: int = 0
+    kv_stall_seconds: float = 0.0
+    kv_stall_steps: int = 0
     # Multi-tenant accounting (empty = classless run; the JSON payload
     # only grows its sections when the trace actually carried classes).
     class_outcomes: List[ClassOutcome] = field(default_factory=list)
@@ -300,6 +306,15 @@ class ClusterReport:
                 "kv_bytes_transferred": self.kv_bytes_transferred,
                 "kv_transfer_seconds": self.kv_transfer_seconds,
             }
+            if self.kv_stream_chunks > 1:
+                # Streaming keys only appear for streamed hand-offs,
+                # keeping monolithic (PR 5) reports byte-identical.
+                payload["disaggregation"]["kv_streaming"] = {
+                    "chunks_per_migration": self.kv_stream_chunks,
+                    "chunks_landed": self.kv_chunks_landed,
+                    "stall_seconds": self.kv_stall_seconds,
+                    "stall_steps": self.kv_stall_steps,
+                }
         if self.slo_ttft_s is not None:
             # SLO keys only appear when an SLO was configured, mirroring
             # the report-shape convention of the prefix-cache section.
@@ -346,6 +361,12 @@ class ClusterReport:
                 f"{self.kv_transfer_seconds * 1e3:.1f} ms on the wire "
                 f"({len(self.role_replica_ids('prefill'))} prefill / "
                 f"{len(self.role_replica_ids('decode'))} decode)")
+            if self.kv_stream_chunks > 1:
+                lines.append(
+                    f"  kv streaming:  {self.kv_stream_chunks} chunk(s)/"
+                    f"migration, {self.kv_chunks_landed} landed, "
+                    f"{self.kv_stall_seconds * 1e3:.1f} ms decode stall "
+                    f"over {self.kv_stall_steps} step(s)")
         if self.slo_ttft_s is not None:
             lines.append(
                 f"  slo:           p95 TTFT target "
@@ -452,6 +473,10 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
                          kv_migrations: int = 0,
                          kv_bytes_transferred: float = 0.0,
                          kv_transfer_seconds: float = 0.0,
+                         kv_stream_chunks: int = 1,
+                         kv_chunks_landed: int = 0,
+                         kv_stall_seconds: float = 0.0,
+                         kv_stall_steps: int = 0,
                          ) -> ClusterReport:
     """Fold per-request timestamps and replica lifecycles into the fleet
     report.  Latency distributions are computed over all requests directly
@@ -491,5 +516,9 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
         kv_migrations=kv_migrations,
         kv_bytes_transferred=kv_bytes_transferred,
         kv_transfer_seconds=kv_transfer_seconds,
+        kv_stream_chunks=kv_stream_chunks,
+        kv_chunks_landed=kv_chunks_landed,
+        kv_stall_seconds=kv_stall_seconds,
+        kv_stall_steps=kv_stall_steps,
         class_outcomes=build_class_outcomes(requests),
     )

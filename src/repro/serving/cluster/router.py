@@ -209,11 +209,17 @@ class KVTransferAwareRouting(RoutingPolicy):
 
     Ranking: smallest block *shortfall* for the import first (0 means the
     replica's free + reclaimable blocks cover the migrated KV — importing
-    there causes no immediate preemption pressure), then lowest KV-pool
-    occupancy, then fewest outstanding requests, then lowest replica id.
-    Without KV managers every shortfall and occupancy is 0 and the policy
-    is exactly ``least_queue``; the same holds for fresh (non-migrated)
-    requests, so the policy is also usable as a general router.
+    there causes no immediate preemption pressure), then fewest in-flight
+    KV bytes still streaming toward the replica (a streamed hand-off
+    commits interconnect traffic the moment its first chunk dispatches —
+    ranking by bytes remaining, not whole migrations, keeps a replica
+    receiving one huge stream from looking as free as one receiving a
+    tiny one), then lowest KV-pool occupancy, then fewest outstanding
+    requests, then lowest replica id.  Without KV managers and with
+    monolithic hand-offs every shortfall, inbound byte count and
+    occupancy is 0 and the policy is exactly ``least_queue``; the same
+    holds for fresh (non-migrated) requests, so the policy is also
+    usable as a general router.
     """
 
     name = "kv_transfer_aware"
@@ -223,6 +229,7 @@ class KVTransferAwareRouting(RoutingPolicy):
         tokens = request.migrated_kv_tokens
         return min(replicas,
                    key=lambda r: (r.kv_shortfall_blocks(tokens),
+                                  r.inbound_kv_bytes,
                                   r.kv_utilization, r.in_system,
                                   r.replica_id)).replica_id
 

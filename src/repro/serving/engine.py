@@ -52,15 +52,19 @@ measure".
 from __future__ import annotations
 
 import math
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Union
+from typing import Deque, List, Optional, Sequence, Tuple, Union
 
 from repro.compiler.pipeline import CompilationResult
 from repro.eval.latency import FpgaPerformanceModel
 from repro.models.config import ModelConfig
 from repro.runtime.session import InferenceSession
-from repro.serving.kv_manager import KVBlockManager, KVCacheConfig
+from repro.serving.kv_manager import (
+    KVBlockManager,
+    KVCacheConfig,
+    split_kv_stream,
+)
 from repro.serving.metrics import (
     DeviceStats,
     PreemptionEvent,
@@ -102,6 +106,9 @@ class HandoffEvent:
     time_s: float          # worker clock when the prefill completed
     kv_tokens: int         # resident KV rows travelling with the request
     kv_bytes: float        # their size at the platform's KV quantisation
+    # Layer-granular stream split of ``kv_bytes`` when the hand-off is
+    # streamed (``kv_stream_chunks > 1``); empty for a monolithic move.
+    chunk_bytes: Tuple[float, ...] = ()
 
 
 class DeviceWorker:
@@ -122,6 +129,10 @@ class DeviceWorker:
     a replica gracefully.
     """
 
+    # Entries kept in the step-time LRU; 0 disables memoization (the
+    # benchmark suite flips this to measure the cache's req/s delta).
+    STEP_TIME_CACHE_SIZE = 512
+
     def __init__(self, device_id: int, session: InferenceSession,
                  scheduler_config: SchedulerConfig,
                  preemption: PreemptionPolicy,
@@ -131,6 +142,7 @@ class DeviceWorker:
                  kv_samples: Optional[SampleBuffer] = None,
                  preemption_events: Optional[List[PreemptionEvent]] = None,
                  prefill_only: bool = False,
+                 kv_stream_chunks: int = 1,
                  ) -> None:
         self.device_id = device_id
         self.session = session
@@ -140,6 +152,9 @@ class DeviceWorker:
         # through their prefill phase and hands each one off (KV exported,
         # first token already emitted) the moment its prefill completes.
         self.prefill_only = prefill_only
+        # Streamed hand-off: split each export into this many layer-
+        # granular chunks (1 = monolithic, the PR 5 behaviour).
+        self.kv_stream_chunks = kv_stream_chunks
         self.scheduler = ContinuousBatchingScheduler(scheduler_config)
         self.pending: Deque[ServingRequest] = deque()
         self.waiting: Deque[ServingRequest] = deque()
@@ -193,6 +208,18 @@ class DeviceWorker:
         # cluster's score-aware router balances.  Class values are small
         # dyadic floats, so the running sum is exact across both kernels.
         self.value_in_system = 0.0
+        # Decode stall accounting: seconds a step was stretched because a
+        # resident migrated request's KV stream had not fully landed by
+        # the step's natural completion (only possible with streamed
+        # hand-offs, which admit at the first chunk).
+        self.kv_stall_s = 0.0
+        self.kv_stall_steps = 0
+        # Batch-signature LRU over the analytical step-cost model: the
+        # simulator replays identical (tokens, kv_len) batch shapes
+        # constantly, and `engine_step_time_s` is a pure function of the
+        # shape for a fixed config/strategy, so memoizing it is exact.
+        self._step_time_cache: "OrderedDict[tuple, float]" = OrderedDict()
+        self.step_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Cluster-facing hooks
@@ -427,12 +454,40 @@ class DeviceWorker:
                 self.prompt_tokens += request.active.workload.input_len
             running.append(request)
 
-        seconds = self.session.execute_step(plan.works)
+        # Streamed hand-off deferral: an admitted migrated request whose
+        # KV stream has not fully landed by the step's start cannot decode
+        # yet — it keeps its batch slot and its imported blocks but sits
+        # this step out, so one in-flight stream never blocks the rest of
+        # the batch.  Only when *every* planned entry is waiting on its
+        # stream does the device truly wait on the interconnect; that wait
+        # is charged as a stall (busy time) until the earliest landing.
+        # Monolithic hand-offs enqueue at full landing, so entries here
+        # are always ready and the arithmetic stays byte-identical to
+        # PR 5.
+        def stream_blocked(request: ServingRequest) -> bool:
+            ready = request.migration_ready_s
+            return ready is not None and bool(request.migrated_kv_tokens) \
+                and ready > self.clock
+
+        entries = plan.entries
+        if any(stream_blocked(request) for request, _ in entries):
+            if all(stream_blocked(request) for request, _ in entries):
+                first_ready = min(request.migration_ready_s
+                                  for request, _ in entries)
+                stall_s = first_ready - self.clock
+                self.kv_stall_s += stall_s
+                self.kv_stall_steps += 1
+                self.busy_s += stall_s
+                self.clock = first_ready
+            entries = [(request, work) for request, work in entries
+                       if not stream_blocked(request)]
+
+        seconds = self._execute_step([work for _, work in entries])
         self.clock += seconds
         self.busy_s += seconds
         self.steps += 1
 
-        for request, work in plan.entries:
+        for request, work in entries:
             emitted = request.active.record(work, seconds)
             self.tokens += emitted
             request.tokens_emitted += emitted
@@ -491,17 +546,56 @@ class DeviceWorker:
         """
         self.running.remove(request)
         kv_tokens = request.active.kv_tokens
+        kv_bytes = kv_tokens * self.session.kv_bytes_per_token
+        num_layers = self.session.config.num_layers
+        chunk_bytes: Tuple[float, ...] = ()
         if self.manager is not None:
-            self.manager.export(request.request_id, kv_tokens)
+            export = self.manager.export_kv(
+                request.request_id, kv_tokens, kv_bytes=kv_bytes,
+                num_layers=num_layers, chunks=self.kv_stream_chunks)
+            chunk_bytes = export.chunk_bytes
+        elif self.kv_stream_chunks > 1:
+            split = split_kv_stream(kv_bytes, num_layers,
+                                    self.kv_stream_chunks)
+            if len(split) > 1:
+                chunk_bytes = split
         request.detach_prefix()
         request.migrated_kv_tokens = kv_tokens
         request.migrations += 1
         request.state = RequestState.QUEUED
         self.handoffs.append(HandoffEvent(
             request=request, time_s=self.clock, kv_tokens=kv_tokens,
-            kv_bytes=kv_tokens * self.session.kv_bytes_per_token))
+            kv_bytes=kv_bytes, chunk_bytes=chunk_bytes))
         self.handoff_count += 1
         self.value_in_system -= request_value(request)
+
+    def _execute_step(self, works) -> float:
+        """``session.execute_step`` behind the batch-signature LRU.
+
+        The analytical step cost depends only on the batch shape — the
+        ordered ``(tokens, kv_len)`` pairs plus the emitting count — for
+        this worker's fixed config and strategy, so a hit returns the
+        exact float the model would recompute (the key preserves order
+        because float summation order affects the last bits).  Admission
+        already bounds every request to ``max_seq_len``, so skipping the
+        session's overflow check on a hit loses nothing.
+        """
+        size = self.STEP_TIME_CACHE_SIZE
+        if not size:
+            return self.session.execute_step(works)
+        key = (tuple((work.tokens, work.kv_len) for work in works),
+               sum(1 for work in works if work.emits))
+        cache = self._step_time_cache
+        seconds = cache.get(key)
+        if seconds is None:
+            seconds = self.session.execute_step(works)
+            cache[key] = seconds
+            if len(cache) > size:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+            self.step_cache_hits += 1
+        return seconds
 
     def run_to_completion(self) -> None:
         """Step until nothing is pending, waiting or running."""

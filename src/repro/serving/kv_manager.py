@@ -58,7 +58,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.resource.memory_alloc import MemoryResource, total_capacity_bytes
 
@@ -185,6 +185,35 @@ class _Holding:
         return self.private + self.shared
 
 
+def split_kv_stream(kv_bytes: float, num_layers: int,
+                    chunks: int) -> Tuple[float, ...]:
+    """Split a migration payload into layer-granular stream chunks.
+
+    Layers are divided as evenly as possible across at most
+    ``min(chunks, num_layers)`` chunks (a chunk cannot be finer than one
+    layer), and each chunk carries bytes proportional to its layer span.
+    The last chunk is the remainder, so the tuple sums to ``kv_bytes``
+    exactly; a zero-byte payload collapses to a single immediate chunk.
+    """
+    if num_layers < 1:
+        raise ValueError("a KV stream needs at least one layer")
+    if chunks < 1:
+        raise ValueError("a KV stream needs at least one chunk")
+    chunks = min(chunks, num_layers)
+    if chunks == 1 or kv_bytes <= 0:
+        return (kv_bytes,)
+    base, extra = divmod(num_layers, chunks)
+    sizes: List[float] = []
+    shipped = 0.0
+    for index in range(chunks - 1):
+        span = base + (1 if index < extra else 0)
+        size = kv_bytes * span / num_layers
+        sizes.append(size)
+        shipped += size
+    sizes.append(kv_bytes - shipped)
+    return tuple(sizes)
+
+
 @dataclass(frozen=True)
 class KVExport:
     """A request's KV state leaving one device's pool for another.
@@ -193,12 +222,15 @@ class KVExport:
     resident when the request left (the payload the interconnect must move;
     the cluster prices it at ``kv_tokens * bytes_per_token`` over the
     configured transfer bandwidth) and ``blocks_freed`` blocks stopped
-    being charged to the request on the source pool.
+    being charged to the request on the source pool.  ``chunk_bytes`` is
+    the layer-granular stream split when the hand-off is streamed
+    (``kv_stream_chunks > 1``); empty for a monolithic transfer.
     """
 
     request_id: int
     kv_tokens: int
     blocks_freed: int
+    chunk_bytes: Tuple[float, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -528,13 +560,30 @@ class KVBlockManager:
         records the migration traffic and returns the :class:`KVExport`
         receipt the cluster prices the transfer from.
         """
+        return self.export_kv(request_id, kv_tokens)
+
+    def export_kv(self, request_id: int, kv_tokens: int,
+                  kv_bytes: float = 0.0, num_layers: int = 1,
+                  chunks: int = 1) -> KVExport:
+        """:meth:`export`, plus the layer-granular stream split.
+
+        When ``chunks > 1`` the receipt carries ``chunk_bytes`` — the
+        migration payload divided over at most ``min(chunks, num_layers)``
+        layer-aligned chunks — so the cluster can price and land each
+        chunk as its own transfer event instead of one monolithic landing.
+        """
         if kv_tokens < 0:
             raise ValueError("cannot export a negative KV row count")
         freed = self.release(request_id)
         self.kv_exports += 1
         self.blocks_exported += freed
+        chunk_bytes: Tuple[float, ...] = ()
+        if chunks > 1:
+            split = split_kv_stream(kv_bytes, num_layers, chunks)
+            if len(split) > 1:
+                chunk_bytes = split
         return KVExport(request_id=request_id, kv_tokens=kv_tokens,
-                        blocks_freed=freed)
+                        blocks_freed=freed, chunk_bytes=chunk_bytes)
 
     def import_kv(self, request_id: int, blocks: int) -> None:
         """Charge ``blocks`` to ``request_id`` for KV rows that arrived

@@ -73,10 +73,14 @@ class ServingRequest:
     # Disaggregation hand-off state (all defaults on a unified engine):
     # ``migrated_kv_tokens`` is the resident KV rows that travel with the
     # request when a prefill replica hands it to a decode replica, and
-    # ``migration_ready_s`` is when the KV transfer lands there — the
-    # moment the decode replica's admission may first see the request.
+    # ``migration_ready_s`` is when the KV transfer fully lands there.
+    # A streamed hand-off also stamps ``kv_first_chunk_s`` — when the
+    # first layer chunk lands, the moment the decode replica's admission
+    # may first see the request (decode overlaps the transfer tail; a
+    # monolithic transfer stamps both with the same landing time).
     migrated_kv_tokens: int = 0
     migration_ready_s: Optional[float] = None
+    kv_first_chunk_s: Optional[float] = None
     migrations: int = 0
 
     def __post_init__(self) -> None:
@@ -92,8 +96,11 @@ class ServingRequest:
     @property
     def enqueue_s(self) -> float:
         """When this request becomes visible to its current device's
-        admission sweep: the trace arrival for a fresh request, the KV
-        transfer's completion for one migrated to a decode replica."""
+        admission sweep: the trace arrival for a fresh request, the first
+        KV chunk's landing for one streamed to a decode replica (the
+        full landing when the transfer is monolithic)."""
+        if self.kv_first_chunk_s is not None:
+            return self.kv_first_chunk_s
         if self.migration_ready_s is not None:
             return self.migration_ready_s
         return self.arrival_s

@@ -51,6 +51,12 @@ class SchedulerConfig:
             slices cost 1, prefill slices their chunk length).
         chunked_prefill: Split prompts longer than the remaining budget
             across several steps instead of giving them a dedicated step.
+        prefill_token_cap: SARATHI-style hybrid colocation — at most this
+            many prefill tokens are scheduled per engine step, so prefill
+            chunks stop inflating the step time the resident decodes pay
+            (the middle point between a unified fleet and full
+            prefill/decode disaggregation).  Requires ``chunked_prefill``;
+            ``None`` (default) leaves prefill unbounded.
         admission: The admission/ordering policy deciding which waiting
             request gets the next free batch slot — a registry name
             (``fcfs`` (default, arrival order), ``priority``,
@@ -64,12 +70,21 @@ class SchedulerConfig:
     token_budget: int = 256
     chunked_prefill: bool = True
     admission: str = "fcfs"
+    prefill_token_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be at least 1")
         if self.token_budget < 1:
             raise ValueError("token_budget must be at least 1")
+        if self.prefill_token_cap is not None:
+            if self.prefill_token_cap < 1:
+                raise ValueError("prefill_token_cap must be at least 1")
+            if not self.chunked_prefill:
+                raise ValueError(
+                    "prefill_token_cap requires chunked_prefill: the cap "
+                    "works by clipping prefill chunks, and an unchunked "
+                    "prompt cannot be clipped")
         if isinstance(self.admission, str) \
                 and self.admission not in ADMISSION_POLICIES:
             raise ValueError(
@@ -143,6 +158,10 @@ class ContinuousBatchingScheduler:
 
         plan = StepPlan()
         budget = self.config.token_budget
+        # Hybrid colocation: prefill tokens remaining this step.  The cap
+        # resets every plan, so a capped prefill always advances by at
+        # least one chunk per step and can never starve.
+        prefill_left = self.config.prefill_token_cap
         # Idle cached prefix blocks are reclaimable on demand, so they count
         # as free for planning (always 0 without prefix caching).
         free_kv = kv.free_blocks + kv.reclaimable_blocks \
@@ -156,8 +175,17 @@ class ContinuousBatchingScheduler:
         for request in sorted(running, key=lambda r: r.active.in_prefill):
             if budget <= 0:
                 break
+            slice_budget = budget
+            if prefill_left is not None and request.active.in_prefill:
+                if prefill_left <= 0:
+                    # Cap exhausted: the resident keeps its slot but its
+                    # prefill does not advance this step (this is the
+                    # hybrid trade, not starvation — see ``starved``).
+                    continue
+                slice_budget = min(budget, prefill_left)
             work = request.active.next_work(
-                token_budget=budget if self.config.chunked_prefill else None)
+                token_budget=slice_budget if self.config.chunked_prefill
+                else None)
             # A resident slice always fits: decode costs 1, chunked prefill
             # is clipped to the remaining budget, and unchunked prefill
             # completes in its admission step so never runs here.
@@ -173,6 +201,8 @@ class ContinuousBatchingScheduler:
                     free_kv -= extra
             plan.entries.append((request, work))
             budget -= work.tokens
+            if prefill_left is not None and work.kind == "prefill":
+                prefill_left -= work.tokens
 
         # Admission from the (policy-ordered) queue head while slots and
         # budget remain; no overtaking — a blocked head blocks the queue.
@@ -204,6 +234,15 @@ class ContinuousBatchingScheduler:
             work = request.active.next_work(
                 token_budget=budget if self.config.chunked_prefill else None,
                 assume_prefilled=reuse.cached_tokens or None)
+            if prefill_left is not None and work.kind == "prefill":
+                if prefill_left <= 0:
+                    # No prefill budget left this step; the head waits
+                    # (no overtaking) and the cap is fresh next step.
+                    break
+                if work.tokens > prefill_left:
+                    work = request.active.next_work(
+                        token_budget=min(budget, prefill_left),
+                        assume_prefilled=reuse.cached_tokens or None)
             if work.tokens > budget:
                 # An unchunked prompt larger than the whole budget would
                 # starve forever; give it a dedicated step instead.
@@ -241,5 +280,7 @@ class ContinuousBatchingScheduler:
             plan.entries.append((request, work))
             budget -= work.tokens
             slots -= 1
+            if prefill_left is not None and work.kind == "prefill":
+                prefill_left -= work.tokens
 
         return plan

@@ -193,6 +193,42 @@ class TestDisaggregationSweep:
             run_disaggregation_sweep(GPT2, self.trace(4), splits=[(1, 0)])
         with pytest.raises(ValueError, match="split"):
             run_disaggregation_sweep(GPT2, self.trace(4), splits=[(-1, 2)])
+        with pytest.raises(ValueError, match="hybrid"):
+            run_disaggregation_sweep(GPT2, self.trace(4),
+                                     splits=[(1, 1, 64)])
+        with pytest.raises(ValueError, match="split"):
+            run_disaggregation_sweep(GPT2, self.trace(4),
+                                     splits=[(0, 2, 64, 9)])
+
+    def test_hybrid_split_caps_prefill_on_a_colocated_fleet(self):
+        unified, hybrid = run_disaggregation_sweep(
+            GPT2, self.trace(), splits=[(0, 2), (0, 2, 48)])
+        assert unified.mode == "unified"
+        assert hybrid.mode == "hybrid"
+        assert hybrid.prefill_token_cap == 48
+        assert not hybrid.report.disaggregated
+        assert hybrid.report.completed == 16
+        assert "hybrid x2" in hybrid.format()
+
+    def test_mode_property_spans_all_three_regimes(self):
+        points = run_disaggregation_sweep(
+            GPT2, self.trace(), splits=[(0, 2), (0, 2, 48), (1, 1)])
+        assert [p.mode for p in points] \
+            == ["unified", "hybrid", "disaggregated"]
+
+    def test_streamed_sweep_reaches_the_cluster(self):
+        mono, = run_disaggregation_sweep(GPT2, self.trace(),
+                                         splits=[(1, 1)],
+                                         kv_transfer_gbs=0.1)
+        streamed, = run_disaggregation_sweep(GPT2, self.trace(),
+                                             splits=[(1, 1)],
+                                             kv_transfer_gbs=0.1,
+                                             kv_stream_chunks=6)
+        payload = streamed.report.to_dict()["disaggregation"]
+        assert payload["kv_streaming"]["chunks_per_migration"] == 6
+        assert "kv_streaming" not in mono.report.to_dict()["disaggregation"]
+        assert streamed.report.kv_bytes_transferred \
+            == mono.report.kv_bytes_transferred
 
     def test_transfer_bandwidth_reaches_the_cluster(self):
         fast, = run_disaggregation_sweep(GPT2, self.trace(),

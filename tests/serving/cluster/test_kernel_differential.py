@@ -112,6 +112,31 @@ CONFIGS = {
                                          kv_pressure_high=0.8,
                                          warmup_s=0.1)),
         flash_crowd_trace(150, 25.0, 100.0, 1.0, 0.5, seed=5)),
+    "disagg_streamed_kv": (
+        dict(router="round_robin",
+             disaggregation=DisaggregationConfig(prefill_replicas=2,
+                                                 decode_replicas=2,
+                                                 kv_transfer_gbs=0.05,
+                                                 kv_stream_chunks=4),
+             kv_config=kv_blocks(192)),
+        poisson_trace(80, 30.0, seed=23, input_choices=(64, 128),
+                      output_choices=(16, 32))),
+    "disagg_streamed_stalling": (
+        # Link slow enough that decode regularly outruns the stream: the
+        # stall-clamp path (charged decode wait) must also be
+        # kernel-equivalent, not just the happy streamed path.
+        dict(router="least_queue",
+             disaggregation=DisaggregationConfig(prefill_replicas=1,
+                                                 decode_replicas=2,
+                                                 kv_transfer_gbs=0.01,
+                                                 kv_stream_chunks=6)),
+        poisson_trace(60, 25.0, seed=29, input_choices=(32, 96),
+                      output_choices=(24,))),
+    "hybrid_prefill_capped": (
+        dict(initial_replicas=2, router="least_queue",
+             scheduler_config=SchedulerConfig(prefill_token_cap=96)),
+        poisson_trace(90, 35.0, seed=31, input_choices=(64, 128),
+                      output_choices=(16, 32))),
     "score_class_mix": (
         dict(initial_replicas=2, router="score",
              scheduler_config=SchedulerConfig(admission="score"),
@@ -159,6 +184,12 @@ class TestKernelEquivalence:
                    if k.get("disaggregation") is not None) >= 4
         assert sum(1 for k in kwargs_list
                    if k.get("kv_config") is not None) >= 5
+        assert sum(1 for k in kwargs_list
+                   if k.get("disaggregation") is not None
+                   and k["disaggregation"].kv_stream_chunks > 1) >= 2
+        assert any(k.get("scheduler_config") is not None
+                   and k["scheduler_config"].prefill_token_cap is not None
+                   for k in kwargs_list)
         routers = {k.get("router", "round_robin") for k in kwargs_list}
         assert {"round_robin", "least_queue", "least_kv_pressure",
                 "prefix_affinity", "score"} <= routers
@@ -174,6 +205,24 @@ class TestKernelEquivalence:
         kwargs, trace = CONFIGS["disagg_basic"]
         _, report = run_kernel("event", kwargs, trace)
         assert report.kv_migrations == report.num_requests
+
+    def test_streamed_config_actually_streams(self):
+        """Regime check: the streamed entries must keep splitting every
+        migration into multiple chunk landings."""
+        kwargs, trace = CONFIGS["disagg_streamed_kv"]
+        cluster, report = run_kernel("event", kwargs, trace)
+        chunks = kwargs["disaggregation"].kv_stream_chunks
+        assert cluster.kv_chunks_landed == chunks * report.kv_migrations
+        assert report.kv_migrations > 0
+
+    def test_stalling_config_actually_stalls(self):
+        """Regime check: the slow-link entry must keep driving decode
+        into the stream (stall clamp exercised), or the matrix silently
+        loses the stall path."""
+        kwargs, trace = CONFIGS["disagg_streamed_stalling"]
+        _, report = run_kernel("event", kwargs, trace)
+        assert report.kv_stall_steps >= 1
+        assert report.kv_stall_seconds > 0.0
 
 
 class TestEventCountRegression:

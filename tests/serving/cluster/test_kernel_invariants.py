@@ -9,10 +9,12 @@ structural invariants that must hold on every one of them:
 * events are delivered in nondecreasing ``(time, kind, tie)`` order;
 * per-replica step times never regress (no replica's clock runs
   backwards);
-* exactly one ARRIVAL event per trace request, and exactly one
-  TRANSFER_LANDED event per KV migration;
+* exactly one ARRIVAL event per trace request, and exactly
+  ``kv_stream_chunks`` TRANSFER_LANDED events per KV migration (one for
+  a monolithic hand-off);
 * no request decodes before its KV migration lands
-  (``first_token_s <= migration_ready_s <= finish_s``);
+  (``first_token_s <= kv_first_chunk_s <= migration_ready_s <=
+  finish_s``);
 * conservation: every request is either completed or rejected.
 
 Each case is tiny (≤ 30 requests) so the whole sweep stays in tier-1
@@ -45,7 +47,11 @@ def random_case(rng):
         kwargs["disaggregation"] = DisaggregationConfig(
             prefill_replicas=rng.randint(1, 2),
             decode_replicas=rng.randint(1, 2),
-            decode_router=rng.choice(("round_robin", "least_queue")))
+            decode_router=rng.choice(("round_robin", "least_queue")),
+            # Half the disaggregated draws stream the hand-off; a slow
+            # link makes chunk landings (and decode stalls) observable.
+            kv_stream_chunks=rng.choice((1, 1, 3, 6)),
+            kv_transfer_gbs=rng.choice((None, 0.05, 0.02)))
         kwargs["router"] = rng.choice(("round_robin", "least_queue"))
     else:
         kwargs["initial_replicas"] = rng.randint(1, 3)
@@ -102,7 +108,12 @@ def test_kernel_invariants(case_seed):
 
     counts = cluster.event_counts
     assert counts["ARRIVAL"] == report.num_requests == len(trace)
-    assert counts["TRANSFER_LANDED"] == cluster.kv_migrations
+    # One TRANSFER_LANDED per chunk; a monolithic hand-off is one chunk,
+    # and the cluster's own chunk tally must agree with the event log.
+    disagg = kwargs.get("disaggregation")
+    chunks = disagg.kv_stream_chunks if disagg is not None else 1
+    assert counts["TRANSFER_LANDED"] == cluster.kv_chunks_landed
+    assert counts["TRANSFER_LANDED"] == chunks * cluster.kv_migrations
     # Synchronous drain-completes only fire for replicas that actually
     # stopped (a drain victim idle at decision time stops inside
     # ``drain()`` itself, without a DRAIN_COMPLETE tally).
@@ -114,12 +125,18 @@ def test_kernel_invariants(case_seed):
     assert report.completed + report.rejected == report.num_requests
 
     # Disaggregation causality: a migrated request produced its first
-    # (prefill) token before its KV landed, and finished decoding after.
+    # (prefill) token before any KV chunk landed, its stream landed in
+    # order (first chunk <= final chunk), and it finished decoding only
+    # after the final chunk — stalling the decode clock if necessary.
     for event in log:
         if event.kind is EventKind.TRANSFER_LANDED:
             request = event.payload.request
-            assert request.migration_ready_s == event.time_s
-            assert request.first_token_s <= request.migration_ready_s
+            assert request.kv_first_chunk_s <= event.time_s
+            assert event.time_s <= request.migration_ready_s
+            if event.payload.final:
+                assert request.migration_ready_s == event.time_s
+            assert request.first_token_s <= request.kv_first_chunk_s
+            assert request.kv_first_chunk_s <= request.migration_ready_s
             if request.finish_s is not None:
                 assert request.migration_ready_s <= request.finish_s
 
@@ -131,7 +148,7 @@ def test_sweep_covers_every_regime():
     one regime and the parametrized assertions above prove less than
     this module claims."""
     regimes = {"disaggregation": 0, "autoscaler": 0, "kv_config": 0,
-               "multi_replica": 0}
+               "multi_replica": 0, "streamed_kv": 0}
     for case_seed in range(NUM_CASES):
         kwargs, _ = random_case(random.Random(case_seed))
         for key in ("disaggregation", "autoscaler", "kv_config"):
@@ -139,6 +156,9 @@ def test_sweep_covers_every_regime():
         if kwargs.get("initial_replicas", 2) > 1 \
                 or kwargs.get("disaggregation") is not None:
             regimes["multi_replica"] += 1
+        disagg = kwargs.get("disaggregation")
+        if disagg is not None and disagg.kv_stream_chunks > 1:
+            regimes["streamed_kv"] += 1
     assert all(count >= 20 for count in regimes.values()), regimes
 
 

@@ -215,13 +215,15 @@ class TestClusterRouter:
 
 
 class StubKVReplica(StubReplica):
-    """StubReplica plus the import-fit signal kv_transfer_aware reads."""
+    """StubReplica plus the import-fit and inbound-stream signals
+    kv_transfer_aware reads."""
 
     def __init__(self, replica_id, in_system=0, kv_utilization=0.0,
-                 shortfall=0):
+                 shortfall=0, inbound_kv_bytes=0.0):
         super().__init__(replica_id, in_system=in_system,
                          kv_utilization=kv_utilization)
         self._shortfall = shortfall
+        self.inbound_kv_bytes = inbound_kv_bytes
 
     def kv_shortfall_blocks(self, tokens):
         return self._shortfall if tokens > 0 else 0
@@ -244,6 +246,22 @@ class TestKVTransferAware:
         policy = resolve_routing_policy("kv_transfer_aware")
         replicas = [StubKVReplica(0, kv_utilization=0.6),
                     StubKVReplica(1, kv_utilization=0.2)]
+        assert policy.select_replica(make_migrated_request(), replicas) == 1
+
+    def test_fewest_inbound_stream_bytes_wins_among_fitting(self):
+        """Streamed hand-offs commit interconnect traffic at dispatch:
+        the replica with fewer KV bytes still in flight toward it wins,
+        ahead of occupancy and queue depth."""
+        policy = resolve_routing_policy("kv_transfer_aware")
+        replicas = [StubKVReplica(0, inbound_kv_bytes=2e6),
+                    StubKVReplica(1, kv_utilization=0.5, in_system=3,
+                                  inbound_kv_bytes=1e4)]
+        assert policy.select_replica(make_migrated_request(), replicas) == 1
+
+    def test_shortfall_still_beats_inbound_bytes(self):
+        policy = resolve_routing_policy("kv_transfer_aware")
+        replicas = [StubKVReplica(0, shortfall=2),
+                    StubKVReplica(1, inbound_kv_bytes=5e7)]
         assert policy.select_replica(make_migrated_request(), replicas) == 1
 
     def test_degrades_to_least_queue_without_kv(self):

@@ -130,3 +130,94 @@ class TestStepPlanning:
         scheduler = ContinuousBatchingScheduler()
         plan = scheduler.plan_step([], deque())
         assert plan.entries == [] and plan.admitted == []
+
+
+class TestPrefillTokenCap:
+    """SARATHI-style hybrid colocation: at most ``prefill_token_cap``
+    prefill tokens per step, so prompt bursts cannot monopolise a batch."""
+
+    def prefill_tokens(self, plan):
+        return sum(work.tokens for _, work in plan.entries
+                   if work.kind == "prefill")
+
+    def test_cap_requires_chunked_prefill(self):
+        with pytest.raises(ValueError, match="chunked_prefill"):
+            SchedulerConfig(prefill_token_cap=64, chunked_prefill=False)
+        with pytest.raises(ValueError, match="prefill_token_cap"):
+            SchedulerConfig(prefill_token_cap=0)
+
+    def test_every_step_respects_the_cap(self):
+        cap = 24
+        scheduler = ContinuousBatchingScheduler(
+            SchedulerConfig(token_budget=256, prefill_token_cap=cap))
+        session = InferenceSession(GPT2, max_seq_len=2048)
+        waiting = deque(make_request(i, Workload(100, 4), session)
+                        for i in range(4))
+        running = []
+        for _ in range(40):
+            plan = scheduler.plan_step(running, waiting)
+            if not plan.entries:
+                break
+            assert self.prefill_tokens(plan) <= cap
+            for req, work in plan.entries:
+                req.active.record(work, 0.0)
+            running = [r for r in running + plan.admitted
+                       if not r.active.finished]
+        assert all(not r.active.in_prefill for r in running)
+
+    def test_decodes_unaffected_by_the_cap(self):
+        scheduler = ContinuousBatchingScheduler(
+            SchedulerConfig(token_budget=64, prefill_token_cap=8))
+        session = InferenceSession(GPT2, max_seq_len=2048)
+        decoding = [make_request(i, Workload(8, 16), session)
+                    for i in range(4)]
+        for request in decoding:
+            drain_prefill(request)
+        prefilling = make_request(9, Workload(500, 4), session)
+        plan = scheduler.plan_step(decoding + [prefilling], deque())
+        kinds = {req.request_id: work for req, work in plan.entries}
+        # All four decodes keep their slot; the prefill is clipped to
+        # the cap instead of the whole leftover budget.
+        for i in range(4):
+            assert kinds[i].kind == "decode"
+        assert kinds[9].kind == "prefill"
+        assert kinds[9].tokens == 8
+
+    def test_cap_exhausted_prefill_waits_without_losing_decode(self):
+        scheduler = ContinuousBatchingScheduler(
+            SchedulerConfig(token_budget=64, prefill_token_cap=8))
+        session = InferenceSession(GPT2, max_seq_len=2048)
+        first = make_request(0, Workload(100, 4), session)
+        second = make_request(1, Workload(100, 4), session)
+        plan = scheduler.plan_step([first, second], deque())
+        kinds = {req.request_id: work for req, work in plan.entries}
+        # The first prefill consumes the whole cap; the second sits the
+        # step out entirely rather than getting a zero-token slice.
+        assert kinds[0].tokens == 8
+        assert 1 not in kinds
+
+    def test_admission_head_of_line_blocks_on_exhausted_cap(self):
+        scheduler = ContinuousBatchingScheduler(
+            SchedulerConfig(token_budget=64, prefill_token_cap=8))
+        session = InferenceSession(GPT2, max_seq_len=2048)
+        waiting = deque([make_request(0, Workload(100, 4), session),
+                         make_request(1, Workload(100, 4), session)])
+        plan = scheduler.plan_step([], waiting)
+        assert [r.request_id for r in plan.admitted] == [0]
+        assert self.prefill_tokens(plan) == 8
+        assert len(waiting) == 1
+
+    def test_cap_none_is_identical_to_uncapped(self):
+        session_a = InferenceSession(GPT2, max_seq_len=2048)
+        session_b = InferenceSession(GPT2, max_seq_len=2048)
+        plans = []
+        for session, config in ((session_a, SchedulerConfig()),
+                                (session_b,
+                                 SchedulerConfig(prefill_token_cap=None))):
+            scheduler = ContinuousBatchingScheduler(config)
+            waiting = deque(make_request(i, Workload(64, 8), session)
+                            for i in range(3))
+            plan = scheduler.plan_step([], waiting)
+            plans.append([(req.request_id, work.kind, work.tokens)
+                          for req, work in plan.entries])
+        assert plans[0] == plans[1]

@@ -288,7 +288,7 @@ class TestServeClusterCommand:
                               flag, value])
             assert exit_code == 2
             err = capsys.readouterr().err
-            assert flag in err and "--disaggregate" in err
+            assert flag in err and "--mode disaggregated" in err
 
     def test_replicas_conflicts_with_disaggregate(self, capsys):
         exit_code = main(["serve-cluster", "--requests", "4",
@@ -305,7 +305,7 @@ class TestServeClusterCommand:
         exit_code = main(["serve-cluster", "--requests", "4",
                           "--autoscale", "--slo-tpot-ms", "15"])
         assert exit_code == 2
-        assert "--disaggregate" in capsys.readouterr().err
+        assert "--mode disaggregated" in capsys.readouterr().err
 
     def test_disaggregated_autoscaled_run(self, capsys):
         exit_code = main(["serve-cluster", "--requests", "24",
@@ -335,6 +335,84 @@ class TestServeClusterCommand:
         assert exit_code == 2
         assert "--kv-capacity-mb" in capsys.readouterr().err
 
+    def test_mode_disaggregated_equals_disaggregate_flag(self, tmp_path,
+                                                         capsys):
+        reports = []
+        for flags in (["--disaggregate"], ["--mode", "disaggregated"]):
+            report_path = tmp_path / f"{flags[-1]}.json"
+            exit_code = main(["serve-cluster", "--requests", "12",
+                              "--arrival-rate", "30",
+                              "--prefill-replicas", "1",
+                              "--decode-replicas", "1",
+                              "--json", str(report_path)] + flags)
+            assert exit_code == 0
+            capsys.readouterr()
+            reports.append(report_path.read_text())
+        assert reports[0] == reports[1]
+
+    def test_streamed_handoff_reported(self, tmp_path, capsys):
+        report_path = tmp_path / "streamed.json"
+        exit_code = main(["serve-cluster", "--requests", "12",
+                          "--arrival-rate", "30", "--mode", "disaggregated",
+                          "--prefill-replicas", "1", "--decode-replicas",
+                          "1", "--kv-transfer-gbs", "0.05",
+                          "--kv-stream-chunks", "4",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        assert "kv streaming" in capsys.readouterr().out
+        payload = json.loads(report_path.read_text())
+        streaming = payload["disaggregation"]["kv_streaming"]
+        assert streaming["chunks_per_migration"] == 4
+        assert streaming["chunks_landed"] \
+            == 4 * payload["disaggregation"]["kv_migrations"]
+
+    def test_hybrid_mode_runs_and_validates(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "12",
+                          "--arrival-rate", "30", "--mode", "hybrid",
+                          "--prefill-token-cap", "64"])
+        assert exit_code == 0
+        assert "12/12 completed" in capsys.readouterr().out
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--mode", "hybrid"])
+        assert exit_code == 2
+        assert "--prefill-token-cap" in capsys.readouterr().err
+
+    def test_prefill_token_cap_requires_hybrid_mode(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--prefill-token-cap", "64"])
+        assert exit_code == 2
+        assert "--mode hybrid" in capsys.readouterr().err
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--mode", "disaggregated",
+                          "--prefill-token-cap", "64"])
+        assert exit_code == 2
+        assert "--mode hybrid" in capsys.readouterr().err
+
+    def test_kv_stream_chunks_requires_disaggregated_mode(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--kv-stream-chunks", "4"])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "--kv-stream-chunks" in err and "disaggregated" in err
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--mode", "hybrid", "--prefill-token-cap", "8",
+                          "--kv-stream-chunks", "4"])
+        assert exit_code == 2
+        assert "--kv-stream-chunks" in capsys.readouterr().err
+
+    def test_mode_conflicts_with_disaggregate_shorthand(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--mode", "unified", "--disaggregate"])
+        assert exit_code == 2
+        assert "shorthand" in capsys.readouterr().err
+
+    def test_invalid_stream_chunks_rejected(self, capsys):
+        exit_code = main(["serve-cluster", "--requests", "4",
+                          "--mode", "disaggregated",
+                          "--kv-stream-chunks", "0"])
+        assert exit_code == 2
+        assert "kv_stream_chunks" in capsys.readouterr().err
+
     def test_help_documents_every_serve_cluster_flag(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["serve-cluster", "--help"])
@@ -351,9 +429,10 @@ class TestServeClusterCommand:
                      "--policy", "--preemption", "--priority-levels",
                      "--kv-capacity-mb",
                      "--block-size", "--prefix-cache", "--shared-prefix",
-                     "--prefix-groups", "--disaggregate",
+                     "--prefix-groups", "--mode", "--disaggregate",
                      "--prefill-replicas", "--decode-replicas",
-                     "--kv-transfer-gbs", "--json"]:
+                     "--kv-transfer-gbs", "--kv-stream-chunks",
+                     "--prefill-token-cap", "--json"]:
             assert flag in help_text, f"{flag} missing from --help"
 
 
