@@ -10,20 +10,46 @@ CI uploads both files as build artifacts, so the serving perf trajectory
 scaling, SLO attainment, replica-seconds) is tracked across PRs instead of
 living only in pytest stdout.  The format is flat on purpose — one entry
 per benchmark scenario, every value a number — so diffing two PRs'
-artifacts is a one-liner.
+artifacts is a one-liner.  The only non-numeric values are the two
+provenance fields stamped on every entry (``git_sha`` and the wall-clock
+``recorded_at`` date), which pin each artifact to the commit and day it
+was measured.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict
+from typing import Dict, Optional
 
 ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
 CLUSTER_ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_cluster.json"
 
 _entries: Dict[str, dict] = {}
 _cluster_entries: Dict[str, dict] = {}
+_provenance_cache: Optional[Dict[str, str]] = None
+
+
+def _provenance() -> Dict[str, str]:
+    """Commit + date stamp shared by every entry recorded this session:
+    the short git SHA (``"unknown"`` outside a work tree) and the UTC
+    date the benchmark ran."""
+    global _provenance_cache
+    if _provenance_cache is None:
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True, text=True, check=True,
+                cwd=Path(__file__).resolve().parent).stdout.strip()
+        except (OSError, subprocess.CalledProcessError):
+            sha = ""
+        _provenance_cache = {
+            "git_sha": sha or "unknown",
+            "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%d"),
+        }
+    return dict(_provenance_cache)
 
 
 def record(name: str, report, **extra) -> None:
@@ -35,6 +61,7 @@ def record(name: str, report, **extra) -> None:
     idempotent.
     """
     _entries[name] = {
+        **_provenance(),
         "completed": report.completed,
         "num_requests": report.num_requests,
         "tokens_per_s": report.aggregate_tokens_per_s,
@@ -57,6 +84,7 @@ def record_cluster(name: str, report, **extra) -> None:
     adds scenario-specific scalars (scaling factors, sweep parameters, …).
     """
     entry = {
+        **_provenance(),
         "completed": report.completed,
         "num_requests": report.num_requests,
         "fleet_tokens_per_s": report.fleet_tokens_per_s,

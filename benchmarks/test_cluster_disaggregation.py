@@ -31,8 +31,9 @@ import pytest
 
 import serving_artifact
 from repro.models.config import GPT2
-from repro.serving import DisaggregationConfig, ServingCluster
+from repro.serving import DisaggregationConfig, ServingCluster, Tracer
 from repro.serving.scheduler import SchedulerConfig
+from repro.serving.telemetry import critical_path, timelines_from_tracer
 from repro.serving.workload_gen import poisson_trace
 
 # REPRO_BENCH_FAST=1 (the CI smoke job) shrinks the traces; the asserted
@@ -182,6 +183,46 @@ def test_streaming_recovers_tpot_on_transfer_bound_burst(
     assert recovered >= 0.5
     assert streamed.tpot.mean * 1e3 <= 17.7
     assert streamed.kv_bytes_transferred == mono.kv_bytes_transferred
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_critical_path_attributes_transfer_bound_latency():
+    """The tracing tentpole's attribution check: on a trace engineered to
+    be transfer-bound (long prompts, two-token outputs, a 1 MB/s link,
+    spaced arrivals), ``repro trace critical-path`` must pin >= 95% of
+    the p95 end-to-end latency on KV_TRANSFER/KV_STALL spans.  Uses the
+    e2e metric because disaggregation emits the first token on the
+    prefill replica *before* the hand-off — transfer time can never sit
+    inside the TTFT window."""
+    n = 24 if FAST else 32
+    trace = poisson_trace(n, 0.5, seed=0,
+                          input_choices=(256,), output_choices=(2,))
+    tracer = Tracer()
+    cluster = ServingCluster(
+        GPT2,
+        disaggregation=DisaggregationConfig(prefill_replicas=1,
+                                            decode_replicas=3,
+                                            kv_transfer_gbs=0.001),
+        tracer=tracer)
+    report = cluster.run(trace)
+    assert report.completed == n
+
+    timelines = timelines_from_tracer(tracer)
+    path = critical_path(timelines, metric="e2e")
+    transfer_share = sum(span["share"] for span in path["spans"]
+                         if span["kind"] in ("KV_TRANSFER", "KV_STALL"))
+    print(f"\n  p95 exemplar request {path['request']}: "
+          f"e2e {path['latency_ms']:.1f} ms, "
+          f"transfer share {transfer_share * 100:.1f}%")
+    serving_artifact.record_cluster(
+        "cluster_disagg_transfer_attribution", report,
+        kv_transfer_gbs=0.001,
+        p95_e2e_ms=path["latency_ms"],
+        transfer_share=transfer_share)
+
+    assert transfer_share >= 0.95, \
+        f"critical path attributes only {transfer_share * 100:.1f}% " \
+        "of the p95 e2e latency to KV transfer on a transfer-bound trace"
 
 
 @pytest.mark.benchmark(group="cluster")

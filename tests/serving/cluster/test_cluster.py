@@ -47,6 +47,10 @@ class TestFixedFleet:
         for payload in (engine_dict, replica_dict):
             payload.pop("mean_queue_depth")
             payload.pop("peak_queue_depth")
+            # Top-level engine runs embed a run manifest; replica
+            # sub-reports deliberately do not (the cluster report carries
+            # the fleet's).
+            payload.pop("manifest", None)
         assert json.dumps(engine_dict, sort_keys=True) \
             == json.dumps(replica_dict, sort_keys=True)
 

@@ -133,29 +133,58 @@ class TestLazyInvalidation:
         assert event[4] is replica
 
 
-class TestRecording:
-    def test_log_off_by_default(self):
+class TestOnPop:
+    """The ``on_pop`` sink replaced the old ``record=True`` log: the
+    queue itself retains nothing, and typed ``Event`` records are
+    materialized lazily from the tracer's kernel log — the one
+    event-materialization path."""
+
+    def test_no_sink_by_default(self):
         queue = EventQueue()
         queue.push(1.0, EventKind.ARRIVAL)
-        queue.pop()
-        assert queue.log is None
+        assert queue.on_pop is None
+        assert queue.pop() is not None
 
-    def test_log_materializes_typed_events(self):
-        queue = EventQueue(record=True)
+    def test_sink_receives_raw_entries_with_step_unwrapped(self):
+        seen = []
+        queue = EventQueue(on_pop=seen.append)
+        queue.push(1.0, EventKind.ARRIVAL)
+        replica = FakeReplica(2, 1.0)
+        queue.arm_step(replica)
+        pop_all(queue)
+        assert [entry[1] for entry in seen] == [int(EventKind.ARRIVAL),
+                                                int(EventKind.STEP)]
+        # The step entry's payload is the replica itself, not the
+        # (replica, version) bookkeeping tuple.
+        assert seen[1][4] is replica
+
+    def test_sink_skips_stale_entries(self):
+        seen = []
+        queue = EventQueue(on_pop=seen.append)
+        replica = FakeReplica(0, 3.0)
+        queue.arm_step(replica)
+        queue.arm_step(replica)
+        pop_all(queue)
+        assert len(seen) == 1
+
+    def test_tracer_kernel_log_materializes_typed_events(self):
+        from repro.serving.telemetry import Tracer
+
+        tracer = Tracer()
+        tracer.enable_kernel_log()
+        queue = EventQueue(on_pop=tracer.kernel_event)
         queue.push(1.0, EventKind.ARRIVAL)
         queue.arm_step(FakeReplica(2, 1.0))
         pop_all(queue)
-        assert [type(event) for event in queue.log] == [Event, Event]
-        arrival, step = queue.log
+        log = tracer.kernel_events()
+        assert [type(event) for event in log] == [Event, Event]
+        arrival, step = log
         assert arrival.kind is EventKind.ARRIVAL
         assert step.kind is EventKind.STEP
         assert step.tie == 2
         assert arrival.key <= step.key
 
-    def test_log_skips_stale_entries(self):
-        queue = EventQueue(record=True)
-        replica = FakeReplica(0, 3.0)
-        queue.arm_step(replica)
-        queue.arm_step(replica)
-        pop_all(queue)
-        assert len(queue.log) == 1
+    def test_kernel_log_none_unless_enabled(self):
+        from repro.serving.telemetry import Tracer
+
+        assert Tracer().kernel_events() is None

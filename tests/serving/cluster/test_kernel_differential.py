@@ -256,7 +256,7 @@ class TestReportShape:
 
     CLUSTER_KEYS = {
         "autoscaled", "completed", "e2e_latency_ms", "fleet_tokens_per_s",
-        "makespan_s", "model", "num_requests", "peak_replicas",
+        "makespan_s", "manifest", "model", "num_requests", "peak_replicas",
         "preemptions", "queue_wait_ms", "rejected",
         "replica_count_timeline", "replica_seconds", "replicas", "router",
         "total_output_tokens", "tpot_ms", "ttft_ms",
@@ -276,6 +276,10 @@ class TestReportShape:
         cluster, report = run_kernel("event", kwargs, trace)
         payload = report.to_dict()
         assert set(payload) == self.CLUSTER_KEYS
+        # The run manifest is always on (deliberate PR 9 shape change);
+        # untraced runs grow no other key — "telemetry" stays gated.
+        assert payload["manifest"]["component"] == "cluster"
+        assert "telemetry" not in payload
         assert set(payload["ttft_ms"]) == self.LATENCY_KEYS
         assert set(payload["tpot_ms"]) == self.LATENCY_KEYS
         assert set(report.replica_reports[0].to_dict()) == self.REPLICA_KEYS

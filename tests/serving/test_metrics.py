@@ -174,3 +174,57 @@ class TestSampleBuffer:
 
     def test_columns_property(self):
         assert SampleBuffer(4).columns == 4
+
+    def test_slicing_an_empty_buffer(self):
+        """Slices of nothing are empty lists, never views of the
+        preallocated slack."""
+        buffer = SampleBuffer(2, capacity=4)
+        assert buffer[:] == []
+        assert buffer[0:10] == []
+        assert buffer[-3:] == []
+
+    def test_negative_indexing_matches_list_semantics(self):
+        buffer = SampleBuffer(1, capacity=2)
+        for i in range(3):
+            buffer.append(float(i))
+        assert buffer[-1] == (2.0,)
+        assert buffer[-3] == (0.0,)
+        assert buffer[-2:] == [(1.0,), (2.0,)]
+        with pytest.raises(IndexError):
+            buffer[-4]
+
+    def test_growth_boundary_at_exact_capacity(self):
+        """Filling to exactly the seed capacity must not grow the store;
+        the next append doubles it and keeps every row."""
+        buffer = SampleBuffer(1, capacity=4)
+        for i in range(4):
+            buffer.append(float(i))
+        assert buffer._rows.shape[0] == 4  # still the seed allocation
+        buffer.append(4.0)
+        assert buffer._rows.shape[0] == 8
+        assert list(buffer.column(0)) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_extend_bulk_appends(self):
+        buffer = SampleBuffer(2, capacity=2)
+        buffer.append(0.0, 1.0)
+        buffer.extend([(1.0, 2.0), (2.0, 3.0), (3.0, 4.0)])
+        assert list(buffer) == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0),
+                                (3.0, 4.0)]
+
+    def test_extend_empty_batch_is_a_noop(self):
+        buffer = SampleBuffer(2, capacity=2)
+        buffer.extend([])
+        assert len(buffer) == 0
+
+    def test_extend_to_exact_capacity_does_not_grow(self):
+        buffer = SampleBuffer(1, capacity=4)
+        buffer.extend([(0.0,), (1.0,), (2.0,), (3.0,)])
+        assert buffer._rows.shape[0] == 4
+        assert len(buffer) == 4
+
+    def test_extend_grows_past_multiple_doublings(self):
+        buffer = SampleBuffer(1, capacity=2)
+        buffer.extend([(float(i),) for i in range(17)])
+        assert len(buffer) == 17
+        assert buffer._rows.shape[0] == 32
+        assert list(buffer.column(0)) == [float(i) for i in range(17)]

@@ -276,11 +276,15 @@ class TestPlacementPolicies:
                      Workload(128, 128), Workload(8, 8)]
         trace = burst_trace(workloads)
         kv_aware = ServingEngine(GPT2, num_devices=2,
-                                 placement="kv_aware").run(trace)
+                                 placement="kv_aware").run(trace).to_dict()
         least = ServingEngine(GPT2, num_devices=2,
-                              placement="least_loaded").run(trace)
-        assert json.dumps(kv_aware.to_dict(), sort_keys=True) \
-            == json.dumps(least.to_dict(), sort_keys=True)
+                              placement="least_loaded").run(trace).to_dict()
+        # The manifest truthfully records the *configured* policies, which
+        # differ; everything the runs produced must still be identical.
+        assert kv_aware.pop("manifest")["placement"] == "kv_aware"
+        assert least.pop("manifest")["placement"] == "least_loaded"
+        assert json.dumps(kv_aware, sort_keys=True) \
+            == json.dumps(least, sort_keys=True)
 
     def test_selector_sees_running_tally(self):
         loads = [DeviceLoad(0), DeviceLoad(1)]
@@ -309,11 +313,17 @@ class TestPreemptionPolicies:
         """With all priorities equal the tie-break is youngest-first, so
         the two policies must make byte-identical decisions."""
         youngest = ServingEngine(GPT2, kv_config=self.TIGHT,
-                                 preemption="youngest").run(self.TRACE)
+                                 preemption="youngest").run(self.TRACE) \
+            .to_dict()
         lowest = ServingEngine(GPT2, kv_config=self.TIGHT,
-                               preemption="lowest_priority").run(self.TRACE)
-        assert json.dumps(youngest.to_dict(), sort_keys=True) \
-            == json.dumps(lowest.to_dict(), sort_keys=True)
+                               preemption="lowest_priority") \
+            .run(self.TRACE).to_dict()
+        # The manifest truthfully records the *configured* policies, which
+        # differ; everything the runs produced must still be identical.
+        assert youngest.pop("manifest")["preemption"] == "youngest"
+        assert lowest.pop("manifest")["preemption"] == "lowest_priority"
+        assert json.dumps(youngest, sort_keys=True) \
+            == json.dumps(lowest, sort_keys=True)
 
     def test_lowest_priority_protects_high_tier(self):
         """Under pressure the high-priority request is never the victim

@@ -269,8 +269,14 @@ class TestEngineIntegration:
             "tokens_reused": 0,
             "shared_blocks_created": 0, "shared_blocks_reused": 0,
             "cow_copies": 0}
+        off_payload = off.to_dict()
+        # The manifest truthfully records the differing cache flag; every
+        # scheduling outcome must still be identical.
+        assert on_payload.pop("manifest")["kv_cache"]["enable_prefix_cache"]
+        assert not off_payload.pop("manifest")["kv_cache"][
+            "enable_prefix_cache"]
         assert json.dumps(on_payload, sort_keys=True) \
-            == json.dumps(off.to_dict(), sort_keys=True)
+            == json.dumps(off_payload, sort_keys=True)
 
     def test_report_dict_carries_prefix_metrics(self):
         report = ServingEngine(GPT2, kv_config=AMPLE,
