@@ -13,12 +13,16 @@ per benchmark scenario, every value a number — so diffing two PRs'
 artifacts is a one-liner.  The only non-numeric values are the two
 provenance fields stamped on every entry (``git_sha`` and the wall-clock
 ``recorded_at`` date), which pin each artifact to the commit and day it
-was measured.
+was measured.  A third file, ``BENCH_manifests.json``, keeps each entry's
+full run manifest (config snapshot + workload fingerprint) so ``python -m
+repro reproduce`` can regenerate — and ``--check`` can verify — every
+entry from a fresh clone.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 from datetime import datetime, timezone
 from pathlib import Path
@@ -26,9 +30,12 @@ from typing import Dict, Optional
 
 ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
 CLUSTER_ARTIFACT_PATH = Path(__file__).resolve().parent / "BENCH_cluster.json"
+MANIFEST_ARTIFACT_PATH = Path(__file__).resolve().parent \
+    / "BENCH_manifests.json"
 
 _entries: Dict[str, dict] = {}
 _cluster_entries: Dict[str, dict] = {}
+_manifests: Dict[str, dict] = {}
 _provenance_cache: Optional[Dict[str, str]] = None
 
 
@@ -60,6 +67,8 @@ def record(name: str, report, **extra) -> None:
     Re-recording a name overwrites it, so parametrised reruns stay
     idempotent.
     """
+    if getattr(report, "manifest", None) is not None:
+        _manifests[name] = report.manifest
     _entries[name] = {
         **_provenance(),
         "completed": report.completed,
@@ -83,6 +92,8 @@ def record_cluster(name: str, report, **extra) -> None:
     ``report`` is a :class:`~repro.serving.cluster.ClusterReport`; ``extra``
     adds scenario-specific scalars (scaling factors, sweep parameters, …).
     """
+    if getattr(report, "manifest", None) is not None:
+        _manifests[name] = report.manifest
     entry = {
         **_provenance(),
         "completed": report.completed,
@@ -105,10 +116,27 @@ def record_cluster(name: str, report, **extra) -> None:
 
 
 def write(path: Path = ARTIFACT_PATH,
-          cluster_path: Path = CLUSTER_ARTIFACT_PATH) -> Path:
+          cluster_path: Path = CLUSTER_ARTIFACT_PATH,
+          manifest_path: Path = MANIFEST_ARTIFACT_PATH) -> Path:
     """Write the collected entries (sorted by name) as JSON; returns the
     engine-artifact path.  Each file is a no-op when nothing was recorded
-    for it."""
+    for it.  ``REPRO_BENCH_DIR`` redirects every artifact into that
+    directory (creating it) — ``repro reproduce --check`` uses this to
+    regenerate into a scratch directory without touching the committed
+    files.
+
+    Alongside the numeric artifacts, ``BENCH_manifests.json`` records
+    each entry's run manifest (config snapshot + workload fingerprint,
+    captured from ``report.manifest``) — the provenance ``repro
+    reproduce`` regenerates every entry from.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        base = Path(override)
+        base.mkdir(parents=True, exist_ok=True)
+        path = base / ARTIFACT_PATH.name
+        cluster_path = base / CLUSTER_ARTIFACT_PATH.name
+        manifest_path = base / MANIFEST_ARTIFACT_PATH.name
     if _entries:
         path.write_text(json.dumps(dict(sorted(_entries.items())), indent=2)
                         + "\n")
@@ -116,4 +144,7 @@ def write(path: Path = ARTIFACT_PATH,
         cluster_path.write_text(
             json.dumps(dict(sorted(_cluster_entries.items())), indent=2)
             + "\n")
+    if _manifests:
+        manifest_path.write_text(
+            json.dumps(dict(sorted(_manifests.items())), indent=2) + "\n")
     return path

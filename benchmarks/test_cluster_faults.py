@@ -1,0 +1,105 @@
+"""Fault injection: crash recovery under autoscaled replacement.
+
+Not a paper artefact — the paper (conf_micro_YeC25) measures
+single-request latency only.  This benchmark pins the serving tier's
+recovery story: an autoscaled fleet loses a replica mid-run to an
+injected crash, every in-flight request on the dead replica is
+re-dispatched through the router, the autoscaler spawns a warmed-up
+replacement, and the run still completes **100% of its requests with
+zero failures**.  The headline entry (``cluster_fault_recovery``) lands
+in ``BENCH_cluster.json`` with the recovery TTFT of the retried
+requests, next to an unfaulted twin of the same fleet and trace
+(``cluster_fault_free_twin``) so the price of the crash — extra
+replica-seconds, recovery-tail TTFT — is a one-line diff.
+
+Sizing: ``REPRO_BENCH_FAST=1`` (the CI smoke job) shrinks the trace;
+the asserted outcomes are structural and hold at both sizes.
+"""
+
+import os
+
+import pytest
+
+import serving_artifact
+from repro.models.config import GPT2
+from repro.serving.cluster import (
+    AutoscalerConfig,
+    FaultPlan,
+    ReplicaCrash,
+    ServingCluster,
+    SlowNode,
+)
+from repro.serving.workload_gen import poisson_trace
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+NUM_REQUESTS = 32 if FAST else 96
+RATE_HZ = 30.0
+# Early enough that the dead replica holds a full batch plus queue when
+# it dies, late enough that the run is past warm-up transients.
+CRASH_S = 0.4
+
+
+@pytest.fixture(scope="module")
+def fault_trace():
+    return poisson_trace(NUM_REQUESTS, RATE_HZ, seed=11)
+
+
+def autoscaled_cluster(fault_plan=None):
+    return ServingCluster(
+        GPT2, initial_replicas=3, router="least_queue",
+        autoscaler=AutoscalerConfig(min_replicas=3, max_replicas=5,
+                                    control_interval_s=0.1,
+                                    cooldown_s=0.3, warmup_s=0.2),
+        fault_plan=fault_plan)
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_autoscaled_fleet_recovers_from_crash(benchmark, fault_trace):
+    plan = FaultPlan(events=(ReplicaCrash(CRASH_S, 1),), max_retries=3)
+    clean = autoscaled_cluster().run(fault_trace)
+    faulted = benchmark(autoscaled_cluster(plan).run, fault_trace)
+
+    print("\n" + faulted.format())
+    print(f"  crash at {CRASH_S}s: {faulted.faults['crashes']} crash, "
+          f"{faulted.faults['retries']} retries, "
+          f"{faulted.failed} failed, recovery p95 "
+          f"{faulted.faults['recovery_ttft_ms']['p95']:.1f} ms")
+    serving_artifact.record_cluster(
+        "cluster_fault_recovery", faulted,
+        crashes=faulted.faults["crashes"],
+        retries=faulted.faults["retries"],
+        requests_failed=faulted.faults["requests_failed"],
+        recovery_ttft_ms_p95=faulted.faults["recovery_ttft_ms"]["p95"])
+    serving_artifact.record_cluster("cluster_fault_free_twin", clean)
+
+    # The crash must actually land and lose work...
+    assert faulted.faults["crashes"] == 1
+    assert faulted.faults["retries"] >= 1
+    # ...and recovery must be total: every request completes, none fail.
+    assert faulted.completed == NUM_REQUESTS
+    assert faulted.failed == 0
+    assert clean.completed == NUM_REQUESTS
+    # The replacement path ran: some replica spawned after the crash.
+    assert any(life.spawned_s > CRASH_S for life in faulted.lifecycles)
+    # Recovery is not free — the faulted run pays in replica-seconds
+    # and in the retried requests' TTFT tail.
+    assert faulted.faults["recovery_ttft_ms"]["p95"] > 0
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_slow_node_degrades_without_losing_requests(benchmark,
+                                                    fault_trace):
+    plan = FaultPlan(events=(SlowNode(0.2, 0, scale=3.0,
+                                      duration_s=1.0),))
+    degraded = benchmark(autoscaled_cluster(plan).run, fault_trace)
+
+    print("\n" + degraded.format())
+    serving_artifact.record_cluster(
+        "cluster_fault_slow_node", degraded,
+        slow_nodes=degraded.faults["slow_nodes"])
+
+    # A slow node loses time, never requests.
+    assert degraded.faults["slow_nodes"] == 1
+    assert degraded.completed == NUM_REQUESTS
+    assert degraded.failed == 0

@@ -49,6 +49,16 @@ Three subcommands cover the common workflows:
   (``summarize`` for fleet-wide p50/p95/p99 per SLO class,
   ``critical-path`` for one request's span-by-span attribution,
   ``slowest --n K`` for the worst offenders).
+* ``--faults 'crash@1.5:1,slow@0.5:0x2.5+2'`` (serve-cluster) injects a
+  deterministic fault plan — replica crashes with bounded-retry recovery
+  (``--max-retries``), transient slow nodes and KV-link degradations —
+  and the report gains a faults section; ``--trace multi_turn`` /
+  ``--trace tool_use`` generate conversational workloads whose
+  re-entrant turns grow a shared per-session prefix.
+* ``python -m repro reproduce`` regenerates every ``BENCH_*.json``
+  benchmark artifact from source by running the benchmark suite
+  (``--check`` is the CI smoke: a fast run into a scratch directory
+  verifying every committed entry still regenerates).
 """
 
 from __future__ import annotations
@@ -277,10 +287,15 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="number of requests in the trace")
     cluster_parser.add_argument("--trace", default="poisson",
                                 choices=["poisson", "diurnal",
-                                         "flash_crowd"],
+                                         "flash_crowd", "multi_turn",
+                                         "tool_use"],
                                 help="arrival process: steady Poisson, "
-                                     "sinusoidal diurnal cycle, or steady "
-                                     "traffic with one burst window")
+                                     "sinusoidal diurnal cycle, steady "
+                                     "traffic with one burst window, "
+                                     "multi-turn chat sessions growing a "
+                                     "shared prefix between think times, "
+                                     "or agentic tool-use loops re-entering "
+                                     "at a fixed tool-wait cadence")
     cluster_parser.add_argument("--arrival-rate", type=float, default=8.0,
                                 help="arrival rate in requests/s (the base "
                                      "rate for diurnal/flash_crowd traces)")
@@ -303,6 +318,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="flash-crowd burst duration in seconds "
                                      "(default 3; requires --trace "
                                      "flash_crowd)")
+    cluster_parser.add_argument("--multi-turn", type=int, default=None,
+                                metavar="TURNS",
+                                help="turns per chat session (default 4; "
+                                     "requires --trace multi_turn; "
+                                     "--requests then counts total turns "
+                                     "across sessions)")
+    cluster_parser.add_argument("--think-time", type=float, default=None,
+                                metavar="SECONDS",
+                                help="mean think time between a session's "
+                                     "turns (default 1.0; requires --trace "
+                                     "multi_turn)")
+    cluster_parser.add_argument("--tool-calls", type=int, default=None,
+                                help="tool-call follow-ups per agent "
+                                     "(default 3; requires --trace "
+                                     "tool_use; --requests then counts "
+                                     "total requests across agents)")
+    cluster_parser.add_argument("--tool-wait", type=float, default=None,
+                                metavar="SECONDS",
+                                help="fixed tool round-trip latency "
+                                     "between an agent's turns (default "
+                                     "0.5; requires --trace tool_use)")
     cluster_parser.add_argument("--seed", type=int, default=0,
                                 help="single seed feeding every trace "
                                      "generator (reports are reproducible "
@@ -409,6 +445,20 @@ def _build_parser() -> argparse.ArgumentParser:
                                      "the legacy per-iteration rescan "
                                      "loop; both produce identical "
                                      "reports")
+    cluster_parser.add_argument("--faults", default=None, metavar="SPEC",
+                                help="inject a deterministic fault plan: "
+                                     "comma-separated crash@T:R, "
+                                     "slow@T:RxS+D and kvlink@TxS+D "
+                                     "entries (e.g. 'crash@1.5:1,"
+                                     "slow@0.5:0x2.5+2'); crashed "
+                                     "replicas lose their in-flight "
+                                     "requests, which are re-dispatched "
+                                     "with a bounded retry budget, and "
+                                     "the report adds a faults section")
+    cluster_parser.add_argument("--max-retries", type=int, default=None,
+                                help="crash-recovery budget per request "
+                                     "before it is marked failed "
+                                     "(default 3; requires --faults)")
     cluster_parser.add_argument("--trace-out", type=Path, default=None,
                                 metavar="PATH",
                                 help="record per-request lifecycle spans "
@@ -455,6 +505,29 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--json", action="store_true",
                               help="print the analysis as JSON instead "
                                    "of text")
+
+    reproduce_parser = subparsers.add_parser(
+        "reproduce",
+        help="regenerate every BENCH_*.json benchmark artifact from "
+             "source by running the benchmark suite — fresh clone to "
+             "full results in one command")
+    reproduce_parser.add_argument("--check", action="store_true",
+                                  help="fast smoke instead of a full "
+                                       "run: regenerate into a scratch "
+                                       "directory (REPRO_BENCH_FAST=1) "
+                                       "and verify every committed "
+                                       "artifact entry and key "
+                                       "regenerates, without touching "
+                                       "the committed files")
+    reproduce_parser.add_argument("--filter", default=None, metavar="EXPR",
+                                  help="only run benchmarks matching "
+                                       "this pytest -k expression (the "
+                                       "coverage check then restricts "
+                                       "itself to the entries that ran)")
+    reproduce_parser.add_argument("--bench-dir", type=Path, default=None,
+                                  help="benchmark suite directory "
+                                       "(default: the repo checkout's "
+                                       "benchmarks/)")
 
     return parser
 
@@ -578,7 +651,9 @@ def _run_trace(args: argparse.Namespace) -> int:
 
     try:
         timelines = load_trace(args.trace_file)
-    except (OSError, json.JSONDecodeError) as error:
+    except (OSError, ValueError) as error:
+        # ValueError covers both json.JSONDecodeError (truncated/empty
+        # file) and the loader's not-a-Chrome-trace validation ([]/null).
         print(f"trace: cannot read {args.trace_file}: {error}",
               file=sys.stderr)
         return 2
@@ -684,7 +759,13 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
 
 def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
     """One --seed feeds whichever generator --trace selects."""
-    from repro.serving import diurnal_trace, flash_crowd_trace, poisson_trace
+    from repro.serving import (
+        diurnal_trace,
+        flash_crowd_trace,
+        multi_turn_trace,
+        poisson_trace,
+        tool_use_trace,
+    )
 
     # Flags for the trace shapes not selected would be silently dropped;
     # reject them the way the autoscaler flags are rejected.
@@ -693,7 +774,11 @@ def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
                    "flash_crowd": (("--burst-rate", args.burst_rate),
                                    ("--burst-start", args.burst_start),
                                    ("--burst-duration",
-                                    args.burst_duration))}
+                                    args.burst_duration)),
+                   "multi_turn": (("--multi-turn", args.multi_turn),
+                                  ("--think-time", args.think_time)),
+                   "tool_use": (("--tool-calls", args.tool_calls),
+                                ("--tool-wait", args.tool_wait))}
     for shape, flags in shape_flags.items():
         if args.trace == shape:
             continue
@@ -705,6 +790,21 @@ def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
     priority_choices = None
     if args.priority_levels > 1:
         priority_choices = range(args.priority_levels)
+    if args.trace in ("multi_turn", "tool_use"):
+        # The conversational generators own their prefix declarations
+        # (the accumulated per-session context) and model one tenant's
+        # sessions, so the cross-cutting trace decorations don't compose.
+        clashing = [flag for flag, value in
+                    (("--shared-prefix", args.shared_prefix or None),
+                     ("--slo-class-mix", args.slo_class_mix),
+                     ("--priority-levels", args.priority_levels
+                      if args.priority_levels > 1 else None))
+                    if value is not None]
+        if clashing:
+            raise ValueError(
+                f"{', '.join(clashing)} cannot decorate a --trace "
+                f"{args.trace} trace: conversational sessions declare "
+                "their own growing prefixes")
     if args.trace == "diurnal":
         peak = args.peak_rate if args.peak_rate is not None \
             else 4.0 * args.arrival_rate
@@ -725,6 +825,26 @@ def _build_cluster_trace(args: argparse.Namespace) -> List["TimedRequest"]:
                                   seed=args.seed,
                                   priority_choices=priority_choices,
                                   slo_class_mix=args.slo_class_mix)
+    elif args.trace == "multi_turn":
+        turns = args.multi_turn if args.multi_turn is not None else 4
+        if turns < 1:
+            raise ValueError("--multi-turn must be at least 1")
+        sessions = max(1, args.requests // turns)
+        trace = multi_turn_trace(
+            sessions, turns, seed=args.seed,
+            session_rate_hz=args.arrival_rate,
+            think_time_s=args.think_time
+            if args.think_time is not None else 1.0)
+    elif args.trace == "tool_use":
+        calls = args.tool_calls if args.tool_calls is not None else 3
+        if calls < 0:
+            raise ValueError("--tool-calls must be non-negative")
+        agents = max(1, args.requests // (calls + 1))
+        trace = tool_use_trace(
+            agents, calls, seed=args.seed,
+            agent_rate_hz=args.arrival_rate,
+            tool_wait_s=args.tool_wait
+            if args.tool_wait is not None else 0.5)
     else:
         trace = poisson_trace(args.requests, args.arrival_rate,
                               seed=args.seed,
@@ -742,6 +862,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
         SchedulerConfig,
         ServingCluster,
         Tracer,
+        parse_fault_spec,
     )
 
     config = get_model_config(args.model)
@@ -870,6 +991,15 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
                 kv_transfer_gbs=args.kv_transfer_gbs,
                 kv_stream_chunks=args.kv_stream_chunks
                 if args.kv_stream_chunks is not None else 1)
+        fault_plan = None
+        if args.faults is not None:
+            fault_plan = parse_fault_spec(
+                args.faults,
+                max_retries=args.max_retries
+                if args.max_retries is not None else 3)
+        elif args.max_retries is not None:
+            raise ValueError(
+                "--max-retries bounds crash recovery; pair with --faults")
         trace = _build_cluster_trace(args)
         tracer = Tracer() if args.trace_out is not None else None
         cluster = ServingCluster(
@@ -890,6 +1020,7 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
             disaggregation=disaggregation,
             kernel=args.kernel,
             tracer=tracer,
+            fault_plan=fault_plan,
         )
     except ValueError as error:
         print(f"serve-cluster: {error}", file=sys.stderr)
@@ -911,6 +1042,94 @@ def _run_serve_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The artifact files ``repro reproduce`` regenerates and checks.
+_BENCH_ARTIFACTS = ("BENCH_serving.json", "BENCH_cluster.json",
+                    "BENCH_manifests.json")
+
+
+def _run_reproduce(args: argparse.Namespace) -> int:
+    import os
+    import subprocess
+    import tempfile
+
+    bench_dir = args.bench_dir
+    if bench_dir is None:
+        bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"reproduce: benchmark directory {bench_dir} not found "
+              "(run from a repo checkout or pass --bench-dir)",
+              file=sys.stderr)
+        return 2
+
+    command = [sys.executable, "-m", "pytest", str(bench_dir), "-q",
+               "--benchmark-disable", "-p", "no:cacheprovider"]
+    if args.filter is not None:
+        command += ["-k", args.filter]
+    env = dict(os.environ)
+    scratch = None
+    if args.check:
+        scratch = Path(tempfile.mkdtemp(prefix="repro-bench-check-"))
+        env["REPRO_BENCH_FAST"] = "1"
+        env["REPRO_BENCH_DIR"] = str(scratch)
+        print(f"reproduce --check: fast run into {scratch}")
+    else:
+        env.pop("REPRO_BENCH_DIR", None)
+        print(f"reproduce: full benchmark run regenerating {bench_dir}"
+              "/BENCH_*.json")
+    completed = subprocess.run(command, env=env)
+    if completed.returncode != 0:
+        print("reproduce: benchmark run failed "
+              f"(pytest exit {completed.returncode})", file=sys.stderr)
+        return completed.returncode or 1
+    if not args.check:
+        print(f"reproduce: artifacts regenerated in {bench_dir}")
+        return 0
+
+    # Coverage check: every recorded entry (and every key of it) must
+    # have regenerated.  Values legitimately differ — the fast run sizes
+    # scenarios down — so drift is judged on names and keys only.  A
+    # fresh clone has no recorded artifacts (they are generated, not
+    # committed); the check then verifies the regeneration itself.
+    drift: List[str] = []
+    checked = regenerated = 0
+    for name in _BENCH_ARTIFACTS:
+        committed_path = bench_dir / name
+        fresh_path = scratch / name
+        baseline = committed_path.exists()
+        committed = json.loads(committed_path.read_text()) \
+            if baseline else {}
+        fresh = json.loads(fresh_path.read_text()) \
+            if fresh_path.exists() else {}
+        regenerated += len(fresh)
+        if args.filter is not None:
+            # A filtered run only regenerates what it selected.
+            committed = {key: value for key, value in committed.items()
+                         if key in fresh}
+        for entry in sorted(set(committed) - set(fresh)):
+            drift.append(f"{name}: entry {entry!r} did not regenerate")
+        if args.filter is None and baseline:
+            for entry in sorted(set(fresh) - set(committed)):
+                drift.append(
+                    f"{name}: new entry {entry!r} is not recorded — "
+                    "run 'repro reproduce' to refresh the artifact")
+        for entry in sorted(set(committed) & set(fresh)):
+            lost = sorted(set(committed[entry]) - set(fresh[entry]))
+            if lost:
+                drift.append(f"{name}: entry {entry!r} lost key(s) "
+                             f"{', '.join(lost)}")
+            checked += 1
+    if not drift and regenerated == 0:
+        drift.append("the benchmark run produced no artifact entries "
+                     "at all")
+    if drift:
+        for line in drift:
+            print(f"reproduce: {line}", file=sys.stderr)
+        return 1
+    print(f"reproduce --check OK: {regenerated} entries regenerated, "
+          f"{checked} verified against the recorded artifacts")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -925,6 +1144,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_serve_cluster(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "reproduce":
+        return _run_reproduce(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -85,8 +85,10 @@ from repro.serving.workload_gen import (
     burst_trace,
     diurnal_trace,
     flash_crowd_trace,
+    multi_turn_trace,
     poisson_trace,
     shared_prefix_trace,
+    tool_use_trace,
     trace_from_specs,
 )
 
@@ -99,10 +101,15 @@ from repro.serving.cluster import (  # noqa: E402
     ClusterRouter,
     DisaggregationConfig,
     EngineReplica,
+    FaultPlan,
+    KVLinkDegradation,
+    ReplicaCrash,
     ReplicaRole,
     ReplicaState,
     RoutingPolicy,
     ServingCluster,
+    SlowNode,
+    parse_fault_spec,
 )
 
 __all__ = [
@@ -122,7 +129,11 @@ __all__ = [
     "DEFAULT_SLO_CLASS",
     "DeviceStats",
     "DeviceWorker",
+    "FaultPlan",
     "HandoffEvent",
+    "KVLinkDegradation",
+    "ReplicaCrash",
+    "SlowNode",
     "KVBlockManager",
     "KVCacheConfig",
     "KVCacheExhausted",
@@ -154,13 +165,16 @@ __all__ = [
     "burst_trace",
     "diurnal_trace",
     "flash_crowd_trace",
+    "multi_turn_trace",
     "parse_class_mix",
+    "parse_fault_spec",
     "percentile",
     "poisson_trace",
     "request_score",
     "request_value",
     "resolve_slo_class",
     "shared_prefix_trace",
+    "tool_use_trace",
     "trace_from_specs",
     "write_chrome_trace",
 ]

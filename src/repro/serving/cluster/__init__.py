@@ -22,6 +22,11 @@ without disturbing it:
   :mod:`.events` (an :class:`EventQueue` of typed :class:`EventKind`
   events; the legacy rescan loop stays behind ``kernel="step"`` as the
   differential-testing reference);
+* :class:`FaultPlan` (:mod:`.faults`) — deterministic fault injection
+  through both kernels as first-class ``FAULT`` events: replica crashes
+  with bounded-retry re-dispatch and spawn-with-warmup replacement,
+  transient slow nodes and KV-link degradations
+  (:func:`parse_fault_spec` parses the CLI's ``--faults`` grammar);
 * :class:`ClusterReport` — fleet throughput, SLO attainment,
   replica-seconds and the replica-count timeline, with per-replica
   :class:`~repro.serving.metrics.ServingReport`s for drill-down and —
@@ -55,6 +60,14 @@ from repro.serving.cluster.autoscaler import (
 )
 from repro.serving.cluster.cluster import DisaggregationConfig, ServingCluster
 from repro.serving.cluster.events import Event, EventKind, EventQueue
+from repro.serving.cluster.faults import (
+    FaultAction,
+    FaultPlan,
+    KVLinkDegradation,
+    ReplicaCrash,
+    SlowNode,
+    parse_fault_spec,
+)
 from repro.serving.cluster.replica import (
     EngineReplica,
     ReplicaRole,
@@ -87,7 +100,11 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "FaultAction",
+    "FaultPlan",
+    "KVLinkDegradation",
     "ROUTING_POLICIES",
+    "ReplicaCrash",
     "ReplicaCountSample",
     "ReplicaLifecycle",
     "ReplicaRole",
@@ -95,8 +112,10 @@ __all__ = [
     "RoutingPolicy",
     "ScaleDecision",
     "ServingCluster",
+    "SlowNode",
     "build_class_outcomes",
     "build_cluster_report",
+    "parse_fault_spec",
     "resolve_replica_role",
     "resolve_routing_policy",
 ]

@@ -221,7 +221,15 @@ class Autoscaler:
         cooled = now - self._last_action_s >= config.cooldown_s
 
         action = "hold"
-        if cooled:
+        if provisioned < config.min_replicas:
+            # Dead-replica replacement: only a crash can leave fewer
+            # replicas provisioned (ACTIVE + WARMING) than the floor —
+            # drains are gated on provisioned > min — so this is the
+            # fault-recovery path and it bypasses the cooldown: waiting
+            # out a cooldown while under-provisioned would just stretch
+            # the outage.  Fault-free runs never enter this branch.
+            action = "up"
+        elif cooled:
             congested = queue_per_replica > config.queue_high_per_replica
             kv_pressured = (config.kv_pressure_high is not None
                             and kv_utilization is not None

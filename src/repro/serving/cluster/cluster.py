@@ -23,6 +23,14 @@ steps break on the lowest replica id):
 * **engine step** — the replica whose next step starts earliest advances
   one continuous-batching iteration.
 
+With a :class:`~repro.serving.cluster.faults.FaultPlan` a fifth kind
+joins the schedule at the lowest equal-time priority: **fault** events
+(replica crash, slow-node onset/recovery, KV-link degradation edges),
+injected identically through both kernels.  Crash-lost requests are
+re-dispatched through the arrival router with a bounded retry budget
+and an autoscaled fleet replaces the dead capacity (see
+:mod:`.faults`).
+
 Two interchangeable kernels drive that ordering.  The default
 ``kernel="event"`` is a discrete-event core (:mod:`.events`): every
 future event sits in one ``heapq`` keyed ``(time, kind, tie, seq)``,
@@ -70,6 +78,7 @@ from repro.eval.latency import FpgaPerformanceModel
 from repro.models.config import ModelConfig
 from repro.serving.cluster.autoscaler import Autoscaler, AutoscalerConfig
 from repro.serving.cluster.events import EventKind, EventQueue
+from repro.serving.cluster.faults import FaultAction, FaultPlan
 from repro.serving.cluster.replica import (
     EngineReplica,
     ReplicaRole,
@@ -85,7 +94,11 @@ from repro.serving.cluster.router import ClusterRouter, RoutingPolicy
 from repro.serving.engine import HandoffEvent
 from repro.serving.kv_manager import KVCacheConfig
 from repro.serving.policies.preemption import PreemptionPolicy
-from repro.serving.request import ServingRequest, requests_from_trace
+from repro.serving.request import (
+    RequestState,
+    ServingRequest,
+    requests_from_trace,
+)
 from repro.serving.scheduler import SchedulerConfig
 from repro.serving.telemetry import (
     SpanKind,
@@ -224,6 +237,14 @@ class ServingCluster:
             fleet gauges on arrival/control events, and the report grows
             a gated ``telemetry`` section.  ``None`` — the default — is
             zero-cost: the report is byte-identical to an untraced run.
+        fault_plan: Optional deterministic :class:`FaultPlan`
+            (:mod:`.faults`) injected through either kernel as
+            first-class ``FAULT`` events: replica crashes (lost requests
+            re-dispatched with bounded retries; an autoscaled fleet
+            replaces the dead capacity), transient slow nodes, and
+            transient KV-link degradation.  The report grows a gated
+            ``faults`` section; ``None`` — or an *empty* plan — leaves
+            every report byte-identical to an unfaulted run.
     """
 
     KERNELS = ("event", "step")
@@ -239,6 +260,7 @@ class ServingCluster:
                  disaggregation: Optional[DisaggregationConfig] = None,
                  kernel: str = "event",
                  tracer: Optional[Tracer] = None,
+                 fault_plan: Optional[FaultPlan] = None,
                  ) -> None:
         if initial_replicas < 1:
             raise ValueError("initial_replicas must be at least 1")
@@ -350,6 +372,19 @@ class ServingCluster:
         # Request-lifecycle tracing (None = zero-cost untraced run).
         self.tracer = tracer
         self._next_sample_s = 0.0
+        # Fault injection (None or an empty plan = byte-identical to an
+        # unfaulted run).  The plan expands to a flat, time-sorted edge
+        # deque at run() and each kernel arms exactly one FAULT event at
+        # a time, like the arrival idiom.  Crash-lost requests wait in
+        # ``_retry_queue`` until a routable replica exists to take them.
+        self.fault_plan = fault_plan
+        self._fault_actions: Deque[FaultAction] = deque()
+        self._retry_queue: Deque[ServingRequest] = deque()
+        self._kv_link_scale = 1.0
+        self.fault_crashes = 0
+        self.fault_slow_nodes = 0
+        self.fault_kv_link_degradations = 0
+        self.retry_dispatches = 0
 
     @property
     def last_event_log(self):
@@ -605,6 +640,137 @@ class ServingCluster:
                              ReplicaRole.DECODE)
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _reset_for_retry(request: ServingRequest) -> None:
+        """Roll a crash-lost request back to a fresh QUEUED arrival.
+
+        Everything the lost replica produced is gone — emitted tokens,
+        admission, any migrated KV — so the retry recomputes from its
+        original prompt, and its eventual TTFT (measured from the
+        original ``arrival_s``, untouched here) is the recovery time the
+        client actually saw.  The prefix handle is detached for the same
+        reason preemption detaches it: the shared blocks the request was
+        counted against died with the replica's pool."""
+        request.state = RequestState.QUEUED
+        request.device_id = None
+        request.active = None
+        request.admitted_s = None
+        request.first_token_s = None
+        request.finish_s = None
+        request.tokens_emitted = 0
+        request.detach_prefix()
+        request.migrated_kv_tokens = 0
+        request.migration_ready_s = None
+        request.kv_first_chunk_s = None
+
+    def _apply_fault(self, now: float, action: FaultAction,
+                     enlist) -> Optional[int]:
+        """Apply one fault edge at ``now``.  Returns the replica id of an
+        actually-applied crash — the kernel must drop the dead replica
+        from its step bookkeeping — or ``None``.
+
+        Edges targeting an out-of-range or already-STOPPED replica are
+        harmless no-ops (a random plan may outlive its target), and only
+        applied faults count toward the report's ``faults`` section."""
+        kind = action.kind
+        replicas = self.replicas
+        if kind == "crash":
+            rid = action.replica_id
+            if rid >= len(replicas):
+                return None
+            replica = replicas[rid]
+            if replica.state is ReplicaState.STOPPED:
+                return None
+            was_warming = replica.state is ReplicaState.WARMING
+            # Both kernels commit an engine step atomically at its start
+            # event, so the target may hold committed work — spans,
+            # token emissions, even completions — past the fault's
+            # nominal time.  The crash takes effect at that *committed
+            # horizon* (the worker clock, i.e. the end of a straddling
+            # step): everything recorded stands, and a dead replica has
+            # no record of work past its death instant.
+            worker = replica.worker
+            death = max(now, worker.clock) if worker.steps else now
+            lost = replica.crash(death)
+            self.fault_crashes += 1
+            if was_warming:
+                self._warming.remove(replica)
+            self._pool_cache.clear()
+            self._record(now)
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.instant(SpanKind.CRASH, death, lane=rid,
+                               aux=float(len(lost)))
+            max_retries = self.fault_plan.max_retries
+            for request in sorted(lost, key=lambda r: r.request_id):
+                request.retries += 1
+                if request.retries > max_retries:
+                    request.state = RequestState.FAILED
+                    continue
+                if tracer is not None:
+                    # A request lost mid-batch has spans up to the death
+                    # instant and starts queueing again there; one lost
+                    # while still waiting keeps its running queue wait.
+                    tracer.requeued(request.request_id,
+                                    death if request.admitted_s is not None
+                                    else request.enqueue_s)
+                self._reset_for_retry(request)
+                self._retry_queue.append(request)
+            self._flush_retries(death, enlist)
+            return rid
+        if kind == "slow_on":
+            rid = action.replica_id
+            if rid < len(replicas) \
+                    and replicas[rid].state is not ReplicaState.STOPPED:
+                replicas[rid].worker.step_time_scale = action.scale
+                self.fault_slow_nodes += 1
+        elif kind == "slow_off":
+            if action.replica_id < len(replicas):
+                replicas[action.replica_id].worker.step_time_scale = 1.0
+        elif kind == "kvlink_on":
+            self._kv_link_scale = action.scale
+            self.fault_kv_link_degradations += 1
+        else:  # kvlink_off
+            self._kv_link_scale = 1.0
+        return None
+
+    def _flush_retries(self, now: float, enlist) -> None:
+        """Re-dispatch queued crash retries through the arrival router.
+
+        Retries re-enter at the front door — the whole routable fleet,
+        or the *prefill* pool of a disaggregated fleet, so a lost decode
+        request's KV is recomputed and re-migrated.  With no routable
+        replica: an autoscaled fleet (or one with a spare still warming)
+        holds the queue for a later control tick or activation — the run
+        loop stays alive until the queue drains — while a fixed fleet
+        with nothing warming fails the requests outright, because no
+        capacity can ever appear."""
+        if not self._retry_queue:
+            return
+        self._activate_due(now)
+        pool = self._routable() if self.disaggregation is None \
+            else self._routable_pool(ReplicaRole.PREFILL)
+        tracer = self.tracer
+        if pool:
+            while self._retry_queue:
+                request = self._retry_queue.popleft()
+                # The retry becomes admissible *now*, not at its original
+                # arrival — an idle replica must not start it in the past.
+                request.requeued_s = now
+                if tracer is not None:
+                    tracer.instant(SpanKind.RETRY, now,
+                                   request.request_id,
+                                   aux=float(request.retries))
+                enlist(self.router.dispatch(request, pool))
+                self.retry_dispatches += 1
+            return
+        if self.autoscaler is None and not self._warming:
+            while self._retry_queue:
+                self._retry_queue.popleft().state = RequestState.FAILED
+
+    # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
     def _migration_backlog(self) -> int:
@@ -673,6 +839,14 @@ class ServingCluster:
         zero-byte hand-off is guarded to land immediately as one
         degenerate chunk regardless of the configured split."""
         tracer = self.tracer
+        # Hand-offs are priced at the link's *current* bandwidth: a
+        # transient KV-link degradation (fault injection) multiplies the
+        # nominal figure while its window is open; transfers already in
+        # flight keep the landing times they were priced with.  The
+        # nominal scale of 1.0 multiplies exactly, so unfaulted runs are
+        # byte-identical.
+        link_gbs = self.kv_transfer_gbs * self._kv_link_scale \
+            if self.kv_transfer_gbs is not None else None
         for handoff in replica.take_handoffs():
             request = handoff.request
             chunk_bytes = handoff.chunk_bytes
@@ -687,12 +861,12 @@ class ServingCluster:
             if last > 0:
                 head_s = 0.0
                 for size in chunk_bytes[:-1]:
-                    head_s += size / (self.kv_transfer_gbs * 1e9)
+                    head_s += size / (link_gbs * 1e9)
                 span_s = handoff.time_s - request.admitted_s \
                     if request.admitted_s is not None else 0.0
                 land_s = handoff.time_s - min(head_s, span_s)
             for index, size in enumerate(chunk_bytes):
-                transfer_s = size / (self.kv_transfer_gbs * 1e9)
+                transfer_s = size / (link_gbs * 1e9)
                 land_s = land_s + transfer_s
                 self.kv_transfer_seconds += transfer_s
                 landed_s = land_s if land_s > handoff.time_s \
@@ -777,13 +951,19 @@ class ServingCluster:
         live: List[EngineReplica] = []
         live_ids: set = set()
         next_arrival_s = arrivals[0].arrival_s if arrivals else math.inf
+        faults = self._fault_actions
 
         def enlist(replica: EngineReplica) -> None:
             if replica.replica_id not in live_ids:
                 live_ids.add(replica.replica_id)
                 live.append(replica)
 
-        while arrivals or live or self._migrations:
+        # The loop also stays alive while fault edges remain (a plan is a
+        # schedule, not a suggestion — a late crash still fires) and
+        # while crash retries wait on an autoscaled fleet to re-provision
+        # capacity (control ticks keep firing until the queue drains).
+        while arrivals or live or self._migrations or faults \
+                or (self._retry_queue and scaler is not None):
             self.iterations += 1
             t_migration = self._migrations[0][0] if self._migrations \
                 else math.inf
@@ -792,9 +972,15 @@ class ServingCluster:
                 if live else None
             t_step = stepper.next_ready_s if stepper else math.inf
             t_control = next_control if scaler is not None else math.inf
+            t_fault = faults[0].time_s if faults else math.inf
 
+            # The tie cascade mirrors EventKind's equal-time priority:
+            # arrival <= migration <= control <= step, with FAULT firing
+            # only when strictly earliest — same-instant work committed
+            # before the fault is never retroactively lost.
             if next_arrival_s <= t_migration and next_arrival_s <= t_step \
-                    and next_arrival_s <= t_control:
+                    and next_arrival_s <= t_control \
+                    and next_arrival_s <= t_fault:
                 request = arrivals.popleft()
                 next_arrival_s = arrivals[0].arrival_s if arrivals \
                     else math.inf
@@ -804,17 +990,19 @@ class ServingCluster:
                 enlist(self.router.dispatch(request, pool))
                 dispatched = True
                 self._sample_metrics(request.arrival_s)
-            elif t_migration <= t_step and t_migration <= t_control:
+            elif t_migration <= t_step and t_migration <= t_control \
+                    and t_migration <= t_fault:
                 land_s, _, chunk = heapq.heappop(self._migrations)
                 replica = self._land_chunk(land_s, chunk)
                 if replica is not None:
                     enlist(replica)
-            elif t_control <= t_step:
+            elif t_control <= t_step and t_control <= t_fault:
                 if dispatched:
                     self._control(t_control)
                     self._sample_metrics(t_control)
+                    self._flush_retries(t_control, enlist)
                 next_control += scaler.config.control_interval_s
-            else:
+            elif t_step <= t_fault:
                 state_before = stepper.state
                 stepper.step()
                 if disaggregation is not None \
@@ -826,6 +1014,12 @@ class ServingCluster:
                 if not stepper.has_work:
                     live_ids.remove(stepper.replica_id)
                     live.remove(stepper)
+            else:
+                action = faults.popleft()
+                crashed = self._apply_fault(action.time_s, action, enlist)
+                if crashed is not None and crashed in live_ids:
+                    live_ids.remove(crashed)
+                    live.remove(self.replicas[crashed])
 
     def _run_event(self, arrivals: "Deque[ServingRequest]",
                    scaler: Optional[Autoscaler]) -> None:
@@ -867,11 +1061,13 @@ class ServingCluster:
         arrival_k = int(EventKind.ARRIVAL)
         transfer_k = int(EventKind.TRANSFER_LANDED)
         control_k = int(EventKind.CONTROL_TICK)
+        fault_k = int(EventKind.FAULT)
         counts = [0] * len(EventKind)
         busy: set = set()
         pop = queue.pop
         push = queue.push
         arm_step = queue.arm_step
+        faults = self._fault_actions
 
         if arrivals:
             push(arrivals[0].arrival_s, arrival_k)
@@ -879,6 +1075,11 @@ class ServingCluster:
             # See run(): ticks start at t=0 and are skipped (not
             # evaluated) until the first dispatch.
             push(0.0, control_k)
+        if faults:
+            # Exactly one FAULT event armed at a time (the arrival
+            # idiom): the expanded action deque stays the source of
+            # truth, so equal-time edges keep their plan order.
+            push(faults[0].time_s, fault_k)
         dispatched = False
 
         def enlist(replica: EngineReplica) -> None:
@@ -886,7 +1087,12 @@ class ServingCluster:
                 busy.add(replica.replica_id)
                 arm_step(replica)
 
-        while arrivals or busy or self._inflight_migrations:
+        # Like the step loop: fault edges keep the run alive until they
+        # fire, and waiting crash retries do while an autoscaled fleet
+        # re-provisions (the self-re-arming control tick is the event
+        # that eventually drains them).
+        while arrivals or busy or self._inflight_migrations or faults \
+                or (self._retry_queue and scaler is not None):
             event = pop()
             assert event is not None, \
                 "work remains but the event queue ran dry"
@@ -910,8 +1116,21 @@ class ServingCluster:
                 if dispatched:
                     self._control(event[0])
                     self._sample_metrics(event[0])
+                    self._flush_retries(event[0], enlist)
                 push(event[0] + scaler.config.control_interval_s,
                      control_k)
+            elif kind == fault_k:
+                action = faults.popleft()
+                # Recovery work (retry dispatch, step re-arm) is causally
+                # after the fault but sorts before FAULT's lowest
+                # same-instant priority — relax the ordering key first.
+                queue.relax_same_time(event[0])
+                crashed = self._apply_fault(event[0], action, enlist)
+                if crashed is not None:
+                    busy.discard(crashed)
+                    queue.disarm_step(crashed)
+                if faults:
+                    push(faults[0].time_s, fault_k)
             else:  # EventKind.STEP
                 replica = event[4]
                 state_before = replica.state
@@ -965,6 +1184,15 @@ class ServingCluster:
         self.event_counts = {}
         self.iterations = 0
         self._next_sample_s = 0.0
+        plan = self.fault_plan
+        self._fault_actions = deque(plan.actions()) \
+            if plan is not None else deque()
+        self._retry_queue = deque()
+        self._kv_link_scale = 1.0
+        self.fault_crashes = 0
+        self.fault_slow_nodes = 0
+        self.fault_kv_link_degradations = 0
+        self.retry_dispatches = 0
         tracer = self.tracer
         if tracer is not None:
             tracer.reset()
@@ -1001,6 +1229,11 @@ class ServingCluster:
             self._run_step(arrivals, scaler)
         else:
             self._run_event(arrivals, scaler)
+        # Conservation backstop: a retry still queued at end of run (no
+        # routable capacity ever re-appeared) fails explicitly rather
+        # than vanishing from the completed/rejected/failed accounting.
+        while self._retry_queue:
+            self._retry_queue.popleft().state = RequestState.FAILED
 
         # Last real fleet activity.  A spawned-but-never-stepped replica's
         # clock sits at its (possibly future) ready_s — counting it would
@@ -1035,23 +1268,29 @@ class ServingCluster:
         # produce byte-identical reports (the differential matrix's core
         # invariant), so the kernel is an implementation detail, not an
         # experiment parameter.
+        configs = {
+            "router": self.router.policy,
+            "initial_replicas": self.initial_replicas,
+            "scheduler": self.scheduler_config,
+            "kv_cache": self.kv_config,
+            "autoscaler": scaler.config if scaler is not None else None,
+            "disaggregation": disaggregation,
+            "preemption": self.preemption,
+        }
+        if plan is not None and plan:
+            # Only a non-empty plan earns a manifest key: an empty plan
+            # (or none) must leave the manifest byte-identical.
+            configs["faults"] = plan.to_dict()
         manifest = build_manifest(
             component="cluster", model=self.config.name, requests=requests,
-            configs={
-                "router": self.router.policy,
-                "initial_replicas": self.initial_replicas,
-                "scheduler": self.scheduler_config,
-                "kv_cache": self.kv_config,
-                "autoscaler": scaler.config if scaler is not None else None,
-                "disaggregation": disaggregation,
-                "preemption": self.preemption,
-            },
+            configs=configs,
             extra=manifest_extra)
         lifecycles = [ReplicaLifecycle(replica.replica_id,
                                        replica.spawned_s,
                                        replica.ready_s,
                                        replica.stopped_s,
-                                       role=replica.role.value)
+                                       role=replica.role.value,
+                                       crashed=replica.crashed)
                       for replica in self.replicas]
         replica_reports = [replica.report(self.config.name)
                            for replica in self.replicas]
@@ -1078,4 +1317,8 @@ class ServingCluster:
                                for replica in self.replicas),
             manifest=manifest,
             telemetry=telemetry_section(tracer)
-            if tracer is not None else None)
+            if tracer is not None else None,
+            fault_plan=plan,
+            fault_crashes=self.fault_crashes,
+            fault_slow_nodes=self.fault_slow_nodes,
+            fault_kv_link_degradations=self.fault_kv_link_degradations)

@@ -28,6 +28,14 @@ so each event costs O(log events) regardless of fleet size.
     synchronously at the step (or drain call) that emptied the replica,
     because its timestamp equals that step's completion and deferring it
     through the heap could reorder it against same-time fleet samples.
+``FAULT``
+    An injected fault fires (:mod:`~repro.serving.cluster.faults`): a
+    replica crash, a slow-node onset/recovery, or a KV-link degradation
+    edge.  Lowest equal-time priority — a fault at time ``t`` lands
+    after every arrival, landing, tick and step scheduled at ``t``, so
+    same-instant work committed before the fault is never retroactively
+    lost.  Exactly one fault event is armed at a time (the plan's action
+    list stays the source of truth, like the trace deque for arrivals).
 
 **Deterministic tie-breaking.**  Heap entries are keyed
 ``(time, kind, tie, seq)``.  ``kind`` encodes the legacy loop's
@@ -68,6 +76,7 @@ class EventKind(IntEnum):
     CONTROL_TICK = 2
     STEP = 3
     DRAIN_COMPLETE = 4   # synchronous; see the module docstring
+    FAULT = 5            # injected fault edge; see the module docstring
 
 
 _STEP = int(EventKind.STEP)
@@ -114,7 +123,7 @@ class EventQueue:
         # replica_id -> version of its only *valid* step event; entries
         # tagged with older versions are stale and dropped on pop.
         self._step_version: Dict[int, int] = {}
-        self._last_key: Optional[Tuple[float, int, int]] = None
+        self._last_key: Optional[Tuple[float, ...]] = None
         self.popped = 0          # valid events delivered
         self.stale_dropped = 0   # lazily invalidated entries skipped
         self.on_pop = on_pop
@@ -145,6 +154,18 @@ class EventQueue:
         (the replica ran dry or stopped)."""
         if replica_id in self._step_version:
             self._step_version[replica_id] += 1
+
+    def relax_same_time(self, time_s: float) -> None:
+        """Allow same-instant events of *any* kind to follow the entry
+        just popped, keeping only time-monotonicity asserted.
+
+        A ``FAULT`` event sorts after every same-instant event (see
+        :class:`EventKind`), but its recovery work — retry dispatches
+        arming fresh step events — is causally *after* the fault while
+        sorting before it in the ``(time, kind)`` key.  The kernel calls
+        this after handling a fault so that legitimate same-instant
+        recovery does not trip the ordering assertion."""
+        self._last_key = (time_s,)
 
     def pop(self) -> Optional[Tuple[float, int, int, int, Any]]:
         """The earliest valid event as its raw ``(time, kind, tie, seq,

@@ -148,6 +148,9 @@ class EngineReplica:
         # When graceful shutdown began (None if never drained) — the
         # tracer's DRAIN span runs [drain_s, stopped_s] on this lane.
         self.drain_s: Optional[float] = None
+        # Whether an injected fault killed this replica (its STOPPED
+        # transition was a crash, not a drained-dry stop).
+        self.crashed = False
         self.requests: List[ServingRequest] = []
         # Inbound KV still streaming toward this replica, request_id ->
         # bytes remaining.  Insertion follows global landing order and
@@ -298,6 +301,20 @@ class EngineReplica:
         self.state = ReplicaState.STOPPED
         self.stopped_s = now
         self.worker.release_kv()
+
+    def crash(self, now: float) -> List[ServingRequest]:
+        """Kill this replica immediately (fault injection): every
+        in-flight request is lost and returned for re-dispatch, the KV
+        pool is released, and the replica transitions straight to
+        STOPPED.  Crashing an already-STOPPED replica is a no-op (the
+        fault plan may target a replica a drain beat it to)."""
+        if self.state is ReplicaState.STOPPED:
+            return []
+        lost = self.worker.crash()
+        self.state = ReplicaState.STOPPED
+        self.stopped_s = now
+        self.crashed = True
+        return lost
 
     # ------------------------------------------------------------------
     # Reporting

@@ -44,13 +44,16 @@ class ReplicaCountSample:
 class ReplicaLifecycle:
     """Spawn-to-stop span of one replica (``stopped_s`` ``None`` = alive
     at end of run).  ``role`` is the replica's traffic role —
-    ``unified`` everywhere outside a disaggregated fleet."""
+    ``unified`` everywhere outside a disaggregated fleet; ``crashed``
+    marks a STOPPED transition that was an injected crash rather than a
+    drained-dry stop (only serialized on faulted runs)."""
 
     replica_id: int
     spawned_s: float
     ready_s: float
     stopped_s: Optional[float]
     role: str = "unified"
+    crashed: bool = False
 
     def seconds(self, end_s: float) -> float:
         """Capacity consumed: spawn (warm-up included) to stop or run end."""
@@ -150,6 +153,11 @@ class ClusterReport:
     # Multi-tenant accounting (empty = classless run; the JSON payload
     # only grows its sections when the trace actually carried classes).
     class_outcomes: List[ClassOutcome] = field(default_factory=list)
+    # Fault-injection accounting: requests lost to a crash with retries
+    # exhausted, and the gated ``faults`` section (None = no fault plan
+    # ran — or an empty one — keeping unfaulted reports byte-identical).
+    failed: int = 0
+    faults: Optional[dict] = None
     # Run manifest (config snapshot + workload fingerprint) — always set
     # by the cluster's run(); only None for hand-built reports.
     manifest: Optional[dict] = None
@@ -299,7 +307,10 @@ class ClusterReport:
                  "preemptions": report.preemptions,
                  # Role key only in disaggregated payloads, keeping
                  # unified reports byte-identical to the PR 4 shape.
-                 **({"role": life.role} if self.disaggregated else {})}
+                 **({"role": life.role} if self.disaggregated else {}),
+                 # Crashed key only in faulted payloads, same convention.
+                 **({"crashed": life.crashed}
+                    if self.faults is not None else {})}
                 for life, report in zip(self.lifecycles,
                                         self.replica_reports)
             ],
@@ -343,6 +354,10 @@ class ClusterReport:
         if any(report.prefix_cache_enabled
                for report in self.replica_reports):
             payload["prefix_hit_rate"] = self.prefix_hit_rate
+        if self.faults is not None:
+            # Fault keys only appear when a (non-empty) fault plan ran,
+            # keeping unfaulted reports byte-identical to the prior shape.
+            payload["faults"] = self.faults
         if self.manifest is not None:
             payload["manifest"] = self.manifest
         if self.telemetry is not None:
@@ -360,7 +375,8 @@ class ClusterReport:
             f"cluster report: {self.model}, router {self.router} "
             f"({scaling}, peak {self.peak_replicas} replica(s))",
             f"  requests:      {self.completed}/{self.num_requests} completed"
-            + (f", {self.rejected} rejected" if self.rejected else ""),
+            + (f", {self.rejected} rejected" if self.rejected else "")
+            + (f", {self.failed} failed" if self.failed else ""),
             f"  fleet output:  {self.total_output_tokens} tokens over "
             f"{self.makespan_s:.2f} s -> "
             f"{self.fleet_tokens_per_s:.1f} tok/s",
@@ -409,6 +425,13 @@ class ClusterReport:
             lines.append(
                 f"  prefix cache:  fleet hit rate "
                 f"{self.prefix_hit_rate * 100:.0f}%")
+        if self.faults is not None:
+            lines.append(
+                f"  faults:        {self.faults['crashes']} crash(es), "
+                f"{self.faults['slow_nodes']} slow node(s), "
+                f"{self.faults['kv_link_degradations']} kv-link event(s); "
+                f"{self.faults['retries']} retry dispatch(es), "
+                f"{self.faults['requests_failed']} request(s) failed")
         lines += [
             "  latency (ms):",
             f"    ttft        {self.ttft.format_ms()}",
@@ -491,6 +514,10 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
                          kv_stall_steps: int = 0,
                          manifest: Optional[dict] = None,
                          telemetry: Optional[dict] = None,
+                         fault_plan=None,
+                         fault_crashes: int = 0,
+                         fault_slow_nodes: int = 0,
+                         fault_kv_link_degradations: int = 0,
                          ) -> ClusterReport:
     """Fold per-request timestamps and replica lifecycles into the fleet
     report.  Latency distributions are computed over all requests directly
@@ -507,6 +534,24 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
     if slo_ttft_s is not None:
         slo_attained = sum(1 for r in fold.finished
                            if r.ttft_s <= slo_ttft_s)
+    faults = None
+    if fault_plan is not None and fault_plan:
+        # Gated on a *non-empty* plan: an empty FaultPlan is behaviourally
+        # identical to no plan, and its report must be byte-identical too.
+        # Recovery TTFT is measured over requests that were lost to a
+        # crash and still finished — from their original arrival, so the
+        # distribution is the end-to-end recovery cost the client saw.
+        retried = [r for r in fold.finished if r.retries > 0]
+        faults = {
+            "crashes": fault_crashes,
+            "slow_nodes": fault_slow_nodes,
+            "kv_link_degradations": fault_kv_link_degradations,
+            "retries": sum(r.retries for r in requests),
+            "max_retries": fault_plan.max_retries,
+            "requests_failed": len(fold.failed),
+            "recovery_ttft_ms": LatencyStats.from_values(
+                [r.ttft_s for r in retried]).to_ms_dict(),
+        }
     return ClusterReport(
         model=model,
         router=router,
@@ -535,6 +580,8 @@ def build_cluster_report(model: str, router: str, autoscaled: bool,
         kv_stall_seconds=kv_stall_seconds,
         kv_stall_steps=kv_stall_steps,
         class_outcomes=build_class_outcomes(requests),
+        failed=len(fold.failed),
+        faults=faults,
         manifest=manifest,
         telemetry=telemetry,
     )

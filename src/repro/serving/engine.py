@@ -241,6 +241,12 @@ class DeviceWorker:
         # shape for a fixed config/strategy, so memoizing it is exact.
         self._step_time_cache: "OrderedDict[tuple, float]" = OrderedDict()
         self.step_cache_hits = 0
+        # Injected slow-node degradation (fault injection): every executed
+        # step's model seconds are multiplied by this factor.  1.0 — the
+        # default — takes a branch-free path, so a fault-free run is
+        # byte-identical to a build without the knob.  Applied *after*
+        # the step-time LRU, which stays keyed on batch shape alone.
+        self.step_time_scale = 1.0
 
     # ------------------------------------------------------------------
     # Cluster-facing hooks
@@ -315,6 +321,33 @@ class DeviceWorker:
             self._kv_counters_snapshot = self._kv_counters(self.manager)
             self.manager = None
             self._prefix_caching = False
+
+    def crash(self) -> List[ServingRequest]:
+        """Kill this worker immediately (fault injection).
+
+        Every in-flight request — pending, waiting and running alike —
+        is lost and returned to the caller for re-dispatch; their KV
+        blocks are freed and the pool is released like a drained
+        replica's (counters snapshotted first, so the report still
+        carries peak utilization).  Unlike :meth:`release_kv` this is
+        legal under a live batch: losing the in-flight work is the whole
+        point of a crash.  The caller owns resetting the lost requests'
+        lifecycle state before re-dispatching them."""
+        lost: List[ServingRequest] = []
+        lost.extend(self.running)
+        lost.extend(self.waiting)
+        lost.extend(self.pending)
+        manager = self.manager
+        for request in lost:
+            if manager is not None:
+                manager.release(request.request_id)
+            self.value_in_system -= request_value(request)
+        self.running.clear()
+        self.waiting.clear()
+        self.pending.clear()
+        self.draining = True
+        self.release_kv()
+        return lost
 
     # ------------------------------------------------------------------
     # The engine iteration
@@ -659,7 +692,10 @@ class DeviceWorker:
         """
         size = self.STEP_TIME_CACHE_SIZE
         if not size:
-            return self.session.execute_step(works)
+            seconds = self.session.execute_step(works)
+            if self.step_time_scale != 1.0:
+                seconds = seconds * self.step_time_scale
+            return seconds
         key = (tuple((work.tokens, work.kv_len) for work in works),
                sum(1 for work in works if work.emits))
         cache = self._step_time_cache
@@ -672,6 +708,10 @@ class DeviceWorker:
         else:
             cache.move_to_end(key)
             self.step_cache_hits += 1
+        if self.step_time_scale != 1.0:
+            # A degraded node pays the multiplier on the wall clock; the
+            # cache keeps the nominal figure so recovery is exact.
+            seconds = seconds * self.step_time_scale
         return seconds
 
     def run_to_completion(self) -> None:

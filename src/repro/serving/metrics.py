@@ -500,6 +500,9 @@ class RequestFold:
     tpot: LatencyStats
     e2e_latency: LatencyStats
     queue_wait: LatencyStats
+    # Requests lost to a crash with retries exhausted (fault injection;
+    # always empty on a fault-free run, so the field is additive).
+    failed: List[ServingRequest] = field(default_factory=list)
 
     @property
     def total_output_tokens(self) -> int:
@@ -513,6 +516,7 @@ def fold_requests(requests: Sequence[ServingRequest]) -> RequestFold:
 
     finished = [r for r in requests if r.state is RequestState.FINISHED]
     rejected = [r for r in requests if r.state is RequestState.REJECTED]
+    failed = [r for r in requests if r.state is RequestState.FAILED]
     if finished:
         makespan = max(r.finish_s for r in finished) \
             - min(r.arrival_s for r in finished)
@@ -521,6 +525,7 @@ def fold_requests(requests: Sequence[ServingRequest]) -> RequestFold:
     return RequestFold(
         finished=finished,
         rejected=rejected,
+        failed=failed,
         makespan_s=makespan,
         ttft=LatencyStats.from_values([r.ttft_s for r in finished]),
         tpot=LatencyStats.from_values(

@@ -30,6 +30,7 @@ class RequestState(Enum):
     RUNNING = "running"      # admitted into the continuous batch
     FINISHED = "finished"    # all output tokens emitted
     REJECTED = "rejected"    # exceeds max_seq_len or the whole KV pool
+    FAILED = "failed"        # lost to a crash with retries exhausted
 
 
 @dataclass(eq=False)
@@ -82,6 +83,16 @@ class ServingRequest:
     migration_ready_s: Optional[float] = None
     kv_first_chunk_s: Optional[float] = None
     migrations: int = 0
+    # Crash-recovery state: how many times this request was lost to a
+    # replica crash and re-dispatched from scratch (fault injection; 0
+    # on a fault-free run).  Latency metrics keep measuring from the
+    # original arrival, so a retried request's TTFT is its recovery time.
+    # ``requeued_s`` is when the latest retry was re-dispatched — the
+    # request cannot be visible to any admission sweep before that
+    # instant, even though ``arrival_s`` (which may be far earlier)
+    # stays the latency anchor.
+    retries: int = 0
+    requeued_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.prefix_group is not None:
@@ -98,11 +109,16 @@ class ServingRequest:
         """When this request becomes visible to its current device's
         admission sweep: the trace arrival for a fresh request, the first
         KV chunk's landing for one streamed to a decode replica (the
-        full landing when the transfer is monolithic)."""
+        full landing when the transfer is monolithic), or the retry
+        dispatch instant for a request re-entering after a crash (a
+        retry clears the KV fields; a post-retry migration re-stamps
+        them with later times, so the order below stays correct)."""
         if self.kv_first_chunk_s is not None:
             return self.kv_first_chunk_s
         if self.migration_ready_s is not None:
             return self.migration_ready_s
+        if self.requeued_s is not None:
+            return self.requeued_s
         return self.arrival_s
 
     @property

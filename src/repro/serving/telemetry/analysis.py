@@ -109,9 +109,28 @@ def timelines_from_tracer(tracer: Tracer) -> List[RequestTimeline]:
 
 
 def timelines_from_chrome(payload: dict) -> List[RequestTimeline]:
-    """Per-request timelines from a Chrome trace-event payload."""
+    """Per-request timelines from a Chrome trace-event payload.
+
+    Raises :class:`ValueError` when the payload is valid JSON but not a
+    Chrome trace — e.g. ``[]``, ``null``, or an object whose
+    ``traceEvents`` is not a list.  Anything a tracer did not write
+    should fail loudly here, not crash deep inside the span loop.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            "not a Chrome trace payload: expected a JSON object with a "
+            f"'traceEvents' list, got {type(payload).__name__}")
+    events = payload.get("traceEvents", ())
+    if not isinstance(events, (list, tuple)):
+        raise ValueError(
+            "not a Chrome trace payload: 'traceEvents' must be a list, "
+            f"got {type(events).__name__}")
     timelines: Dict[int, RequestTimeline] = {}
-    for event in payload.get("traceEvents", ()):
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError(
+                "not a Chrome trace payload: every trace event must be "
+                f"an object, got {type(event).__name__}")
         args = event.get("args") or {}
         request_id = args.get("request", -1)
         name = event.get("name", "")

@@ -65,6 +65,8 @@ class SpanKind(enum.IntEnum):
     RESUME = 9         # instant: re-admitted after a preemption
     FIRST_TOKEN = 10   # instant: TTFT boundary
     DRAIN = 11         # replica lane: drain initiated -> stopped
+    CRASH = 12         # instant, replica lane: injected crash (aux = lost)
+    RETRY = 13         # instant: a crash-lost request re-dispatched
 
 
 #: Span kinds whose per-request durations partition [arrival_s, finish_s].
@@ -76,6 +78,7 @@ LATENCY_KINDS = frozenset({
 #: Zero-width markers (rendered as instants, excluded from latency sums).
 INSTANT_KINDS = frozenset({
     SpanKind.ADMIT, SpanKind.PREEMPT, SpanKind.RESUME, SpanKind.FIRST_TOKEN,
+    SpanKind.CRASH, SpanKind.RETRY,
 })
 
 #: The fleet/interconnect lane (Chrome pid 0); >= 0 is a replica/device id.
@@ -274,6 +277,14 @@ class Tracer:
     def mark_queued(self, request_id: int, now: float) -> None:
         """Override the next QUEUE span's start time for this request."""
         self._queued_since[request_id] = now
+
+    def requeued(self, request_id: int, now: float) -> None:
+        """Open the next QUEUE span at ``now`` unless one is already
+        open (crash retry): a request lost while *running* restarts its
+        queue wait at the crash, while one lost while still waiting —
+        never admitted, or preempted — keeps the wait it was already
+        accruing, so repeated loss/retry cycles tile the timeline."""
+        self._queued_since.setdefault(request_id, now)
 
     # ------------------------------------------------------------------
     # Readers

@@ -7,9 +7,12 @@ time plus an [input:output] workload — and can come from a Poisson process
 *diurnal* process (the daily peak/trough cycle autoscalers exist for), a
 *flash-crowd* process (steady traffic with a sudden burst window — the
 scale-up stress test), a fixed back-to-back batch, an explicit
-``(arrival, "[in:out]")`` listing, or a shared-prefix generator for
+``(arrival, "[in:out]")`` listing, a shared-prefix generator for
 prefix-cache workloads (many prompts opening with the same system prompt /
-few-shot preamble).  Requests optionally carry a ``priority`` tier (for the
+few-shot preamble), or the conversational generators — *multi-turn* chat
+sessions whose re-entrant turns grow a shared prefix between human think
+times, and *tool-use* agent loops re-entering at a fixed tool-wait cadence
+while their KV context idles.  Requests optionally carry a ``priority`` tier (for the
 ``priority``/``lowest_priority`` policies) and a ``prefix_group`` +
 ``prefix_len`` (the shared-prompt declaration the prefix-caching KV manager
 keys its blocks on), and an ``slo_class`` drawn from a tenant class mix
@@ -247,19 +250,36 @@ def flash_crowd_trace(num_requests: int,
 
 
 def burst_trace(workloads: Sequence[Workload],
-                arrival_s: float = 0.0) -> List[TimedRequest]:
-    """All requests arrive at once — a closed batch, the worst queueing case."""
-    return [TimedRequest(i, workload, arrival_s)
+                arrival_s: float = 0.0,
+                priority: int = 0,
+                slo_class: Optional[str] = None) -> List[TimedRequest]:
+    """All requests arrive at once — a closed batch, the worst queueing case.
+
+    ``priority`` and ``slo_class`` apply to every request of the burst
+    (a burst is one tenant's batch); the defaults keep historical traces
+    byte-identical.
+    """
+    if slo_class is not None and slo_class not in SLO_CLASSES:
+        raise ValueError(f"unknown slo_class {slo_class!r}")
+    return [TimedRequest(i, workload, arrival_s,
+                         priority=priority, slo_class=slo_class)
             for i, workload in enumerate(workloads)]
 
 
-def trace_from_specs(specs: Sequence[Tuple[float, str]]) -> List[TimedRequest]:
+def trace_from_specs(specs: Sequence[Tuple[float, str]],
+                     priority: int = 0,
+                     slo_class: Optional[str] = None) -> List[TimedRequest]:
     """Build a trace from ``(arrival_seconds, "[in:out]")`` pairs.
 
     Arrivals are sorted, so specs may be listed in any order.
+    ``priority`` and ``slo_class`` apply to every request of the listing;
+    the defaults keep historical traces byte-identical.
     """
+    if slo_class is not None and slo_class not in SLO_CLASSES:
+        raise ValueError(f"unknown slo_class {slo_class!r}")
     ordered = sorted(specs, key=lambda spec: spec[0])
-    return [TimedRequest(i, workload_from_label(label), float(arrival))
+    return [TimedRequest(i, workload_from_label(label), float(arrival),
+                         priority=priority, slo_class=slo_class)
             for i, (arrival, label) in enumerate(ordered)]
 
 
@@ -299,3 +319,124 @@ def shared_prefix_trace(num_requests: int,
                      prefix_len=prefix_len)
         for i in range(num_requests)
     ]
+
+
+def _sessions_trace(num_sessions: int,
+                    turns_per_session: int,
+                    rng: random.Random,
+                    session_rate_hz: float,
+                    turn_input_choices: Sequence[int],
+                    output_choices: Sequence[int],
+                    gap_after_turn: Callable[[random.Random], float],
+                    group_prefix: str,
+                    ) -> List[TimedRequest]:
+    """Shared engine of the conversational generators.
+
+    Sessions open as a Poisson process at ``session_rate_hz``.  Within a
+    session, turn ``k`` re-enters ``gap_after_turn`` seconds after turn
+    ``k - 1`` and its prompt replays the whole conversation so far: the
+    first ``prefix_len`` tokens (every earlier turn's input *and* output)
+    are byte-identical with the session's previous turn, declared via
+    ``prefix_group`` so a prefix-caching engine skips their prefill and a
+    sticky router keeps the session on one replica.  Turn 0 opens the
+    context, so it carries no prefix declaration.  The merged trace is
+    sorted by arrival and re-numbered — request ids follow arrival order,
+    as every other generator guarantees.
+    """
+    if num_sessions < 0:
+        raise ValueError("num_sessions must be non-negative")
+    if turns_per_session < 1:
+        raise ValueError("turns_per_session must be at least 1")
+    if session_rate_hz <= 0:
+        raise ValueError("session rate must be positive")
+    entries: List[Tuple[float, int, TimedRequest]] = []
+    session_clock = 0.0
+    order = 0
+    for session in range(num_sessions):
+        session_clock += rng.expovariate(session_rate_hz)
+        clock = session_clock
+        context = 0          # tokens of conversation accumulated so far
+        for turn in range(turns_per_session):
+            fresh = rng.choice(list(turn_input_choices))
+            output_len = rng.choice(list(output_choices))
+            workload = Workload(context + fresh, output_len)
+            if turn == 0:
+                request = TimedRequest(0, workload, clock)
+            else:
+                request = TimedRequest(
+                    0, workload, clock,
+                    prefix_group=f"{group_prefix}-{session}",
+                    prefix_len=context)
+            entries.append((clock, order, request))
+            order += 1
+            context += fresh + output_len
+            clock += gap_after_turn(rng)
+    entries.sort(key=lambda entry: entry[:2])
+    return [
+        TimedRequest(i, entry[2].workload, entry[2].arrival_s,
+                     prefix_group=entry[2].prefix_group,
+                     prefix_len=entry[2].prefix_len)
+        for i, entry in enumerate(entries)
+    ]
+
+
+def multi_turn_trace(num_sessions: int,
+                     turns_per_session: int,
+                     seed: int = 0,
+                     session_rate_hz: float = 1.0,
+                     think_time_s: float = 1.0,
+                     turn_input_choices: Sequence[int] = (32, 64, 128),
+                     output_choices: Sequence[int] = (32, 64, 128),
+                     group_prefix: str = "session",
+                     ) -> List[TimedRequest]:
+    """Multi-turn conversations: re-entrant requests growing a shared prefix.
+
+    Each of ``num_sessions`` chat sessions holds ``turns_per_session``
+    turns.  A turn's prompt is the whole conversation so far plus a fresh
+    user message (sampled from ``turn_input_choices``), so prompts *grow*
+    turn over turn and each turn declares the accumulated context as a
+    shared prefix of group ``{group_prefix}-{s}``.  The user "thinks"
+    between turns: the next turn arrives an exponential gap of mean
+    ``think_time_s`` after the previous one (an open-loop stand-in for
+    read-and-type time).  This is the workload where prefix caching and
+    sticky routing pay or don't: evicting a session's blocks between
+    turns forces a full-context re-prefill.
+    """
+    if think_time_s <= 0:
+        raise ValueError("think_time_s must be positive")
+    return _sessions_trace(
+        num_sessions, turns_per_session, random.Random(seed),
+        session_rate_hz, turn_input_choices, output_choices,
+        lambda rng: rng.expovariate(1.0 / think_time_s), group_prefix)
+
+
+def tool_use_trace(num_agents: int,
+                   tool_calls_per_agent: int,
+                   seed: int = 0,
+                   agent_rate_hz: float = 1.0,
+                   tool_wait_s: float = 0.5,
+                   turn_input_choices: Sequence[int] = (32, 64, 128),
+                   output_choices: Sequence[int] = (16, 32, 64),
+                   group_prefix: str = "agent",
+                   ) -> List[TimedRequest]:
+    """Agentic tool-use loops: fixed tool waits holding KV context hostage.
+
+    Each of ``num_agents`` agents runs an initial reasoning request and
+    then ``tool_calls_per_agent`` follow-ups, each re-entering exactly
+    ``tool_wait_s`` seconds after the previous turn — the deterministic
+    latency of the tool round-trip.  Like a chat session, every follow-up
+    replays the full prior context as a shared prefix of group
+    ``{group_prefix}-{a}``; unlike a chat session, the inter-turn gap is
+    constant and short, so the agent's KV blocks are worth pinning across
+    the tool wait — or are dead weight, if the pool is tight.  The
+    default ``output_choices`` skew short: tool-call emissions, not
+    essays.
+    """
+    if tool_calls_per_agent < 0:
+        raise ValueError("tool_calls_per_agent must be non-negative")
+    if tool_wait_s <= 0:
+        raise ValueError("tool_wait_s must be positive")
+    return _sessions_trace(
+        num_agents, tool_calls_per_agent + 1, random.Random(seed),
+        agent_rate_hz, turn_input_choices, output_choices,
+        lambda _rng: tool_wait_s, group_prefix)

@@ -27,12 +27,18 @@ from repro.serving import KVCacheConfig, SchedulerConfig
 from repro.serving.cluster import (
     AutoscalerConfig,
     DisaggregationConfig,
+    FaultPlan,
+    KVLinkDegradation,
+    ReplicaCrash,
     ServingCluster,
+    SlowNode,
 )
 from repro.serving.workload_gen import (
     flash_crowd_trace,
+    multi_turn_trace,
     poisson_trace,
     shared_prefix_trace,
+    tool_use_trace,
 )
 
 PER_TOKEN = GPT2.kv_cache_bytes_per_token()
@@ -157,6 +163,46 @@ CONFIGS = {
                       output_choices=(32, 64),
                       slo_class_mix="interactive=2,standard=1,"
                                     "best_effort=1")),
+    "faulted_fixed_crash_slow": (
+        dict(initial_replicas=3, router="least_queue",
+             fault_plan=FaultPlan(events=(
+                 ReplicaCrash(time_s=0.8, replica_id=1),
+                 SlowNode(time_s=0.3, replica_id=0, scale=2.5,
+                          duration_s=1.0)))),
+        poisson_trace(90, 40.0, seed=41)),
+    "faulted_autoscaled_replacement": (
+        dict(initial_replicas=2, router="round_robin",
+             autoscaler=AutoscalerConfig(min_replicas=2, max_replicas=4,
+                                         warmup_s=0.2),
+             fault_plan=FaultPlan(events=(
+                 ReplicaCrash(time_s=0.6, replica_id=0),))),
+        poisson_trace(100, 50.0, seed=43)),
+    "faulted_disagg_kvlink": (
+        dict(router="least_queue",
+             disaggregation=DisaggregationConfig(prefill_replicas=2,
+                                                 decode_replicas=2,
+                                                 kv_transfer_gbs=0.05,
+                                                 kv_stream_chunks=2),
+             kv_config=kv_blocks(192),
+             fault_plan=FaultPlan(events=(
+                 KVLinkDegradation(time_s=0.4, scale=0.25,
+                                   duration_s=1.5),
+                 ReplicaCrash(time_s=1.0, replica_id=2)))),
+        poisson_trace(80, 30.0, seed=47, input_choices=(64, 128),
+                      output_choices=(16, 32))),
+    "multi_turn_prefix_cached": (
+        dict(initial_replicas=2, router="prefix_affinity",
+             kv_config=kv_blocks(256, enable_prefix_cache=True)),
+        multi_turn_trace(8, 4, seed=53, session_rate_hz=4.0,
+                         think_time_s=0.3,
+                         turn_input_choices=(16, 32),
+                         output_choices=(16, 32))),
+    "tool_use_fixed": (
+        dict(initial_replicas=2, router="least_queue"),
+        tool_use_trace(6, 3, seed=59, agent_rate_hz=3.0,
+                       tool_wait_s=0.4,
+                       turn_input_choices=(16, 32),
+                       output_choices=(8, 16))),
 }
 
 
@@ -193,6 +239,45 @@ class TestKernelEquivalence:
         routers = {k.get("router", "round_robin") for k in kwargs_list}
         assert {"round_robin", "least_queue", "least_kv_pressure",
                 "prefix_affinity", "score"} <= routers
+        # Fault injection: crashes on fixed, autoscaled and
+        # disaggregated fleets, plus at least one transient fault.
+        plans = [k["fault_plan"] for k in kwargs_list
+                 if k.get("fault_plan") is not None]
+        assert sum(plan.num_crashes > 0 for plan in plans) >= 3
+        assert any(plan.num_slow_nodes > 0 for plan in plans)
+        assert any(plan.num_kv_link_degradations > 0 for plan in plans)
+
+    def test_faulted_configs_actually_crash_and_retry(self):
+        """Regime check: the crash entries must keep losing in-flight
+        work and re-dispatching it, or the matrix tests nothing."""
+        for name in ("faulted_fixed_crash_slow",
+                     "faulted_autoscaled_replacement",
+                     "faulted_disagg_kvlink"):
+            cluster, report = run_kernel("event", *CONFIGS[name])
+            assert report.faults is not None, name
+            assert report.faults["crashes"] >= 1, name
+            assert cluster.retry_dispatches >= 1, name
+            assert report.completed + report.rejected \
+                + report.faults["requests_failed"] == report.num_requests
+
+    def test_autoscaler_replaces_crashed_replica(self):
+        """The dead replica drops the fleet below min_replicas; the next
+        control tick must spawn a warming replacement."""
+        _, report = run_kernel(
+            "event", *CONFIGS["faulted_autoscaled_replacement"])
+        crashed = [row for row in report.to_dict()["replicas"]
+                   if row["crashed"]]
+        assert len(crashed) == 1
+        spawned_after = [life for life in report.lifecycles
+                         if life.spawned_s > 0.6]
+        assert spawned_after, "no replacement replica spawned after crash"
+
+    def test_conversational_configs_share_prefixes(self):
+        """Regime check: the multi-turn entry must keep hitting the
+        prefix cache (its turns replay the session context)."""
+        _, report = run_kernel("event", *CONFIGS["multi_turn_prefix_cached"])
+        assert report.prefix_hit_rate is not None
+        assert report.prefix_hit_rate > 0.0
 
     def test_preempting_config_actually_preempts(self):
         """Regime check: the KV-pressure entry must keep exercising the
@@ -234,20 +319,54 @@ class TestEventCountRegression:
         means one kernel is doing (or skipping) work the other is not,
         even if the reports still happen to agree."""
         for name in ("fixed_least_queue", "autoscaled_slo_flash_crowd",
-                     "disagg_basic"):
+                     "disagg_basic", "faulted_fixed_crash_slow"):
             kwargs, trace = CONFIGS[name]
             event_cluster, _ = run_kernel("event", kwargs, trace)
             step_cluster, _ = run_kernel("step", kwargs, trace)
             assert event_cluster.events_processed == step_cluster.iterations
             assert sum(event_cluster.event_counts[kind] for kind in
                        ("ARRIVAL", "TRANSFER_LANDED", "CONTROL_TICK",
-                        "STEP")) == event_cluster.events_processed
+                        "STEP", "FAULT")) == event_cluster.events_processed
+
+    def test_faulted_run_counts_fault_events(self):
+        """Each fault edge is one first-class event in the heap — and one
+        step-loop iteration, which is why the parity above still holds."""
+        kwargs, trace = CONFIGS["faulted_fixed_crash_slow"]
+        cluster, _ = run_kernel("event", kwargs, trace)
+        # One crash plus a slow-node onset/restore pair = 3 edges.
+        assert cluster.event_counts["FAULT"] == 3
 
     def test_step_kernel_does_not_touch_event_instrumentation(self):
         kwargs, trace = CONFIGS["single_replica"]
         cluster, _ = run_kernel("step", kwargs, trace)
         assert cluster.events_processed == 0
         assert cluster.iterations > 0
+
+
+class TestFaultPlanGating:
+    """An empty plan — or no plan at all — must leave every report
+    byte-identical to the pre-fault build: fault support costs nothing
+    unless a fault is actually scheduled."""
+
+    @pytest.mark.parametrize("name", ["fixed_least_queue",
+                                      "autoscaled_queue_only",
+                                      "disagg_streamed_kv",
+                                      "score_class_mix"])
+    def test_empty_plan_is_byte_identical_to_no_plan(self, name):
+        kwargs, trace = CONFIGS[name]
+        _, baseline = run_kernel("event", kwargs, trace)
+        _, with_none = run_kernel("event", dict(kwargs, fault_plan=None),
+                                  trace)
+        _, with_empty = run_kernel(
+            "event", dict(kwargs, fault_plan=FaultPlan()), trace)
+        reference = json.dumps(baseline.to_dict(), sort_keys=True)
+        assert json.dumps(with_none.to_dict(), sort_keys=True) == reference
+        assert json.dumps(with_empty.to_dict(), sort_keys=True) == reference
+
+    def test_empty_plan_is_falsy_and_schedules_nothing(self):
+        assert not FaultPlan()
+        assert FaultPlan().actions() == []
+        assert FaultPlan(events=(ReplicaCrash(1.0, 0),))
 
 
 class TestReportShape:
@@ -300,3 +419,32 @@ class TestReportShape:
         assert set(payload["fairness"]) == {"jain_index",
                                             "class_weighted_attainment"}
         json.dumps(payload)
+
+    FAULT_KEYS = {"crashes", "slow_nodes", "kv_link_degradations",
+                  "retries", "max_retries", "requests_failed",
+                  "recovery_ttft_ms"}
+
+    def test_faulted_report_adds_only_fault_keys(self):
+        """A faulted run grows exactly the gated ``faults`` section (plus
+        the per-replica ``crashed`` flag); everything else keeps shape."""
+        kwargs, trace = CONFIGS["faulted_fixed_crash_slow"]
+        _, report = run_kernel("event", kwargs, trace)
+        payload = report.to_dict()
+        assert set(payload) == self.CLUSTER_KEYS | {"faults"}
+        assert set(payload["faults"]) == self.FAULT_KEYS
+        assert set(payload["faults"]["recovery_ttft_ms"]) \
+            == self.LATENCY_KEYS
+        for row in payload["replicas"]:
+            assert "crashed" in row
+        # The plan itself is pinned into the manifest for provenance.
+        assert payload["manifest"]["faults"]["max_retries"] == 3
+        json.dumps(payload)
+
+    def test_unfaulted_report_has_no_fault_keys(self):
+        kwargs, trace = CONFIGS["fixed_least_queue"]
+        _, report = run_kernel("event", kwargs, trace)
+        payload = report.to_dict()
+        assert "faults" not in payload
+        assert "faults" not in payload["manifest"]
+        for row in payload["replicas"]:
+            assert "crashed" not in row

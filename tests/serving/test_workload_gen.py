@@ -7,8 +7,10 @@ from repro.serving.workload_gen import (
     burst_trace,
     diurnal_trace,
     flash_crowd_trace,
+    multi_turn_trace,
     poisson_trace,
     shared_prefix_trace,
+    tool_use_trace,
     trace_from_specs,
 )
 
@@ -63,6 +65,31 @@ class TestOtherTraces:
     def test_trace_from_specs_rejects_bad_label(self):
         with pytest.raises(ValueError, match="malformed"):
             trace_from_specs([(0.0, "oops")])
+
+    def test_burst_and_specs_carry_class_and_priority_alike(self):
+        """Both single-tenant builders apply priority/slo_class to every
+        request — the ``serve-cluster --workloads/--spec`` paths must not
+        silently drop the tenant flags (they once did)."""
+        workloads = [Workload(8, 8), Workload(16, 16)]
+        specs = [(0.0, "[8:8]"), (1.0, "[16:16]")]
+        for trace in (burst_trace(workloads, priority=2,
+                                  slo_class="interactive"),
+                      trace_from_specs(specs, priority=2,
+                                       slo_class="interactive")):
+            assert all(t.priority == 2 for t in trace)
+            assert all(t.slo_class == "interactive" for t in trace)
+
+    def test_burst_and_specs_defaults_unclassed(self):
+        for trace in (burst_trace([Workload(8, 8)]),
+                      trace_from_specs([(0.0, "[8:8]")])):
+            assert all(t.priority == 0 for t in trace)
+            assert all(t.slo_class is None for t in trace)
+
+    def test_burst_and_specs_reject_unknown_class(self):
+        with pytest.raises(ValueError, match="slo_class"):
+            burst_trace([Workload(8, 8)], slo_class="platinum")
+        with pytest.raises(ValueError, match="slo_class"):
+            trace_from_specs([(0.0, "[8:8]")], slo_class="platinum")
 
 
 class TestDiurnalTrace:
@@ -143,6 +170,96 @@ class TestSharedPrefixValidation:
     def test_negative_interval_rejected(self):
         with pytest.raises(ValueError, match="interval_s"):
             shared_prefix_trace(4, prefix_len=8, interval_s=-0.1)
+
+
+class TestConversationalTraces:
+    """Multi-turn chat and agentic tool-use session generators."""
+
+    def _session_turns(self, trace, group_prefix):
+        """group name -> the session's turns in arrival order (turn 0,
+        which carries no prefix declaration, is matched to its session
+        by replaying the growing-context arithmetic)."""
+        follow_ups = {}
+        for request in trace:
+            if request.prefix_group is not None:
+                follow_ups.setdefault(request.prefix_group, []) \
+                    .append(request)
+        for turns in follow_ups.values():
+            turns.sort(key=lambda r: r.arrival_s)
+        return follow_ups
+
+    def test_deterministic_per_seed(self):
+        kwargs = dict(num_sessions=6, turns_per_session=4)
+        assert multi_turn_trace(seed=5, **kwargs) \
+            == multi_turn_trace(seed=5, **kwargs)
+        assert multi_turn_trace(seed=5, **kwargs) \
+            != multi_turn_trace(seed=6, **kwargs)
+        assert tool_use_trace(6, 3, seed=5) == tool_use_trace(6, 3, seed=5)
+        assert tool_use_trace(6, 3, seed=5) != tool_use_trace(6, 3, seed=6)
+
+    def test_counts_ids_and_arrival_order(self):
+        for trace in (multi_turn_trace(5, 4, seed=1),
+                      tool_use_trace(5, 3, seed=1)):
+            assert len(trace) == 20          # 5*4 turns / 5*(3+1) calls
+            assert [t.request_id for t in trace] == list(range(20))
+            arrivals = [t.arrival_s for t in trace]
+            assert arrivals == sorted(arrivals)
+
+    def test_prefix_grows_with_accumulated_context(self):
+        """Turn k's declared prefix is every earlier turn's input and
+        output, so prefixes strictly grow and prompts strictly contain
+        their declared prefix."""
+        for trace, prefix in ((multi_turn_trace(4, 5, seed=2), "session"),
+                              (tool_use_trace(4, 4, seed=2), "agent")):
+            follow_ups = self._session_turns(trace, prefix)
+            assert len(follow_ups) == 4
+            for group, turns in follow_ups.items():
+                assert group.startswith(f"{prefix}-")
+                assert len(turns) == 4       # turns_per_session - 1
+                lens = [t.prefix_len for t in turns]
+                assert all(b > a for a, b in zip(lens, lens[1:]))
+                for request in turns:
+                    assert 0 < request.prefix_len \
+                        < request.workload.input_len
+
+    def test_turn_zero_carries_no_prefix(self):
+        trace = multi_turn_trace(3, 3, seed=0)
+        openers = [t for t in trace if t.prefix_group is None]
+        assert len(openers) == 3
+        assert all(t.prefix_len == 0 for t in openers)
+
+    def test_tool_use_gaps_are_exactly_the_tool_wait(self):
+        """Within an agent, consecutive turns are exactly tool_wait_s
+        apart — the tool round-trip is deterministic, unlike chat think
+        time."""
+        trace = tool_use_trace(3, 4, seed=3, tool_wait_s=0.25)
+        for turns in self._session_turns(trace, "agent").values():
+            gaps = [b.arrival_s - a.arrival_s
+                    for a, b in zip(turns, turns[1:])]
+            assert all(gap == pytest.approx(0.25) for gap in gaps)
+
+    def test_tool_use_without_calls_is_single_turn(self):
+        trace = tool_use_trace(4, 0, seed=0)
+        assert len(trace) == 4
+        assert all(t.prefix_group is None for t in trace)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_sessions"):
+            multi_turn_trace(-1, 2)
+        with pytest.raises(ValueError, match="turns_per_session"):
+            multi_turn_trace(2, 0)
+        with pytest.raises(ValueError, match="session rate"):
+            multi_turn_trace(2, 2, session_rate_hz=0.0)
+        with pytest.raises(ValueError, match="think_time_s"):
+            multi_turn_trace(2, 2, think_time_s=0.0)
+        with pytest.raises(ValueError, match="tool_calls_per_agent"):
+            tool_use_trace(2, -1)
+        with pytest.raises(ValueError, match="tool_wait_s"):
+            tool_use_trace(2, 2, tool_wait_s=0.0)
+
+    def test_zero_sessions_yield_empty_trace(self):
+        assert multi_turn_trace(0, 3) == []
+        assert tool_use_trace(0, 3) == []
 
 
 class TestRandomWorkloads:

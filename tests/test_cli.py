@@ -421,6 +421,8 @@ class TestServeClusterCommand:
         for flag in ["--model", "--replicas", "--router", "--requests",
                      "--trace", "--arrival-rate", "--peak-rate", "--period",
                      "--burst-rate", "--burst-start", "--burst-duration",
+                     "--multi-turn", "--think-time", "--tool-calls",
+                     "--tool-wait",
                      "--seed", "--autoscale", "--slo-ttft-ms",
                      "--slo-tpot-ms", "--kv-pressure-high",
                      "--min-replicas", "--max-replicas",
@@ -432,7 +434,123 @@ class TestServeClusterCommand:
                      "--prefix-groups", "--mode", "--disaggregate",
                      "--prefill-replicas", "--decode-replicas",
                      "--kv-transfer-gbs", "--kv-stream-chunks",
-                     "--prefill-token-cap", "--json"]:
+                     "--prefill-token-cap", "--faults", "--max-retries",
+                     "--json"]:
+            assert flag in help_text, f"{flag} missing from --help"
+
+    def test_fault_plan_reports_recovery(self, tmp_path, capsys):
+        report_path = tmp_path / "faulted.json"
+        exit_code = main(["serve-cluster", "--replicas", "3",
+                          "--requests", "12", "--arrival-rate", "60",
+                          "--faults", "crash@0.2:1,slow@0.1:0x2.0+1",
+                          "--json", str(report_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["faults"]["crashes"] == 1
+        assert payload["faults"]["slow_nodes"] == 1
+        assert payload["manifest"]["faults"]["max_retries"] == 3
+        assert any(row["crashed"] for row in payload["replicas"])
+
+    def test_unfaulted_report_has_no_fault_section(self, tmp_path):
+        report_path = tmp_path / "clean.json"
+        assert main(["serve-cluster", "--replicas", "2", "--requests", "4",
+                     "--json", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert "faults" not in payload
+        assert "faults" not in payload["manifest"]
+
+    def test_max_retries_requires_faults(self, capsys):
+        assert main(["serve-cluster", "--requests", "4",
+                     "--max-retries", "2"]) == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_malformed_fault_spec_rejected(self, capsys):
+        assert main(["serve-cluster", "--requests", "4",
+                     "--faults", "crash@oops"]) == 2
+        err = capsys.readouterr().err
+        assert "fault" in err
+        assert "Traceback" not in err
+
+    def test_conversational_traces_run(self, capsys):
+        for shape, flag, value in [("multi_turn", "--multi-turn", "3"),
+                                   ("tool_use", "--tool-calls", "2")]:
+            exit_code = main(["serve-cluster", "--replicas", "2",
+                              "--requests", "12", "--trace", shape,
+                              flag, value])
+            assert exit_code == 0
+            assert "completed" in capsys.readouterr().out
+
+    def test_conversational_flags_require_matching_trace(self, capsys):
+        assert main(["serve-cluster", "--requests", "4",
+                     "--think-time", "2.0"]) == 2
+        assert "--think-time" in capsys.readouterr().err
+        assert main(["serve-cluster", "--requests", "4",
+                     "--trace", "multi_turn", "--tool-wait", "0.1"]) == 2
+        assert "--tool-wait" in capsys.readouterr().err
+
+    def test_conversational_traces_reject_shape_flags(self, capsys):
+        assert main(["serve-cluster", "--requests", "8",
+                     "--trace", "multi_turn",
+                     "--shared-prefix", "64"]) == 2
+        assert "--shared-prefix" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    def _write_trace(self, tmp_path):
+        """Record a real Chrome trace via a serve-cluster run."""
+        trace_path = tmp_path / "run.trace.json"
+        assert main(["serve-cluster", "--replicas", "2", "--requests", "6",
+                     "--arrival-rate", "40",
+                     "--trace-out", str(trace_path)]) == 0
+        return trace_path
+
+    def test_summarize_roundtrip(self, tmp_path, capsys):
+        trace_path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        assert "e2e" in capsys.readouterr().out
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        exit_code = main(["trace", "summarize",
+                          str(tmp_path / "nope.json")])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("content", ["", "{", '{"traceEvents": 1}',
+                                         "[]", "null",
+                                         '{"traceEvents": [42]}'])
+    def test_empty_or_truncated_trace_is_a_clean_error(
+            self, tmp_path, capsys, content):
+        """A 0-byte file, a truncated write, or valid JSON that is not a
+        Chrome trace must exit 2 with a one-line diagnostic, never a
+        traceback."""
+        bad = tmp_path / "bad.json"
+        bad.write_text(content)
+        exit_code = main(["trace", "summarize", str(bad)])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err
+        assert "Traceback" not in err
+
+
+class TestReproduceCommand:
+    def test_missing_bench_dir_is_a_clean_error(self, tmp_path, capsys):
+        exit_code = main(["reproduce", "--bench-dir",
+                          str(tmp_path / "missing")])
+        assert exit_code == 2
+        err = capsys.readouterr().err
+        assert "not found" in err
+
+    def test_help_documents_reproduce_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["reproduce", "--help"])
+        assert excinfo.value.code == 0
+        help_text = capsys.readouterr().out
+        for flag in ["--check", "--filter", "--bench-dir"]:
             assert flag in help_text, f"{flag} missing from --help"
 
 

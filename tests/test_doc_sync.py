@@ -69,7 +69,8 @@ def readme_flags(command: str) -> set:
 
 # Vacuity floor per documented command: the sync tests must keep
 # comparing non-trivial sets (the analysis CLI is genuinely small).
-MIN_FLAGS = {"serve-sim": 10, "serve-cluster": 10, "trace": 4}
+MIN_FLAGS = {"serve-sim": 10, "serve-cluster": 10, "trace": 4,
+             "reproduce": 2}
 
 
 @pytest.mark.parametrize("command", sorted(MIN_FLAGS))
